@@ -1,0 +1,374 @@
+//! Compact Position Reporting (CPR) for airborne positions.
+//!
+//! ADS-B squeezes latitude/longitude into 17 + 17 bits by alternating
+//! between an *even* and an *odd* zone grid. A receiver that has both
+//! flavors within ~10 s recovers the unambiguous ("global") position; with
+//! a known reference within ~180 NM it can decode a single message
+//! ("local"). Implemented per DO-260B as presented in *The 1090 MHz
+//! Riddle* (the paper's ref \[34\]).
+
+use crate::AdsbError;
+use serde::{Deserialize, Serialize};
+
+/// Number of latitude zones per hemisphere half (DO-260B NZ).
+const NZ: f64 = 15.0;
+/// CPR fixed-point scale, 2¹⁷.
+const SCALE: f64 = 131_072.0;
+
+/// Which zone grid a position message uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CprFormat {
+    /// F = 0.
+    Even,
+    /// F = 1.
+    Odd,
+}
+
+impl CprFormat {
+    /// The F bit value.
+    pub fn bit(&self) -> u8 {
+        match self {
+            CprFormat::Even => 0,
+            CprFormat::Odd => 1,
+        }
+    }
+
+    /// From the F bit.
+    pub fn from_bit(b: u8) -> Self {
+        if b & 1 == 0 {
+            CprFormat::Even
+        } else {
+            CprFormat::Odd
+        }
+    }
+
+    fn index(&self) -> f64 {
+        self.bit() as f64
+    }
+}
+
+/// An encoded CPR position: two 17-bit fields plus the format flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CprPosition {
+    pub format: CprFormat,
+    /// 17-bit encoded latitude.
+    pub lat_cpr: u32,
+    /// 17-bit encoded longitude.
+    pub lon_cpr: u32,
+}
+
+/// An even/odd message pair ready for global decoding.
+#[derive(Debug, Clone, Copy)]
+pub struct CprPair {
+    pub even: CprPosition,
+    pub odd: CprPosition,
+    /// Which of the two arrived most recently (decode is anchored there).
+    pub latest: CprFormat,
+}
+
+/// Always-positive floating modulo.
+fn fmod_pos(a: f64, b: f64) -> f64 {
+    let r = a % b;
+    if r < 0.0 {
+        r + b
+    } else {
+        r
+    }
+}
+
+/// The NL function: number of longitude zones at a latitude.
+pub fn nl(lat_deg: f64) -> u32 {
+    let lat = lat_deg.abs();
+    if lat < 1e-9 {
+        return 59;
+    }
+    if (lat - 87.0).abs() < 1e-9 {
+        return 2;
+    }
+    if lat > 87.0 {
+        return 1;
+    }
+    let a = 1.0 - (core::f64::consts::PI / (2.0 * NZ)).cos();
+    let b = (core::f64::consts::PI * lat / 180.0).cos().powi(2);
+    let arg = (1.0 - a / b).clamp(-1.0, 1.0);
+    (core::f64::consts::TAU / arg.acos()).floor() as u32
+}
+
+/// Encode an airborne position into CPR fields.
+pub fn encode(lat_deg: f64, lon_deg: f64, format: CprFormat) -> CprPosition {
+    let i = format.index();
+    let dlat = 360.0 / (4.0 * NZ - i);
+    let yz = (SCALE * fmod_pos(lat_deg, dlat) / dlat + 0.5).floor();
+    let rlat = dlat * (yz / SCALE + (lat_deg / dlat).floor());
+    let nl_r = nl(rlat) as f64;
+    let dlon = 360.0 / (nl_r - i).max(1.0);
+    let xz = (SCALE * fmod_pos(lon_deg, dlon) / dlon + 0.5).floor();
+    CprPosition {
+        format,
+        lat_cpr: (yz as i64).rem_euclid(SCALE as i64) as u32,
+        lon_cpr: (xz as i64).rem_euclid(SCALE as i64) as u32,
+    }
+}
+
+/// Globally decode an even/odd pair into (lat, lon) degrees.
+///
+/// Fails if the two messages fall in different NL zones (the aircraft
+/// crossed a zone boundary between them) — callers then wait for a fresh
+/// pair, exactly as dump1090 does.
+pub fn decode_global(pair: &CprPair) -> Result<(f64, f64), AdsbError> {
+    let cl_e = pair.even.lat_cpr as f64 / SCALE;
+    let cl_o = pair.odd.lat_cpr as f64 / SCALE;
+    let dlat_e = 360.0 / (4.0 * NZ);
+    let dlat_o = 360.0 / (4.0 * NZ - 1.0);
+
+    let j = (59.0 * cl_e - 60.0 * cl_o + 0.5).floor();
+    let mut lat_e = dlat_e * (fmod_pos(j, 60.0) + cl_e);
+    let mut lat_o = dlat_o * (fmod_pos(j, 59.0) + cl_o);
+    if lat_e >= 270.0 {
+        lat_e -= 360.0;
+    }
+    if lat_o >= 270.0 {
+        lat_o -= 360.0;
+    }
+    if nl(lat_e) != nl(lat_o) {
+        return Err(AdsbError::CprDecodeFailed);
+    }
+
+    let (lat, i, cpr_lon_latest) = match pair.latest {
+        CprFormat::Even => (lat_e, 0.0, pair.even.lon_cpr as f64 / SCALE),
+        CprFormat::Odd => (lat_o, 1.0, pair.odd.lon_cpr as f64 / SCALE),
+    };
+    if !(-90.0..=90.0).contains(&lat) {
+        return Err(AdsbError::CprDecodeFailed);
+    }
+
+    let nl_lat = nl(lat) as f64;
+    let ni = (nl_lat - i).max(1.0);
+    let dlon = 360.0 / ni;
+    let cl_lon_e = pair.even.lon_cpr as f64 / SCALE;
+    let cl_lon_o = pair.odd.lon_cpr as f64 / SCALE;
+    let m = (cl_lon_e * (nl_lat - 1.0) - cl_lon_o * nl_lat + 0.5).floor();
+    let mut lon = dlon * (fmod_pos(m, ni) + cpr_lon_latest);
+    if lon >= 180.0 {
+        lon -= 360.0;
+    }
+    Ok((lat, lon))
+}
+
+/// Encode a **surface** position (TC 5–8). Surface CPR uses a 90° span
+/// instead of 360°, quadrupling resolution (~1.25 m).
+pub fn encode_surface(lat_deg: f64, lon_deg: f64, format: CprFormat) -> CprPosition {
+    let i = format.index();
+    let dlat = 90.0 / (4.0 * NZ - i);
+    let yz = (SCALE * fmod_pos(lat_deg, dlat) / dlat + 0.5).floor();
+    let rlat = dlat * (yz / SCALE + (lat_deg / dlat).floor());
+    let nl_r = nl(rlat) as f64;
+    let dlon = 90.0 / (nl_r - i).max(1.0);
+    let xz = (SCALE * fmod_pos(lon_deg, dlon) / dlon + 0.5).floor();
+    CprPosition {
+        format,
+        lat_cpr: (yz as i64).rem_euclid(SCALE as i64) as u32,
+        lon_cpr: (xz as i64).rem_euclid(SCALE as i64) as u32,
+    }
+}
+
+/// Locally decode a **surface** position against a reference within a
+/// quarter zone (~45 NM). Surface global decode is ambiguous by design
+/// (four solutions 90° apart); receivers always use the local form.
+pub fn decode_surface_local(
+    pos: &CprPosition,
+    ref_lat_deg: f64,
+    ref_lon_deg: f64,
+) -> Result<(f64, f64), AdsbError> {
+    let i = pos.format.index();
+    let cl = pos.lat_cpr as f64 / SCALE;
+    let dlat = 90.0 / (4.0 * NZ - i);
+    let j = (ref_lat_deg / dlat).floor() + (fmod_pos(ref_lat_deg, dlat) / dlat - cl + 0.5).floor();
+    let lat = dlat * (j + cl);
+    if !(-90.0..=90.0).contains(&lat) {
+        return Err(AdsbError::CprDecodeFailed);
+    }
+    let cl_lon = pos.lon_cpr as f64 / SCALE;
+    let dlon = 90.0 / (nl(lat) as f64 - i).max(1.0);
+    let m =
+        (ref_lon_deg / dlon).floor() + (fmod_pos(ref_lon_deg, dlon) / dlon - cl_lon + 0.5).floor();
+    let lon = dlon * (m + cl_lon);
+    Ok((lat, lon))
+}
+
+/// Locally decode a single message against a reference position known to be
+/// within half a zone (~180 NM for latitude).
+pub fn decode_local(
+    pos: &CprPosition,
+    ref_lat_deg: f64,
+    ref_lon_deg: f64,
+) -> Result<(f64, f64), AdsbError> {
+    let i = pos.format.index();
+    let cl = pos.lat_cpr as f64 / SCALE;
+    let dlat = 360.0 / (4.0 * NZ - i);
+    let j = (ref_lat_deg / dlat).floor() + (fmod_pos(ref_lat_deg, dlat) / dlat - cl + 0.5).floor();
+    let lat = dlat * (j + cl);
+    if !(-90.0..=90.0).contains(&lat) {
+        return Err(AdsbError::CprDecodeFailed);
+    }
+    let cl_lon = pos.lon_cpr as f64 / SCALE;
+    let dlon = 360.0 / (nl(lat) as f64 - i).max(1.0);
+    let m =
+        (ref_lon_deg / dlon).floor() + (fmod_pos(ref_lon_deg, dlon) / dlon - cl_lon + 0.5).floor();
+    let lon = dlon * (m + cl_lon);
+    Ok((lat, lon))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn nl_reference_values() {
+        // Table values from DO-260B.
+        assert_eq!(nl(0.0), 59);
+        assert_eq!(nl(10.0), 59);
+        assert_eq!(nl(10.47047130), 58);
+        assert_eq!(nl(40.0), 45);
+        assert_eq!(nl(87.0), 2);
+        assert_eq!(nl(88.0), 1);
+        assert_eq!(nl(-40.0), 45);
+    }
+
+    /// The 1090 MHz Riddle's worked global-decode example.
+    #[test]
+    fn riddle_global_decode_example() {
+        // Even: 8D40621D58C382D690C8AC2863A7 → lat_cpr 93000, lon_cpr 51372
+        // Odd:  8D40621D58C386435CC412692AD6 → lat_cpr 74158, lon_cpr 50194
+        // Expected: lat 52.2572, lon 3.91937 (newest = even).
+        let pair = CprPair {
+            even: CprPosition {
+                format: CprFormat::Even,
+                lat_cpr: 93000,
+                lon_cpr: 51372,
+            },
+            odd: CprPosition {
+                format: CprFormat::Odd,
+                lat_cpr: 74158,
+                lon_cpr: 50194,
+            },
+            latest: CprFormat::Even,
+        };
+        let (lat, lon) = decode_global(&pair).unwrap();
+        assert!((lat - 52.25720).abs() < 1e-4, "lat {lat}");
+        assert!((lon - 3.91937).abs() < 1e-4, "lon {lon}");
+    }
+
+    #[test]
+    fn encode_decode_global_round_trip_berkeley() {
+        let (lat, lon) = (37.8716, -122.2727);
+        let pair = CprPair {
+            even: encode(lat, lon, CprFormat::Even),
+            odd: encode(lat, lon, CprFormat::Odd),
+            latest: CprFormat::Even,
+        };
+        let (dlat, dlon) = decode_global(&pair).unwrap();
+        assert!((dlat - lat).abs() < 1e-4, "lat {dlat}");
+        assert!((dlon - lon).abs() < 1e-4, "lon {dlon}");
+    }
+
+    #[test]
+    fn local_decode_round_trip() {
+        let (lat, lon) = (37.95, -122.10);
+        for fmt in [CprFormat::Even, CprFormat::Odd] {
+            let pos = encode(lat, lon, fmt);
+            let (dlat, dlon) = decode_local(&pos, 37.8716, -122.2727).unwrap();
+            assert!((dlat - lat).abs() < 1e-4, "{fmt:?} lat {dlat}");
+            assert!((dlon - lon).abs() < 1e-4, "{fmt:?} lon {dlon}");
+        }
+    }
+
+    #[test]
+    fn southern_hemisphere_round_trip() {
+        let (lat, lon) = (-33.8688, 151.2093); // Sydney
+        let pair = CprPair {
+            even: encode(lat, lon, CprFormat::Even),
+            odd: encode(lat, lon, CprFormat::Odd),
+            latest: CprFormat::Odd,
+        };
+        let (dlat, dlon) = decode_global(&pair).unwrap();
+        assert!((dlat - lat).abs() < 1e-4, "lat {dlat}");
+        assert!((dlon - lon).abs() < 1e-4, "lon {dlon}");
+    }
+
+    #[test]
+    fn format_bit_round_trip() {
+        assert_eq!(CprFormat::from_bit(CprFormat::Even.bit()), CprFormat::Even);
+        assert_eq!(CprFormat::from_bit(CprFormat::Odd.bit()), CprFormat::Odd);
+    }
+
+    #[test]
+    fn encoded_fields_fit_17_bits() {
+        for lat in [-80.0, -10.0, 0.0, 37.87, 80.0] {
+            for lon in [-179.0, -122.0, 0.0, 150.0, 179.9] {
+                for fmt in [CprFormat::Even, CprFormat::Odd] {
+                    let p = encode(lat, lon, fmt);
+                    assert!(p.lat_cpr < 131_072);
+                    assert!(p.lon_cpr < 131_072);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn surface_local_round_trip() {
+        // A taxiing aircraft at SFO, reference = the airport.
+        let (lat, lon) = (37.6213, -122.3790);
+        for fmt in [CprFormat::Even, CprFormat::Odd] {
+            let pos = encode_surface(lat, lon, fmt);
+            let (dlat, dlon) = decode_surface_local(&pos, 37.615, -122.39).unwrap();
+            assert!((dlat - lat).abs() < 3e-5, "{fmt:?} lat {dlat}");
+            assert!((dlon - lon).abs() < 3e-5, "{fmt:?} lon {dlon}");
+        }
+    }
+
+    #[test]
+    fn surface_resolution_finer_than_airborne() {
+        // Same point, both encodings: the surface grid is 4× finer, so a
+        // small offset distinguishable on the surface grid may alias on
+        // the airborne one. Check the zone sizes directly.
+        let p = encode_surface(37.0, -122.0, CprFormat::Even);
+        let (lat1, _) = decode_surface_local(&p, 37.0, -122.0).unwrap();
+        let dlat_surface = 90.0 / 60.0 / 131_072.0;
+        assert!((lat1 - 37.0).abs() <= 2.0 * dlat_surface + 1e-9);
+    }
+
+    proptest! {
+        /// Global decode of a same-position even/odd pair recovers the
+        /// position to CPR resolution (~5.1 m ≈ 1e-4°) at mid latitudes.
+        #[test]
+        fn global_round_trip(lat in -60.0f64..60.0, lon in -179.0f64..179.0) {
+            let pair = CprPair {
+                even: encode(lat, lon, CprFormat::Even),
+                odd: encode(lat, lon, CprFormat::Odd),
+                latest: CprFormat::Even,
+            };
+            // A pair straddling an NL boundary may legitimately fail.
+            if let Ok((dlat, dlon)) = decode_global(&pair) {
+                prop_assert!((dlat - lat).abs() < 5e-4, "lat {} vs {}", dlat, lat);
+                prop_assert!((dlon - lon).abs() < 5e-4, "lon {} vs {}", dlon, lon);
+            }
+        }
+
+        /// Local decode with a nearby reference recovers the position.
+        #[test]
+        fn local_round_trip(
+            lat in -60.0f64..60.0,
+            lon in -170.0f64..170.0,
+            dlat in -0.3f64..0.3,
+            dlon in -0.3f64..0.3,
+        ) {
+            let pos = encode(lat, lon, CprFormat::Odd);
+            let (rlat, rlon) = (lat + dlat, lon + dlon);
+            let (got_lat, got_lon) = decode_local(&pos, rlat, rlon).unwrap();
+            prop_assert!((got_lat - lat).abs() < 5e-4);
+            prop_assert!((got_lon - lon).abs() < 5e-4);
+        }
+    }
+}

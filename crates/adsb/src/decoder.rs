@@ -1,0 +1,437 @@
+//! A dump1090-style scanning decoder: find preambles in raw IQ, slice bits,
+//! check parity, emit messages.
+
+use crate::frame::{AdsbFrame, ModeSFrame, ShortSquitter, DF_ALL_CALL, DF_EXTENDED_SQUITTER};
+use crate::ppm::{self, FRAME_SAMPLES, SHORT_FRAME_SAMPLES};
+use crate::{AdsbError, SAMPLE_RATE_HZ};
+use aircal_dsp::corr::{find_peaks, normalized_correlation};
+use aircal_dsp::Cplx;
+use serde::{Deserialize, Serialize};
+
+/// Decoder tuning knobs.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DecoderConfig {
+    /// Normalized preamble-correlation threshold in (0, 1]; dump1090's
+    /// default detector corresponds to roughly 0.60 here.
+    pub preamble_threshold: f64,
+    /// Candidate frames whose weakest bit decision falls below this
+    /// confidence are attempted anyway (CRC is the final arbiter), but the
+    /// value is reported so callers can study marginal decodes.
+    pub min_reported_confidence: f64,
+    /// Maximum number of low-confidence bits to try flipping when the CRC
+    /// fails (dump1090's `--fix` behaviour). 0 disables repair; values
+    /// above 2 are clamped — beyond that the false-decode risk outweighs
+    /// the gain, as dump1090's authors found.
+    pub max_repaired_bits: u8,
+}
+
+impl Default for DecoderConfig {
+    fn default() -> Self {
+        Self {
+            preamble_threshold: 0.60,
+            min_reported_confidence: 0.0,
+            max_repaired_bits: 1,
+        }
+    }
+}
+
+/// One successfully decoded message with its PHY metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecodedMessage {
+    /// The parsed frame (short DF11 or extended DF17).
+    pub frame: ModeSFrame,
+    /// Sample index of the preamble start within the scanned capture.
+    pub sample_index: usize,
+    /// Receive time in seconds (capture start time + sample offset).
+    pub time_s: f64,
+    /// RSSI in dBFS (mean pulse power relative to full scale).
+    pub rssi_dbfs: f64,
+    /// Weakest bit decision's confidence, [0, 1].
+    pub min_confidence: f64,
+    /// How many bits the CRC-guided repair flipped (0 = clean decode).
+    pub repaired_bits: u8,
+}
+
+/// The scanning decoder. Stateless between captures; cheap to construct.
+#[derive(Debug, Clone, Default)]
+pub struct Decoder {
+    config: DecoderConfig,
+}
+
+impl Decoder {
+    /// Create a decoder with the given configuration.
+    pub fn new(config: DecoderConfig) -> Self {
+        Self { config }
+    }
+
+    /// Scan a capture (complex baseband at 2 Msps) starting at absolute
+    /// time `capture_start_s`, returning every frame that passes parity.
+    pub fn scan(&self, iq: &[Cplx], capture_start_s: f64) -> Vec<DecodedMessage> {
+        if iq.len() < SHORT_FRAME_SAMPLES {
+            return Vec::new();
+        }
+        let template = ppm::preamble_template();
+        let corr = normalized_correlation(iq, &template);
+        // Candidate preambles: peaks far enough apart that two hits can't
+        // be the same burst (half a short frame).
+        let peaks = find_peaks(&corr, self.config.preamble_threshold, SHORT_FRAME_SAMPLES / 2);
+        let mut out = Vec::new();
+        for &idx in &peaks {
+            if idx + SHORT_FRAME_SAMPLES > iq.len() {
+                continue;
+            }
+            if let Ok(msg) = self.try_decode_at(iq, idx, capture_start_s) {
+                out.push(msg);
+            }
+        }
+        out
+    }
+
+    /// Attempt to decode a frame whose preamble starts at `idx`: slice the
+    /// first 5 bits to learn the downlink format (as dump1090 does), pick
+    /// the 56- or 112-bit length accordingly, then parity-check with
+    /// CRC-guided repair of up to `max_repaired_bits` low-confidence bits.
+    pub fn try_decode_at(
+        &self,
+        iq: &[Cplx],
+        idx: usize,
+        capture_start_s: f64,
+    ) -> Result<DecodedMessage, AdsbError> {
+        let head = iq
+            .get(idx..)
+            .filter(|s| s.len() >= SHORT_FRAME_SAMPLES)
+            .ok_or(AdsbError::InvalidField("capture too short for frame"))?;
+        let df_peek = ppm::demodulate_bits(head, 5)
+            .ok_or(AdsbError::InvalidField("demod failed"))?;
+        let df = df_peek.bytes[0] >> 3;
+
+        let (n_bits, want) = match df {
+            DF_ALL_CALL => (56usize, SHORT_FRAME_SAMPLES),
+            DF_EXTENDED_SQUITTER => (112usize, FRAME_SAMPLES),
+            other => return Err(AdsbError::UnsupportedFormat(other)),
+        };
+        let slice = iq
+            .get(idx..idx + want)
+            .ok_or(AdsbError::InvalidField("capture too short for frame"))?;
+        let demod =
+            ppm::demodulate_bits(slice, n_bits).ok_or(AdsbError::InvalidField("demod failed"))?;
+        let (bytes, repaired_bits) = self.repair(&demod)?;
+        let frame = match df {
+            DF_ALL_CALL => {
+                let mut b = [0u8; 7];
+                b.copy_from_slice(&bytes);
+                ModeSFrame::Short(ShortSquitter::decode(&b)?)
+            }
+            _ => {
+                let mut b = [0u8; 14];
+                b.copy_from_slice(&bytes);
+                ModeSFrame::Extended(AdsbFrame::decode(&b)?)
+            }
+        };
+        Ok(DecodedMessage {
+            frame,
+            sample_index: idx,
+            time_s: capture_start_s + idx as f64 / SAMPLE_RATE_HZ,
+            rssi_dbfs: demod.rssi_dbfs(),
+            min_confidence: demod.min_confidence(),
+            repaired_bits,
+        })
+    }
+
+    /// dump1090-style bit repair: if parity fails, flip the one (or pair
+    /// of) lowest-confidence bit decisions and re-check. Only the weakest
+    /// few candidates are tried, keeping the extra false-accept
+    /// probability negligible against CRC-24.
+    fn repair(&self, demod: &ppm::Demodulated) -> Result<(Vec<u8>, u8), AdsbError> {
+        let verify = |bytes: &[u8]| -> bool {
+            match bytes.len() {
+                7 => {
+                    let mut b = [0u8; 7];
+                    b.copy_from_slice(bytes);
+                    crate::crc::verify_short_frame(&b)
+                }
+                14 => {
+                    let mut b = [0u8; 14];
+                    b.copy_from_slice(bytes);
+                    crate::crc::verify_frame(&b)
+                }
+                _ => false,
+            }
+        };
+        if verify(&demod.bytes) {
+            return Ok((demod.bytes.clone(), 0));
+        }
+        let budget = self.config.max_repaired_bits.min(2);
+        if budget == 0 {
+            return Err(AdsbError::BadParity);
+        }
+        // Rank bit positions by ascending decision confidence.
+        let mut order: Vec<usize> = (0..demod.confidences.len()).collect();
+        order.sort_by(|&a, &b| {
+            demod.confidences[a]
+                .partial_cmp(&demod.confidences[b])
+                .unwrap()
+        });
+        let flip = |bytes: &mut [u8], bit: usize| bytes[bit / 8] ^= 1 << (7 - bit % 8);
+
+        // Single-bit repair over the 8 weakest decisions.
+        let singles = &order[..order.len().min(8)];
+        for &b in singles {
+            let mut bytes = demod.bytes.clone();
+            flip(&mut bytes, b);
+            if verify(&bytes) {
+                return Ok((bytes, 1));
+            }
+        }
+        if budget >= 2 {
+            // Two-bit repair over the 6 weakest decisions (15 pairs).
+            let pairs = &order[..order.len().min(6)];
+            for (i, &b1) in pairs.iter().enumerate() {
+                for &b2 in &pairs[i + 1..] {
+                    let mut bytes = demod.bytes.clone();
+                    flip(&mut bytes, b1);
+                    flip(&mut bytes, b2);
+                    if verify(&bytes) {
+                        return Ok((bytes, 2));
+                    }
+                }
+            }
+        }
+        Err(AdsbError::BadParity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpr::{self, CprFormat};
+    use crate::icao::IcaoAddress;
+    use crate::me::MePayload;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn test_frame(icao: u32) -> AdsbFrame {
+        AdsbFrame::new(
+            IcaoAddress::new(icao),
+            MePayload::AirbornePosition {
+                altitude_ft: 30_000.0,
+                cpr: cpr::encode(37.9, -122.2, CprFormat::Even),
+            },
+        )
+    }
+
+    fn add_noise(iq: &mut [Cplx], sigma: f64, seed: u64) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for s in iq.iter_mut() {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let r = sigma * (-2.0 * u1.ln()).sqrt();
+            *s += Cplx::from_polar(r, core::f64::consts::TAU * u2);
+        }
+    }
+
+    #[test]
+    fn finds_single_burst_in_capture() {
+        let frame = test_frame(0xABC123);
+        let burst = ppm::modulate(&frame.encode(), 0.5, 1.0);
+        let mut capture = vec![Cplx::ZERO; 2_000];
+        capture[700..700 + FRAME_SAMPLES].copy_from_slice(&burst);
+        add_noise(&mut capture, 0.02, 1);
+
+        let msgs = Decoder::default().scan(&capture, 10.0);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].frame, ModeSFrame::Extended(frame));
+        assert_eq!(msgs[0].sample_index, 700);
+        assert!((msgs[0].time_s - (10.0 + 700.0 / 2e6)).abs() < 1e-9);
+        assert!((msgs[0].rssi_dbfs - (-6.02)).abs() < 1.0, "rssi {}", msgs[0].rssi_dbfs);
+    }
+
+    #[test]
+    fn finds_multiple_bursts_from_different_aircraft() {
+        let f1 = test_frame(0x111111);
+        let f2 = test_frame(0x222222);
+        let mut capture = vec![Cplx::ZERO; 4_000];
+        capture[500..500 + FRAME_SAMPLES]
+            .copy_from_slice(&ppm::modulate(&f1.encode(), 0.4, 0.0));
+        capture[2_500..2_500 + FRAME_SAMPLES]
+            .copy_from_slice(&ppm::modulate(&f2.encode(), 0.6, 2.0));
+        add_noise(&mut capture, 0.02, 2);
+
+        let msgs = Decoder::default().scan(&capture, 0.0);
+        assert_eq!(msgs.len(), 2);
+        let icaos: Vec<u32> = msgs.iter().map(|m| m.frame.icao().value()).collect();
+        assert!(icaos.contains(&0x111111) && icaos.contains(&0x222222));
+    }
+
+    #[test]
+    fn pure_noise_yields_nothing() {
+        let mut capture = vec![Cplx::ZERO; 10_000];
+        add_noise(&mut capture, 0.1, 3);
+        let msgs = Decoder::default().scan(&capture, 0.0);
+        assert!(msgs.is_empty(), "got {} phantom messages", msgs.len());
+    }
+
+    #[test]
+    fn weak_burst_below_noise_not_decoded() {
+        let frame = test_frame(0xDEAD01);
+        let burst = ppm::modulate(&frame.encode(), 0.01, 0.0); // −40 dBFS
+        let mut capture = vec![Cplx::ZERO; 2_000];
+        capture[600..600 + FRAME_SAMPLES].copy_from_slice(&burst);
+        add_noise(&mut capture, 0.1, 4); // noise 20 dB above the signal
+        let msgs = Decoder::default().scan(&capture, 0.0);
+        assert!(msgs.is_empty());
+    }
+
+    #[test]
+    fn decode_survives_moderate_noise() {
+        // SNR ≈ 14 dB: pulse amplitude 0.5, noise σ 0.1.
+        let frame = test_frame(0xBEEF42);
+        let burst = ppm::modulate(&frame.encode(), 0.5, 0.7);
+        let mut capture = vec![Cplx::ZERO; 1_000];
+        capture[300..300 + FRAME_SAMPLES].copy_from_slice(&burst);
+        add_noise(&mut capture, 0.1, 5);
+        let msgs = Decoder::default().scan(&capture, 0.0);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].frame, ModeSFrame::Extended(frame));
+        assert!(msgs[0].min_confidence < 1.0);
+    }
+
+    #[test]
+    fn short_capture_is_fine() {
+        assert!(Decoder::default().scan(&[Cplx::ZERO; 10], 0.0).is_empty());
+    }
+
+    /// Corrupt one data bit so its decision flips with near-zero
+    /// confidence: the CRC-guided repair must recover the frame and report
+    /// one repaired bit.
+    fn corrupt_bit(burst: &mut [Cplx], bit: usize) {
+        let base = crate::ppm::PREAMBLE_CHIPS + 2 * bit;
+        // Make the wrong chip marginally stronger than the right one.
+        let (a, b) = (burst[base], burst[base + 1]);
+        if a.norm_sq() > b.norm_sq() {
+            burst[base] = a.scale(0.50);
+            burst[base + 1] = a.scale(0.51);
+        } else {
+            burst[base] = b.scale(0.51);
+            burst[base + 1] = b.scale(0.50);
+        }
+    }
+
+    #[test]
+    fn single_bit_repair_recovers_frame() {
+        let frame = test_frame(0xF1D0A1);
+        let mut burst = ppm::modulate(&frame.encode(), 0.5, 0.3);
+        corrupt_bit(&mut burst, 37);
+        let mut capture = vec![Cplx::ZERO; 1_000];
+        capture[400..400 + FRAME_SAMPLES].copy_from_slice(&burst);
+        add_noise(&mut capture, 0.01, 6);
+
+        let msgs = Decoder::default().scan(&capture, 0.0);
+        assert_eq!(msgs.len(), 1, "repair failed");
+        assert_eq!(msgs[0].frame, ModeSFrame::Extended(frame));
+        assert_eq!(msgs[0].repaired_bits, 1);
+    }
+
+    #[test]
+    fn two_bit_repair_requires_budget() {
+        let frame = test_frame(0x2B17F1);
+        let mut burst = ppm::modulate(&frame.encode(), 0.5, 0.0);
+        corrupt_bit(&mut burst, 20);
+        corrupt_bit(&mut burst, 75);
+        let mut capture = vec![Cplx::ZERO; 1_000];
+        capture[300..300 + FRAME_SAMPLES].copy_from_slice(&burst);
+        add_noise(&mut capture, 0.005, 7);
+
+        let one_bit = Decoder::new(DecoderConfig {
+            max_repaired_bits: 1,
+            ..Default::default()
+        });
+        assert!(one_bit.scan(&capture, 0.0).is_empty(), "1-bit budget must fail");
+
+        let two_bit = Decoder::new(DecoderConfig {
+            max_repaired_bits: 2,
+            ..Default::default()
+        });
+        let msgs = two_bit.scan(&capture, 0.0);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].frame, ModeSFrame::Extended(frame));
+        assert_eq!(msgs[0].repaired_bits, 2);
+    }
+
+    #[test]
+    fn repair_disabled_rejects_corruption() {
+        let frame = test_frame(0x3C4D5E);
+        let mut burst = ppm::modulate(&frame.encode(), 0.5, 0.0);
+        corrupt_bit(&mut burst, 50);
+        let mut capture = vec![Cplx::ZERO; 800];
+        capture[200..200 + FRAME_SAMPLES].copy_from_slice(&burst);
+        add_noise(&mut capture, 0.005, 8);
+        let strict = Decoder::new(DecoderConfig {
+            max_repaired_bits: 0,
+            ..Default::default()
+        });
+        assert!(strict.scan(&capture, 0.0).is_empty());
+    }
+
+    #[test]
+    fn clean_decodes_report_zero_repairs() {
+        let frame = test_frame(0x456789);
+        let burst = ppm::modulate(&frame.encode(), 0.5, 0.0);
+        let mut capture = vec![Cplx::ZERO; 800];
+        capture[100..100 + FRAME_SAMPLES].copy_from_slice(&burst);
+        add_noise(&mut capture, 0.01, 9);
+        let msgs = Decoder::default().scan(&capture, 0.0);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].repaired_bits, 0);
+    }
+
+    /// Repair must improve decode probability at marginal SNR without
+    /// manufacturing frames from pure noise.
+    #[test]
+    fn repair_helps_at_marginal_snr_without_false_positives() {
+        let frame = test_frame(0x7E57AB);
+        let burst = ppm::modulate(&frame.encode(), 0.55, 0.0); // ~11.8 dB SNR vs σ=0.1
+        let strict = Decoder::new(DecoderConfig {
+            max_repaired_bits: 0,
+            ..Default::default()
+        });
+        let fixer = Decoder::new(DecoderConfig {
+            max_repaired_bits: 2,
+            ..Default::default()
+        });
+        let (mut ok_strict, mut ok_fix) = (0, 0);
+        for trial in 0..60u64 {
+            let mut capture = vec![Cplx::ZERO; 600];
+            capture[150..150 + FRAME_SAMPLES].copy_from_slice(&burst);
+            add_noise(&mut capture, 0.1, 1_000 + trial);
+            ok_strict += usize::from(!strict.scan(&capture, 0.0).is_empty());
+            let fixed = fixer.scan(&capture, 0.0);
+            if let Some(m) = fixed.first() {
+                assert_eq!(m.frame.icao().value(), 0x7E57AB, "false decode");
+                ok_fix += 1;
+            }
+        }
+        assert!(
+            ok_fix > ok_strict,
+            "repair should help: strict {ok_strict}, fix {ok_fix}"
+        );
+
+        // Pure noise must stay silent even with repair enabled.
+        for trial in 0..20u64 {
+            let mut noise = vec![Cplx::ZERO; 2_000];
+            add_noise(&mut noise, 0.1, 5_000 + trial);
+            assert!(fixer.scan(&noise, 0.0).is_empty(), "phantom decode from noise");
+        }
+    }
+
+    #[test]
+    fn burst_at_capture_edge_is_skipped_not_panicking() {
+        let frame = test_frame(0xC0FFEE);
+        let burst = ppm::modulate(&frame.encode(), 0.5, 0.0);
+        let mut capture = vec![Cplx::ZERO; FRAME_SAMPLES + 100];
+        // Burst starts 50 samples before the end-minus-frame boundary: fits.
+        capture[100..100 + FRAME_SAMPLES].copy_from_slice(&burst);
+        let msgs = Decoder::default().scan(&capture, 0.0);
+        assert_eq!(msgs.len(), 1);
+    }
+}

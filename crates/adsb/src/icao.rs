@@ -1,0 +1,69 @@
+//! ICAO 24-bit aircraft addresses.
+//!
+//! The paper's matching step keys on exactly this: "We use the ICAO
+//! aircraft address to identify the airplane that transmitted a given
+//! ADS-B message", then compares against the ground-truth service's
+//! aircraft list.
+
+use serde::{Deserialize, Serialize};
+
+/// A 24-bit ICAO aircraft address (the globally-unique transponder ID).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IcaoAddress(u32);
+
+impl IcaoAddress {
+    /// Construct from a raw value; the top 8 bits are masked off.
+    pub const fn new(raw: u32) -> Self {
+        Self(raw & 0xFF_FFFF)
+    }
+
+    /// The raw 24-bit value.
+    pub const fn value(&self) -> u32 {
+        self.0
+    }
+
+    /// Parse a 6-hex-digit address string (e.g. `"A1B2C3"`).
+    pub fn parse_hex(s: &str) -> Option<Self> {
+        if s.len() != 6 {
+            return None;
+        }
+        u32::from_str_radix(s, 16).ok().map(Self::new)
+    }
+}
+
+impl core::fmt::Display for IcaoAddress {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:06X}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_to_24_bits() {
+        assert_eq!(IcaoAddress::new(0xFF_AB_CD_EF).value(), 0xAB_CD_EF);
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        let a = IcaoAddress::new(0x00_0A_1B);
+        assert_eq!(a.to_string(), "000A1B");
+        assert_eq!(IcaoAddress::parse_hex("000A1B"), Some(a));
+        assert_eq!(IcaoAddress::parse_hex("000a1b"), Some(a));
+    }
+
+    #[test]
+    fn parse_rejects_bad_strings() {
+        assert_eq!(IcaoAddress::parse_hex(""), None);
+        assert_eq!(IcaoAddress::parse_hex("12345"), None);
+        assert_eq!(IcaoAddress::parse_hex("1234567"), None);
+        assert_eq!(IcaoAddress::parse_hex("GHIJKL"), None);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(IcaoAddress::new(1) < IcaoAddress::new(2));
+    }
+}

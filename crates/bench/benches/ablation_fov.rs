@@ -1,0 +1,50 @@
+//! Criterion bench comparing the cost of the four FoV estimators (the
+//! accuracy side of ablation A1 lives in the `ablations` binary).
+
+use aircal_adsb::IcaoAddress;
+use aircal_core::fov::{FovEstimator, FovMethod};
+use aircal_core::survey::SurveyPoint;
+use aircal_geo::Sector;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn synthetic_points(n: usize) -> Vec<SurveyPoint> {
+    let open = Sector::centered(270.0, 120.0);
+    (0..n)
+        .map(|i| {
+            let bearing = (i as f64 * 360.0 / n as f64) % 360.0;
+            let range = 5_000.0 + (i as f64 * 7_919.0) % 95_000.0;
+            let observed = (open.contains(bearing) && range <= 95_000.0) || range < 15_000.0;
+            SurveyPoint {
+                icao: IcaoAddress::new(i as u32 + 1),
+                callsign: format!("SYN{i:03}"),
+                bearing_deg: bearing,
+                range_m: range,
+                altitude_m: 9_000.0,
+                observed,
+                messages: usize::from(observed) * 10,
+                mean_rssi_dbfs: observed.then_some(-30.0),
+            }
+        })
+        .collect()
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let points = synthetic_points(400);
+    let mut group = c.benchmark_group("ablation_fov");
+    for method in [
+        FovMethod::default_histogram(),
+        FovMethod::default_knn(),
+        FovMethod::default_svm(),
+        FovMethod::default_logistic(),
+    ] {
+        let est = FovEstimator::new(method);
+        group.bench_function(method.name(), |b| {
+            b.iter(|| black_box(est.estimate(black_box(&points))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench for the DSP substrate kernels every measurement chain
+//! runs on: FFT, FIR filtering, and the band-power meter.
+
+use aircal_dsp::fir::{design_bandpass, design_lowpass};
+use aircal_dsp::window::Window;
+use aircal_dsp::{fft, BandPowerMeter, Cplx, FirFilter};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn tone(n: usize) -> Vec<Cplx> {
+    (0..n).map(|i| Cplx::phasor(0.123 * i as f64)).collect()
+}
+
+fn bench_dsp(c: &mut Criterion) {
+    // FFT 4096.
+    let buf = tone(4096);
+    let mut group = c.benchmark_group("dsp/fft");
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("fft_4096", |b| b.iter(|| black_box(fft(black_box(&buf)).unwrap())));
+    group.finish();
+
+    // 129-tap complex bandpass over 10k samples.
+    let taps = design_bandpass(0.1, 0.2, 129, Window::Blackman).unwrap();
+    let x = tone(10_000);
+    let mut group = c.benchmark_group("dsp/fir");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("bandpass_129tap_10k", |b| {
+        b.iter(|| {
+            let mut f = FirFilter::new(taps.clone()).unwrap();
+            black_box(f.process(black_box(&x)))
+        })
+    });
+    group.finish();
+
+    // Filter design itself.
+    c.bench_function("dsp/design_lowpass_129", |b| {
+        b.iter(|| black_box(design_lowpass(0.1, 129, Window::Blackman).unwrap()))
+    });
+
+    // The paper's TV measurement chain over a 40k capture.
+    let capture = tone(40_000);
+    let mut group = c.benchmark_group("dsp/band_power");
+    group.throughput(Throughput::Elements(40_000));
+    group.bench_function("meter_40k", |b| {
+        b.iter(|| {
+            let mut m = BandPowerMeter::new(0.0, 5.38e6, 8e6, 129, 16_384).unwrap();
+            black_box(m.measure_dbfs(black_box(&capture)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dsp);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for the Figure 3 pipeline: the srsUE-style cell-search
+//! sweep over the five-tower database, per scenario.
+
+use aircal_cellular::{paper_towers, CellScanner};
+use aircal_env::{Scenario, ScenarioKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_cellular");
+    for kind in [
+        ScenarioKind::Rooftop,
+        ScenarioKind::BehindWindow,
+        ScenarioKind::Indoor,
+    ] {
+        let scenario = Scenario::build(kind);
+        let db = paper_towers(&scenario.world.origin);
+        let scanner = CellScanner::default();
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| black_box(scanner.scan(&scenario.world, &scenario.site, &db, black_box(7))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan);
+criterion_main!(benches);

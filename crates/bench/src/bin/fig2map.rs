@@ -1,0 +1,55 @@
+//! Regenerate **Figure 2**: the mobile-network experiment testbed map, as
+//! a table of tower geometry relative to the experiment site (the paper's
+//! figure is a map screenshot; the underlying content is the tower set,
+//! their distances — "500 to 1000 meters from the experiment site" — and
+//! their carriers).
+//!
+//! ```sh
+//! cargo run --release -p aircal-bench --bin fig2map
+//! ```
+
+use aircal_cellular::paper_towers;
+use aircal_env::scenarios::testbed_origin;
+use aircal_tv::paper_tv_towers;
+
+fn main() {
+    let origin = testbed_origin();
+    println!(
+        "# Figure 2 — testbed geometry around the experiment site ({:.4}, {:.4})",
+        origin.lat_deg, origin.lon_deg
+    );
+    println!("\n## Cellular towers (paper: downlink 731/1970/2145/2660/2680 MHz)");
+    println!(
+        "{:8} {:>6} {:>9} {:>9} {:>8} {:>6} {:>6}",
+        "name", "pci", "band", "freq_MHz", "brg_deg", "dist_m", "eirp"
+    );
+    for t in paper_towers(&origin).all() {
+        println!(
+            "{:8} {:>6} {:>9} {:>9.1} {:>8.0} {:>6.0} {:>6.1}",
+            t.name,
+            t.pci,
+            t.band.name().split(' ').next().unwrap_or("?"),
+            t.dl_freq_hz() / 1e6,
+            origin.bearing_deg(&t.position),
+            origin.distance_m(&t.position),
+            t.eirp_dbm,
+        );
+    }
+
+    println!("\n## TV transmitters (Figure 4 sources, up to 50 km away)");
+    println!(
+        "{:20} {:>4} {:>9} {:>8} {:>8} {:>6}",
+        "station", "rf", "freq_MHz", "brg_deg", "dist_km", "erp"
+    );
+    for t in paper_tv_towers(&origin) {
+        println!(
+            "{:20} {:>4} {:>9.1} {:>8.0} {:>8.1} {:>6.1}",
+            t.name,
+            t.channel.number(),
+            t.channel.center_hz() / 1e6,
+            origin.bearing_deg(&t.position),
+            origin.distance_m(&t.position) / 1_000.0,
+            t.erp_dbm,
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Shared helpers for the figure-regeneration binaries and Criterion
+//! benches.
+//!
+//! Every figure in the paper's evaluation has a regenerating target here:
+//!
+//! | Paper artifact | Binary | Bench |
+//! |---|---|---|
+//! | Figure 1(a–c) — ADS-B directionality | `fig1` | `fig1_survey` |
+//! | Figure 2 — testbed map | `fig2map` | — |
+//! | Figure 3 — cellular RSRP | `fig3` | `fig3_cellular` |
+//! | Figure 4 — TV band power | `fig4` | `fig4_tv` |
+//! | Ablations A1–A5 (DESIGN.md) | `ablations` | `ablation_fov`, `adsb_decode` |
+
+use aircal_aircraft::{TrafficConfig, TrafficSim};
+use aircal_core::survey::{run_survey, SurveyConfig, SurveyResult};
+use aircal_env::Scenario;
+
+/// Standard survey used by the figure harness: the paper's 30 s procedure
+/// with 70 aircraft in the disc.
+pub fn paper_survey(scenario: &Scenario, seed: u64) -> SurveyResult {
+    let traffic = paper_traffic(scenario, seed);
+    run_survey(
+        &scenario.world,
+        &scenario.site,
+        &traffic,
+        &SurveyConfig::default(),
+        seed,
+    )
+}
+
+/// The traffic generator settings shared by the harness.
+pub fn paper_traffic(scenario: &Scenario, seed: u64) -> TrafficSim {
+    TrafficSim::generate(
+        TrafficConfig {
+            count: 70,
+            ..TrafficConfig::paper_default(scenario.site.position)
+        },
+        seed,
+    )
+}
+
+/// Parse a `--seed N` style argument list: returns (positional, seed).
+pub fn parse_args() -> (Vec<String>, u64) {
+    let mut seed = 2023;
+    let mut positional = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--seed" {
+            if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                seed = v;
+            }
+        } else {
+            positional.push(a);
+        }
+    }
+    (positional, seed)
+}

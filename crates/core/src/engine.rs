@@ -1,0 +1,161 @@
+//! The calibration engine: one call runs the paper's full §3 pipeline.
+
+use crate::classifier::{IndoorOutdoorClassifier, InstallFeatures};
+use crate::fov::{FovEstimator, FovMethod};
+use crate::freqprofile::FrequencyProfiler;
+use crate::report::{CalibrationReport, SurveySummary};
+use crate::survey::{run_survey, SurveyConfig};
+use crate::trust::TrustAuditor;
+use aircal_aircraft::{TrafficConfig, TrafficSim};
+use aircal_cellular::paper_towers;
+use aircal_env::{SensorSite, World};
+use aircal_tv::paper_tv_towers;
+
+/// Orchestrates survey → FoV estimate → frequency profile → classification
+/// → trust audit for a node.
+#[derive(Debug, Clone)]
+pub struct Calibrator {
+    /// Directional-survey configuration.
+    pub survey: SurveyConfig,
+    /// FoV estimation method.
+    pub fov_method: FovMethod,
+    /// Frequency profiler (cellular + TV).
+    pub profiler: FrequencyProfiler,
+    /// Indoor/outdoor model.
+    pub classifier: IndoorOutdoorClassifier,
+    /// Trust auditor.
+    pub auditor: TrustAuditor,
+    /// Aircraft to simulate in the survey disc.
+    pub traffic_count: usize,
+}
+
+impl Default for Calibrator {
+    fn default() -> Self {
+        Self {
+            survey: SurveyConfig::default(),
+            fov_method: FovMethod::default_histogram(),
+            profiler: FrequencyProfiler::default(),
+            classifier: IndoorOutdoorClassifier::default(),
+            auditor: TrustAuditor::default(),
+            traffic_count: 60,
+        }
+    }
+}
+
+impl Calibrator {
+    /// A fast preset for tests and examples: 10 s survey, 40 aircraft.
+    pub fn quick() -> Self {
+        Self {
+            survey: SurveyConfig::quick(),
+            traffic_count: 40,
+            ..Self::default()
+        }
+    }
+
+    /// Inject a front-end fault into *every* measurement chain (ADS-B,
+    /// cellular, TV) — a hardware fault is band-agnostic at the port.
+    pub fn with_fault(mut self, fault: aircal_sdr::FrontendFault) -> Self {
+        self.survey.fault = fault;
+        self.profiler.scanner.config.fault = fault;
+        self.profiler.tv_probe.config.fault = fault;
+        self
+    }
+
+    /// Calibrate a node. The world's origin anchors the opportunistic
+    /// sources (paper tower layouts); `seed` fixes traffic and channel
+    /// randomness.
+    pub fn calibrate(&self, world: &World, site: &SensorSite, seed: u64) -> CalibrationReport {
+        // Traffic + directional survey (§3.1).
+        let traffic = TrafficSim::generate(
+            TrafficConfig {
+                count: self.traffic_count,
+                ..TrafficConfig::paper_default(site.position)
+            },
+            seed,
+        );
+        let survey = run_survey(world, site, &traffic, &self.survey, seed);
+
+        // Field of view.
+        let fov = FovEstimator::new(self.fov_method).estimate(&survey.points);
+
+        // Frequency response (§3.2).
+        let cells = paper_towers(&world.origin);
+        let tv = paper_tv_towers(&world.origin);
+        let frequency = self.profiler.profile(world, site, &cells, &tv, seed ^ 0xF00D);
+
+        // Derived inferences.
+        let features = InstallFeatures::extract(&survey, &fov, &frequency);
+        let install = self.classifier.classify(&features);
+        let trust = self
+            .auditor
+            .audit(&survey, &frequency, &traffic, fov.open_fraction());
+
+        CalibrationReport {
+            site_name: site.name.clone(),
+            survey: SurveySummary {
+                aircraft_total: survey.points.len(),
+                aircraft_observed: survey.points.iter().filter(|p| p.observed).count(),
+                messages: survey.total_messages,
+                max_observed_range_m: survey.max_observed_range_m(),
+            },
+            fov,
+            frequency,
+            features,
+            install,
+            trust,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aircal_env::{Scenario, ScenarioKind};
+
+    #[test]
+    fn rooftop_report_end_to_end() {
+        let s = Scenario::build(ScenarioKind::Rooftop);
+        let r = Calibrator::quick().calibrate(&s.world, &s.site, 42);
+        // FoV roughly west.
+        assert!(
+            r.fov.iou(&s.expected_fov) > 0.4,
+            "rooftop FoV IoU {} (estimated {:?})",
+            r.fov.iou(&s.expected_fov),
+            r.fov.estimated
+        );
+        // All bands measurable; classified outdoor; trustworthy.
+        assert_eq!(r.frequency.usable_fraction(), 1.0);
+        assert!(r.install.outdoor, "p_outdoor {}", r.install.probability_outdoor);
+        assert!(r.trust.score > 60.0, "trust {}", r.trust.score);
+    }
+
+    #[test]
+    fn indoor_report_end_to_end() {
+        let s = Scenario::build(ScenarioKind::Indoor);
+        let r = Calibrator::quick().calibrate(&s.world, &s.site, 43);
+        assert!(r.fov.estimated.width_deg < 90.0, "{:?}", r.fov.estimated);
+        assert!(!r.install.outdoor, "p_outdoor {}", r.install.probability_outdoor);
+        assert!(r.frequency.usable_fraction() < 1.0);
+        assert!(r.survey.max_observed_range_m < 35_000.0);
+    }
+
+    #[test]
+    fn window_report_narrow_fov_indoor() {
+        let s = Scenario::build(ScenarioKind::BehindWindow);
+        let r = Calibrator::quick().calibrate(&s.world, &s.site, 44);
+        // Narrow aperture: open fraction well below half.
+        assert!(r.fov.open_fraction() < 0.5, "open {}", r.fov.open_fraction());
+        assert!(!r.install.outdoor);
+        // The aperture supports long-range reception.
+        assert!(r.survey.max_observed_range_m > 40_000.0);
+    }
+
+    #[test]
+    fn report_headline_and_json() {
+        let s = Scenario::build(ScenarioKind::OpenField);
+        let r = Calibrator::quick().calibrate(&s.world, &s.site, 45);
+        assert!(r.headline().contains("open-field"));
+        let back = CalibrationReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.site_name, "open-field");
+    }
+}

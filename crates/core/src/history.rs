@@ -1,0 +1,283 @@
+//! Longitudinal monitoring: track a node's calibration over time and
+//! detect degradation.
+//!
+//! A node that passed its first audit can still rot: coax connectors
+//! corrode, antennas sag, a new building goes up next door. Blind
+//! calibration's advantage (§4: it "can often be conducted during
+//! operation and used to adapt to performance variations as conditions
+//! change") only pays off if someone watches the trend — this module is
+//! that watcher.
+
+use crate::report::CalibrationReport;
+use serde::{Deserialize, Serialize};
+
+/// A compact snapshot of one calibration run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationSnapshot {
+    /// When the calibration ran (hours since node registration).
+    pub t_hours: f64,
+    /// Trust score, 0–100.
+    pub trust: f64,
+    /// Farthest observed ADS-B range, meters.
+    pub max_range_m: f64,
+    /// Fraction of bands usable, 0–1.
+    pub band_usable: f64,
+    /// FoV width, degrees.
+    pub fov_width_deg: f64,
+}
+
+impl CalibrationSnapshot {
+    /// Extract a snapshot from a full report.
+    pub fn from_report(t_hours: f64, report: &CalibrationReport) -> Self {
+        Self {
+            t_hours,
+            trust: report.trust.score,
+            max_range_m: report.survey.max_observed_range_m,
+            band_usable: report.frequency.usable_fraction(),
+            fov_width_deg: report.fov.estimated.width_deg,
+        }
+    }
+}
+
+/// A detected degradation trend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DriftAlert {
+    /// Trust is trending down by more than the threshold per 100 h.
+    TrustDecline {
+        /// Fitted slope, trust points per 100 hours (negative).
+        per_100h: f64,
+    },
+    /// ADS-B reach is shrinking (antenna/cable degradation signature).
+    RangeShrinking {
+        /// Fitted slope, km per 100 hours (negative).
+        km_per_100h: f64,
+    },
+    /// Bands are dropping out of the usable set.
+    BandsLost {
+        /// Usable fraction at the start and end of the window.
+        from: f64,
+        /// See `from`.
+        to: f64,
+    },
+    /// A step change: the newest snapshot differs from the historical
+    /// median by a large margin (sudden event: new obstruction, knocked
+    /// antenna, swapped hardware).
+    StepChange {
+        /// Which metric stepped.
+        metric: String,
+        /// Relative change, −1..∞.
+        relative: f64,
+    },
+}
+
+/// The history of one node.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CalibrationHistory {
+    snapshots: Vec<CalibrationSnapshot>,
+}
+
+impl CalibrationHistory {
+    /// Append a snapshot (must be time-ordered; out-of-order pushes are
+    /// rejected).
+    pub fn push(&mut self, snap: CalibrationSnapshot) -> bool {
+        if let Some(last) = self.snapshots.last() {
+            if snap.t_hours < last.t_hours {
+                return false;
+            }
+        }
+        self.snapshots.push(snap);
+        true
+    }
+
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Is the history empty?
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// The snapshots.
+    pub fn snapshots(&self) -> &[CalibrationSnapshot] {
+        &self.snapshots
+    }
+
+    /// Least-squares slope of `metric(snapshot)` per hour.
+    fn slope_per_hour<F: Fn(&CalibrationSnapshot) -> f64>(&self, metric: F) -> Option<f64> {
+        let n = self.snapshots.len();
+        if n < 3 {
+            return None;
+        }
+        let xs: Vec<f64> = self.snapshots.iter().map(|s| s.t_hours).collect();
+        let ys: Vec<f64> = self.snapshots.iter().map(&metric).collect();
+        let mx = xs.iter().sum::<f64>() / n as f64;
+        let my = ys.iter().sum::<f64>() / n as f64;
+        let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+        if sxx < 1e-12 {
+            return None;
+        }
+        let sxy: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (x - mx) * (y - my))
+            .sum();
+        Some(sxy / sxx)
+    }
+
+    /// Median of a metric over history excluding the last snapshot.
+    fn baseline_median<F: Fn(&CalibrationSnapshot) -> f64>(&self, metric: F) -> Option<f64> {
+        if self.snapshots.len() < 4 {
+            return None;
+        }
+        let mut vals: Vec<f64> = self.snapshots[..self.snapshots.len() - 1]
+            .iter()
+            .map(&metric)
+            .collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Some(vals[vals.len() / 2])
+    }
+
+    /// Analyze the history and report any degradation alerts.
+    pub fn detect_drift(&self) -> Vec<DriftAlert> {
+        let mut alerts = Vec::new();
+
+        if let Some(slope) = self.slope_per_hour(|s| s.trust) {
+            let per_100h = slope * 100.0;
+            if per_100h < -5.0 {
+                alerts.push(DriftAlert::TrustDecline { per_100h });
+            }
+        }
+        if let Some(slope) = self.slope_per_hour(|s| s.max_range_m / 1_000.0) {
+            let km_per_100h = slope * 100.0;
+            if km_per_100h < -10.0 {
+                alerts.push(DriftAlert::RangeShrinking { km_per_100h });
+            }
+        }
+        if self.snapshots.len() >= 2 {
+            let from = self.snapshots.first().map(|s| s.band_usable).unwrap_or(0.0);
+            let to = self.snapshots.last().map(|s| s.band_usable).unwrap_or(0.0);
+            if to < from - 0.15 {
+                alerts.push(DriftAlert::BandsLost { from, to });
+            }
+        }
+        // Step change on range: latest vs historical median.
+        if let (Some(base), Some(last)) = (
+            self.baseline_median(|s| s.max_range_m),
+            self.snapshots.last(),
+        ) {
+            if base > 1.0 {
+                let relative = (last.max_range_m - base) / base;
+                if relative < -0.5 {
+                    alerts.push(DriftAlert::StepChange {
+                        metric: "max_range_m".into(),
+                        relative,
+                    });
+                }
+            }
+        }
+        alerts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(t: f64, trust: f64, range_km: f64, usable: f64) -> CalibrationSnapshot {
+        CalibrationSnapshot {
+            t_hours: t,
+            trust,
+            max_range_m: range_km * 1_000.0,
+            band_usable: usable,
+            fov_width_deg: 120.0,
+        }
+    }
+
+    #[test]
+    fn healthy_history_raises_nothing() {
+        let mut h = CalibrationHistory::default();
+        for i in 0..8 {
+            // Small bounded jitter, no trend.
+            let j = [0.0, 1.5, -1.0, 0.5, -0.5, 1.0, -1.5, 0.0][i];
+            assert!(h.push(snap(i as f64 * 24.0, 85.0 + j, 95.0 + j, 1.0)));
+        }
+        assert!(h.detect_drift().is_empty(), "{:?}", h.detect_drift());
+    }
+
+    #[test]
+    fn slow_corrosion_detected() {
+        // Trust and range slide together over three weeks.
+        let mut h = CalibrationHistory::default();
+        for i in 0..10 {
+            let t = i as f64 * 48.0;
+            h.push(snap(t, 90.0 - t * 0.08, 95.0 - t * 0.15, 1.0));
+        }
+        let alerts = h.detect_drift();
+        assert!(
+            alerts
+                .iter()
+                .any(|a| matches!(a, DriftAlert::TrustDecline { .. })),
+            "{alerts:?}"
+        );
+        assert!(
+            alerts
+                .iter()
+                .any(|a| matches!(a, DriftAlert::RangeShrinking { .. })),
+            "{alerts:?}"
+        );
+    }
+
+    #[test]
+    fn sudden_obstruction_is_a_step() {
+        let mut h = CalibrationHistory::default();
+        for i in 0..6 {
+            h.push(snap(i as f64 * 24.0, 85.0, 95.0, 1.0));
+        }
+        // Scaffolding went up outside the window.
+        h.push(snap(150.0, 70.0, 18.0, 0.7));
+        let alerts = h.detect_drift();
+        assert!(
+            alerts
+                .iter()
+                .any(|a| matches!(a, DriftAlert::StepChange { .. })),
+            "{alerts:?}"
+        );
+        assert!(
+            alerts.iter().any(|a| matches!(a, DriftAlert::BandsLost { .. })),
+            "{alerts:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        let mut h = CalibrationHistory::default();
+        assert!(h.push(snap(10.0, 80.0, 90.0, 1.0)));
+        assert!(!h.push(snap(5.0, 80.0, 90.0, 1.0)));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn too_short_history_stays_quiet() {
+        let mut h = CalibrationHistory::default();
+        h.push(snap(0.0, 90.0, 95.0, 1.0));
+        h.push(snap(24.0, 20.0, 10.0, 0.3));
+        // Two points: trend analysis refuses, only the band loss (which
+        // needs just two points) may fire.
+        let alerts = h.detect_drift();
+        assert!(alerts
+            .iter()
+            .all(|a| matches!(a, DriftAlert::BandsLost { .. })));
+    }
+
+    #[test]
+    fn improving_node_raises_nothing() {
+        let mut h = CalibrationHistory::default();
+        for i in 0..8 {
+            let t = i as f64 * 24.0;
+            h.push(snap(t, 60.0 + t * 0.1, 40.0 + t * 0.2, 0.8));
+        }
+        assert!(h.detect_drift().is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! Serializable calibration reports.
+
+use crate::classifier::{InstallFeatures, InstallVerdict};
+use crate::fov::FovEstimate;
+use crate::freqprofile::FrequencyProfile;
+use crate::trust::TrustScore;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of the directional survey.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurveySummary {
+    /// Ground-truth aircraft in the query disc.
+    pub aircraft_total: usize,
+    /// Aircraft with at least one decoded message.
+    pub aircraft_observed: usize,
+    /// Total messages decoded.
+    pub messages: usize,
+    /// Farthest observed aircraft, meters.
+    pub max_observed_range_m: f64,
+}
+
+/// The complete calibration report for one sensor node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CalibrationReport {
+    /// Node/site name.
+    pub site_name: String,
+    /// Directional survey summary.
+    pub survey: SurveySummary,
+    /// Estimated field of view.
+    pub fov: FovEstimate,
+    /// Per-band frequency response.
+    pub frequency: FrequencyProfile,
+    /// Extracted classifier features.
+    pub features: InstallFeatures,
+    /// Indoor/outdoor verdict.
+    pub install: InstallVerdict,
+    /// Trust audit.
+    pub trust: TrustScore,
+}
+
+impl CalibrationReport {
+    /// Serialize to pretty JSON (the wire format a cloud auditor would
+    /// store per node).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Parse a report back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// One-line human summary.
+    pub fn headline(&self) -> String {
+        format!(
+            "{}: FoV {:.0}° wide @ {:.0}°, {} / {} aircraft, {:.0}% bands usable, {} install, trust {:.0}",
+            self.site_name,
+            self.fov.estimated.width_deg,
+            self.fov.estimated.center_deg(),
+            self.survey.aircraft_observed,
+            self.survey.aircraft_total,
+            self.frequency.usable_fraction() * 100.0,
+            if self.install.outdoor { "outdoor" } else { "indoor" },
+            self.trust.score,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::IndoorOutdoorClassifier;
+    use crate::freqprofile::{BandMeasurement, SourceKind};
+    use aircal_geo::Sector;
+
+    fn sample_report() -> CalibrationReport {
+        let fov = FovEstimate {
+            estimated: Sector::centered(270.0, 120.0),
+            open_ring: vec![true; 24].into_iter().chain(vec![false; 48]).collect(),
+            method_name: "sector-histogram".into(),
+        };
+        let frequency = FrequencyProfile {
+            bands: vec![BandMeasurement {
+                label: "Tower 1".into(),
+                freq_hz: 731e6,
+                source: SourceKind::Cellular,
+                measured_db: Some(-50.0),
+                expected_clear_db: -49.0,
+            }],
+        };
+        let features = InstallFeatures {
+            sky_open_fraction: 0.33,
+            max_range_norm: 0.95,
+            midband_attenuation_db: 3.0,
+            band_usable_fraction: 1.0,
+            fov_rssi_deficit_db: 3.0,
+        };
+        let install = IndoorOutdoorClassifier::default().classify(&features);
+        CalibrationReport {
+            site_name: "rooftop".into(),
+            survey: SurveySummary {
+                aircraft_total: 60,
+                aircraft_observed: 30,
+                messages: 1_500,
+                max_observed_range_m: 95_000.0,
+            },
+            fov,
+            frequency,
+            features,
+            install,
+            trust: TrustScore {
+                fov_coverage: 0.33,
+                spectral_coverage: 1.0,
+                position_consistency: 1.0,
+                rssi_plausibility: 0.8,
+                ghost_free: 1.0,
+                score: 82.0,
+                flags: vec![],
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = sample_report();
+        let json = r.to_json();
+        let back = CalibrationReport::from_json(&json).unwrap();
+        assert_eq!(back.site_name, r.site_name);
+        assert_eq!(back.survey, r.survey);
+        assert_eq!(back.trust, r.trust);
+        assert_eq!(back.fov.estimated, r.fov.estimated);
+    }
+
+    #[test]
+    fn headline_mentions_key_facts() {
+        let h = sample_report().headline();
+        assert!(h.contains("rooftop"));
+        assert!(h.contains("120"));
+        assert!(h.contains("outdoor"));
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(CalibrationReport::from_json("{not json").is_err());
+        assert!(CalibrationReport::from_json("{}").is_err());
+    }
+}

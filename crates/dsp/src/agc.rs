@@ -1,0 +1,113 @@
+//! Automatic gain control.
+//!
+//! The paper explicitly *disables* AGC for the TV measurements ("The SDR was
+//! configured with a fixed gain to prevent measurement differences from
+//! automatic gain control"). We implement AGC anyway so the harness can
+//! demonstrate the artifact the authors avoided: with AGC on, absolute band
+//! power readings become meaningless.
+
+use crate::Cplx;
+
+/// A feedback AGC that drives mean sample power toward a target.
+#[derive(Debug, Clone)]
+pub struct Agc {
+    target_power: f64,
+    /// Loop rate: fraction of the log-power error corrected per sample.
+    rate: f64,
+    gain: f64,
+    max_gain: f64,
+    min_gain: f64,
+}
+
+impl Agc {
+    /// Create an AGC targeting the given mean power (linear) with the given
+    /// loop rate (sensible values: 1e-4 … 1e-2).
+    pub fn new(target_power: f64, rate: f64) -> Self {
+        Self {
+            target_power: target_power.max(1e-30),
+            rate: rate.clamp(1e-6, 1.0),
+            gain: 1.0,
+            max_gain: 1e6,
+            min_gain: 1e-6,
+        }
+    }
+
+    /// Current linear voltage gain.
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// Process one sample.
+    pub fn push(&mut self, x: Cplx) -> Cplx {
+        let y = x.scale(self.gain);
+        let p = y.norm_sq();
+        if p > 0.0 {
+            // Multiplicative update in the log domain.
+            let err = (self.target_power / p).ln();
+            self.gain *= (self.rate * err * 0.5).exp(); // 0.5: power → voltage
+            self.gain = self.gain.clamp(self.min_gain, self.max_gain);
+        }
+        y
+    }
+
+    /// Process a block in place.
+    pub fn process(&mut self, block: &mut [Cplx]) {
+        for s in block.iter_mut() {
+            *s = self.push(*s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cplx::mean_power;
+
+    fn tone(amp: f64, n: usize) -> Vec<Cplx> {
+        (0..n)
+            .map(|i| Cplx::from_polar(amp, 0.01 * i as f64))
+            .collect()
+    }
+
+    #[test]
+    fn converges_to_target_power() {
+        let mut agc = Agc::new(1.0, 5e-3);
+        let mut sig = tone(0.01, 50_000);
+        agc.process(&mut sig);
+        let settled = mean_power(&sig[40_000..]);
+        assert!((settled - 1.0).abs() < 0.05, "settled power {settled}");
+    }
+
+    #[test]
+    fn attenuates_loud_signals() {
+        let mut agc = Agc::new(1.0, 5e-3);
+        let mut sig = tone(100.0, 50_000);
+        agc.process(&mut sig);
+        let settled = mean_power(&sig[40_000..]);
+        assert!((settled - 1.0).abs() < 0.05, "settled power {settled}");
+        assert!(agc.gain() < 0.1);
+    }
+
+    #[test]
+    fn agc_destroys_absolute_power_information() {
+        // The reason the paper fixes the gain: two signals 40 dB apart end
+        // up at the same level after AGC.
+        let measure = |amp: f64| {
+            let mut agc = Agc::new(1.0, 5e-3);
+            let mut sig = tone(amp, 50_000);
+            agc.process(&mut sig);
+            mean_power(&sig[40_000..])
+        };
+        let quiet = measure(0.01);
+        let loud = measure(1.0);
+        assert!((quiet - loud).abs() < 0.1, "{quiet} vs {loud}");
+    }
+
+    #[test]
+    fn zero_signal_leaves_gain_bounded() {
+        let mut agc = Agc::new(1.0, 1e-2);
+        let mut sig = vec![Cplx::ZERO; 1_000];
+        agc.process(&mut sig);
+        assert!(agc.gain().is_finite());
+    }
+}

@@ -1,0 +1,161 @@
+//! Correlation utilities for burst detection.
+//!
+//! The ADS-B demodulator finds the Mode S preamble by sliding a template
+//! across the capture and looking for normalized-correlation peaks; these
+//! are the primitives it uses.
+
+use crate::Cplx;
+
+/// Raw sliding cross-correlation of `signal` against `template`
+/// (`conj(template)` applied, as usual for matched filtering).
+///
+/// Output length is `signal.len() - template.len() + 1`; empty if the
+/// template is longer than the signal.
+pub fn cross_correlate(signal: &[Cplx], template: &[Cplx]) -> Vec<Cplx> {
+    if template.is_empty() || signal.len() < template.len() {
+        return Vec::new();
+    }
+    let n = signal.len() - template.len() + 1;
+    (0..n)
+        .map(|i| {
+            let mut acc = Cplx::ZERO;
+            for (k, t) in template.iter().enumerate() {
+                acc += signal[i + k] * t.conj();
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Normalized correlation magnitude in `[0, 1]` at each lag: the cosine
+/// similarity between the template and each signal window. Windows with
+/// (near-)zero energy report 0.
+pub fn normalized_correlation(signal: &[Cplx], template: &[Cplx]) -> Vec<f64> {
+    if template.is_empty() || signal.len() < template.len() {
+        return Vec::new();
+    }
+    let t_energy: f64 = template.iter().map(|t| t.norm_sq()).sum();
+    if t_energy < 1e-30 {
+        return vec![0.0; signal.len() - template.len() + 1];
+    }
+    let n = signal.len() - template.len() + 1;
+    let mut out = Vec::with_capacity(n);
+    // Running window energy for O(N) instead of O(N·M) energy computation.
+    let mut w_energy: f64 = signal[..template.len()].iter().map(|s| s.norm_sq()).sum();
+    for i in 0..n {
+        let mut acc = Cplx::ZERO;
+        for (k, t) in template.iter().enumerate() {
+            acc += signal[i + k] * t.conj();
+        }
+        let denom = (t_energy * w_energy).sqrt();
+        out.push(if denom < 1e-30 { 0.0 } else { acc.abs() / denom });
+        if i + template.len() < signal.len() {
+            w_energy += signal[i + template.len()].norm_sq() - signal[i].norm_sq();
+            if w_energy < 0.0 {
+                w_energy = 0.0;
+            }
+        }
+    }
+    out
+}
+
+/// Indices of local maxima in `values` that exceed `threshold`, with at
+/// least `min_separation` samples between accepted peaks (the larger peak
+/// wins inside a separation window).
+pub fn find_peaks(values: &[f64], threshold: f64, min_separation: usize) -> Vec<usize> {
+    let mut candidates: Vec<usize> = (0..values.len())
+        .filter(|&i| {
+            values[i] >= threshold
+                && (i == 0 || values[i] >= values[i - 1])
+                && (i + 1 == values.len() || values[i] > values[i + 1])
+        })
+        .collect();
+    // Greedy non-maximum suppression by descending height.
+    candidates.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).unwrap());
+    let mut accepted: Vec<usize> = Vec::new();
+    for c in candidates {
+        if accepted
+            .iter()
+            .all(|&a| a.abs_diff(c) >= min_separation.max(1))
+        {
+            accepted.push(c);
+        }
+    }
+    accepted.sort_unstable();
+    accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn template() -> Vec<Cplx> {
+        vec![Cplx::ONE, Cplx::ZERO, Cplx::ONE, Cplx::ONE]
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_empty() {
+        assert!(cross_correlate(&[], &template()).is_empty());
+        assert!(cross_correlate(&template(), &[]).is_empty());
+        assert!(normalized_correlation(&[Cplx::ONE], &template()).is_empty());
+    }
+
+    #[test]
+    fn exact_match_peaks_at_one() {
+        let t = template();
+        let mut sig = vec![Cplx::ZERO; 10];
+        sig[3..7].copy_from_slice(&t);
+        let nc = normalized_correlation(&sig, &t);
+        let (best, &val) = nc
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert_eq!(best, 3);
+        assert!((val - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalization_is_scale_invariant() {
+        let t = template();
+        let mut sig = vec![Cplx::ZERO; 12];
+        for (i, v) in t.iter().enumerate() {
+            sig[4 + i] = v.scale(37.5); // much louder than the template
+        }
+        let nc = normalized_correlation(&sig, &t);
+        assert!((nc[4] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_rotation_does_not_break_match() {
+        let t = template();
+        let rot = Cplx::phasor(1.2);
+        let mut sig = vec![Cplx::ZERO; 12];
+        for (i, v) in t.iter().enumerate() {
+            sig[2 + i] = *v * rot;
+        }
+        let nc = normalized_correlation(&sig, &t);
+        assert!((nc[2] - 1.0).abs() < 1e-9, "got {}", nc[2]);
+    }
+
+    #[test]
+    fn find_peaks_basic() {
+        let v = [0.0, 0.2, 0.9, 0.3, 0.0, 0.8, 0.1];
+        assert_eq!(find_peaks(&v, 0.5, 1), vec![2, 5]);
+        assert_eq!(find_peaks(&v, 0.95, 1), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn find_peaks_suppression_keeps_larger() {
+        let v = [0.0, 0.8, 0.0, 0.9, 0.0];
+        // With separation 3, the 0.9 peak at index 3 suppresses index 1.
+        assert_eq!(find_peaks(&v, 0.5, 3), vec![3]);
+    }
+
+    #[test]
+    fn find_peaks_plateau_takes_leading_edge_only_once() {
+        let v = [0.0, 1.0, 1.0, 0.0];
+        let peaks = find_peaks(&v, 0.5, 1);
+        assert_eq!(peaks.len(), 1);
+    }
+}

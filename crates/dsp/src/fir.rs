@@ -1,0 +1,236 @@
+//! FIR filter design (windowed-sinc) and streaming application.
+//!
+//! The TV band-power probe isolates one 6 MHz ATSC channel from a wider
+//! capture with a complex bandpass filter. We design a real lowpass
+//! prototype by the windowed-sinc method and heterodyne it to the channel
+//! center to obtain the complex bandpass.
+
+use crate::window::Window;
+use crate::{Cplx, DspError};
+
+/// Design a real windowed-sinc lowpass filter.
+///
+/// * `cutoff_norm` — cutoff as a fraction of the sample rate, in `(0, 0.5)`.
+/// * `taps` — filter length; odd lengths give exactly linear phase.
+///
+/// The taps are normalized for unity gain at DC.
+pub fn design_lowpass(cutoff_norm: f64, taps: usize, window: Window) -> Result<Vec<f64>, DspError> {
+    if taps == 0 {
+        return Err(DspError::EmptyDesign);
+    }
+    if !(0.0..0.5).contains(&cutoff_norm) || cutoff_norm <= 0.0 {
+        return Err(DspError::InvalidParameter("cutoff_norm must be in (0, 0.5)"));
+    }
+    let m = (taps - 1) as f64 / 2.0;
+    let mut h: Vec<f64> = (0..taps)
+        .map(|i| {
+            let t = i as f64 - m;
+            let sinc = if t.abs() < 1e-12 {
+                2.0 * cutoff_norm
+            } else {
+                (core::f64::consts::TAU * cutoff_norm * t).sin() / (core::f64::consts::PI * t)
+            };
+            sinc * window.coeff(i, taps)
+        })
+        .collect();
+    let sum: f64 = h.iter().sum();
+    if sum.abs() < 1e-12 {
+        return Err(DspError::EmptyDesign);
+    }
+    for c in &mut h {
+        *c /= sum;
+    }
+    Ok(h)
+}
+
+/// Design a complex bandpass filter centered at `center_norm` (fraction of
+/// the sample rate, may be negative) with two-sided bandwidth
+/// `bandwidth_norm`, by heterodyning a lowpass prototype.
+pub fn design_bandpass(
+    center_norm: f64,
+    bandwidth_norm: f64,
+    taps: usize,
+    window: Window,
+) -> Result<Vec<Cplx>, DspError> {
+    let lp = design_lowpass(bandwidth_norm / 2.0, taps, window)?;
+    let m = (taps - 1) as f64 / 2.0;
+    Ok(lp
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            Cplx::phasor(core::f64::consts::TAU * center_norm * (i as f64 - m)).scale(c)
+        })
+        .collect())
+}
+
+/// A streaming FIR filter over complex samples (direct form, complex taps).
+///
+/// Keeps its own delay line so it can be fed sample blocks of any size.
+#[derive(Debug, Clone)]
+pub struct FirFilter {
+    taps: Vec<Cplx>,
+    delay: Vec<Cplx>,
+    pos: usize,
+}
+
+impl FirFilter {
+    /// Create a filter from complex taps.
+    pub fn new(taps: Vec<Cplx>) -> Result<Self, DspError> {
+        if taps.is_empty() {
+            return Err(DspError::EmptyDesign);
+        }
+        let n = taps.len();
+        Ok(Self {
+            taps,
+            delay: vec![Cplx::ZERO; n],
+            pos: 0,
+        })
+    }
+
+    /// Create a filter from real taps.
+    pub fn from_real(taps: &[f64]) -> Result<Self, DspError> {
+        Self::new(taps.iter().map(|&t| Cplx::new(t, 0.0)).collect())
+    }
+
+    /// Number of taps.
+    pub fn len(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// True if the filter has no taps (cannot happen post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.taps.is_empty()
+    }
+
+    /// Group delay in samples for a linear-phase (symmetric) design.
+    pub fn group_delay(&self) -> f64 {
+        (self.taps.len() - 1) as f64 / 2.0
+    }
+
+    /// Push one sample, get one output sample.
+    pub fn push(&mut self, x: Cplx) -> Cplx {
+        let n = self.taps.len();
+        self.delay[self.pos] = x;
+        let mut acc = Cplx::ZERO;
+        let mut idx = self.pos;
+        for tap in &self.taps {
+            acc += self.delay[idx] * *tap;
+            idx = if idx == 0 { n - 1 } else { idx - 1 };
+        }
+        self.pos = (self.pos + 1) % n;
+        acc
+    }
+
+    /// Filter a whole block, producing one output per input.
+    pub fn process(&mut self, input: &[Cplx]) -> Vec<Cplx> {
+        input.iter().map(|&x| self.push(x)).collect()
+    }
+
+    /// Reset the delay line to zeros.
+    pub fn reset(&mut self) {
+        self.delay.fill(Cplx::ZERO);
+        self.pos = 0;
+    }
+
+    /// Frequency response at a normalized frequency (fraction of Fs).
+    pub fn response_at(&self, freq_norm: f64) -> Cplx {
+        let mut acc = Cplx::ZERO;
+        for (i, t) in self.taps.iter().enumerate() {
+            acc += *t * Cplx::phasor(-core::f64::consts::TAU * freq_norm * i as f64);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lowpass_rejects_bad_parameters() {
+        assert!(design_lowpass(0.0, 31, Window::Hamming).is_err());
+        assert!(design_lowpass(0.5, 31, Window::Hamming).is_err());
+        assert!(design_lowpass(0.25, 0, Window::Hamming).is_err());
+        assert!(design_lowpass(0.25, 31, Window::Hamming).is_ok());
+    }
+
+    #[test]
+    fn lowpass_unity_dc_gain() {
+        let h = design_lowpass(0.1, 63, Window::Hamming).unwrap();
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lowpass_passband_and_stopband() {
+        let f = FirFilter::from_real(&design_lowpass(0.1, 101, Window::Blackman).unwrap()).unwrap();
+        // Passband: well below cutoff.
+        assert!((f.response_at(0.02).abs() - 1.0).abs() < 0.01);
+        // Stopband: well above cutoff.
+        assert!(f.response_at(0.25).abs() < 1e-3);
+        assert!(f.response_at(0.4).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bandpass_centered_response() {
+        let taps = design_bandpass(0.2, 0.05, 101, Window::Blackman).unwrap();
+        let f = FirFilter::new(taps).unwrap();
+        assert!((f.response_at(0.2).abs() - 1.0).abs() < 0.01);
+        assert!(f.response_at(0.0).abs() < 1e-3);
+        assert!(f.response_at(-0.2).abs() < 1e-3, "complex bandpass is one-sided");
+    }
+
+    #[test]
+    fn streaming_matches_block_convolution() {
+        let h = design_lowpass(0.2, 9, Window::Hann).unwrap();
+        let x: Vec<Cplx> = (0..32).map(|i| Cplx::new((i as f64 * 0.7).sin(), 0.0)).collect();
+        // Reference: direct convolution.
+        let mut expect = vec![Cplx::ZERO; x.len()];
+        for (n, e) in expect.iter_mut().enumerate() {
+            for (k, &hk) in h.iter().enumerate() {
+                if n >= k {
+                    *e += x[n - k].scale(hk);
+                }
+            }
+        }
+        let mut f = FirFilter::from_real(&h).unwrap();
+        let got = f.process(&x);
+        for (a, b) in expect.iter().zip(&got) {
+            assert!((a.re - b.re).abs() < 1e-12 && (a.im - b.im).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut f = FirFilter::from_real(&[0.5, 0.5]).unwrap();
+        let first = f.push(Cplx::ONE);
+        f.push(Cplx::new(2.0, 0.0));
+        f.reset();
+        let again = f.push(Cplx::ONE);
+        assert_eq!(first, again);
+    }
+
+    proptest! {
+        /// Filtering is linear: F(ax + y) == a·F(x) + F(y) (fresh state).
+        #[test]
+        fn filter_linearity(
+            xs in proptest::collection::vec(-10.0f64..10.0, 24),
+            ys in proptest::collection::vec(-10.0f64..10.0, 24),
+            a in -4.0f64..4.0,
+        ) {
+            let h = design_lowpass(0.15, 11, Window::Hamming).unwrap();
+            let run = |data: &[f64]| -> Vec<Cplx> {
+                let mut f = FirFilter::from_real(&h).unwrap();
+                f.process(&data.iter().map(|&v| Cplx::new(v, 0.0)).collect::<Vec<_>>())
+            };
+            let combined: Vec<f64> = xs.iter().zip(&ys).map(|(x, y)| a * x + y).collect();
+            let fx = run(&xs);
+            let fy = run(&ys);
+            let fc = run(&combined);
+            for ((p, q), c) in fx.iter().zip(&fy).zip(&fc) {
+                let e = p.scale(a) + *q;
+                prop_assert!((e.re - c.re).abs() < 1e-9);
+            }
+        }
+    }
+}

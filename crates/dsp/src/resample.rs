@@ -1,0 +1,96 @@
+//! Simple rational/fractional resampling.
+//!
+//! The simulated front ends synthesize at one rate and measurement chains
+//! occasionally need another (e.g. feeding a 2 Msps ADS-B demodulator from
+//! a wider capture). Quality requirements are modest — linear interpolation
+//! after appropriate filtering is sufficient for the SNR regimes simulated.
+
+use crate::Cplx;
+
+/// Resample `input` from `from_rate` to `to_rate` by linear interpolation.
+///
+/// Returns an empty vector if either rate is non-positive or the input is
+/// empty. The output covers the same time span as the input.
+pub fn resample_linear(input: &[Cplx], from_rate: f64, to_rate: f64) -> Vec<Cplx> {
+    if input.is_empty() || from_rate <= 0.0 || to_rate <= 0.0 {
+        return Vec::new();
+    }
+    if (from_rate - to_rate).abs() < 1e-9 {
+        return input.to_vec();
+    }
+    let duration = input.len() as f64 / from_rate;
+    let out_len = (duration * to_rate).round().max(1.0) as usize;
+    let step = from_rate / to_rate;
+    (0..out_len)
+        .map(|i| {
+            let pos = i as f64 * step;
+            let idx = pos.floor() as usize;
+            if idx + 1 >= input.len() {
+                input[input.len() - 1]
+            } else {
+                let frac = pos - idx as f64;
+                input[idx].scale(1.0 - frac) + input[idx + 1].scale(frac)
+            }
+        })
+        .collect()
+}
+
+/// Integer decimation: keep every `factor`-th sample. Callers must lowpass
+/// first if the input has content above the new Nyquist.
+pub fn decimate(input: &[Cplx], factor: usize) -> Vec<Cplx> {
+    if factor == 0 {
+        return Vec::new();
+    }
+    input.iter().step_by(factor).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_when_rates_equal() {
+        let x = vec![Cplx::ONE, Cplx::J, Cplx::ZERO];
+        assert_eq!(resample_linear(&x, 1000.0, 1000.0), x);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(resample_linear(&[], 1.0, 2.0).is_empty());
+        assert!(resample_linear(&[Cplx::ONE], 0.0, 2.0).is_empty());
+        assert!(resample_linear(&[Cplx::ONE], 2.0, 0.0).is_empty());
+        assert!(decimate(&[Cplx::ONE], 0).is_empty());
+    }
+
+    #[test]
+    fn upsample_doubles_length() {
+        let x: Vec<Cplx> = (0..10).map(|i| Cplx::new(i as f64, 0.0)).collect();
+        let y = resample_linear(&x, 1000.0, 2000.0);
+        assert_eq!(y.len(), 20);
+        // Midpoint between samples 0 and 1 is 0.5.
+        assert!((y[1].re - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn downsample_preserves_tone_frequency() {
+        // 1 kHz tone at 8 ksps downsampled to 4 ksps still completes the
+        // same number of cycles over the capture.
+        let fs = 8000.0;
+        let x: Vec<Cplx> = (0..800)
+            .map(|i| Cplx::phasor(core::f64::consts::TAU * 1000.0 * i as f64 / fs))
+            .collect();
+        let y = resample_linear(&x, fs, 4000.0);
+        assert_eq!(y.len(), 400);
+        // Phase advances ~ TAU*1000/4000 per output sample.
+        let dphi = (y[11] * y[10].conj()).arg();
+        assert!((dphi - core::f64::consts::TAU * 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn decimate_basic() {
+        let x: Vec<Cplx> = (0..9).map(|i| Cplx::new(i as f64, 0.0)).collect();
+        let y = decimate(&x, 3);
+        assert_eq!(y.len(), 3);
+        assert_eq!(y[1].re, 3.0);
+    }
+}

@@ -1,0 +1,497 @@
+//! Reconstruction of the paper's three experiment sites, plus two extra
+//! synthetic worlds for ablations.
+//!
+//! The paper's testbed is one Berkeley apartment building (we anchor the
+//! world at 37.8716 N, 122.2727 W):
+//!
+//! * **Location ①** — rooftop of the 6-story building, "open field of view
+//!   to the west … some building structures on the rooftop obscure its view
+//!   in other directions". Modeled as a sensor on the west parapet with a
+//!   concrete penthouse to its east and wing walls north and south.
+//! * **Location ②** — "behind a window that faces southeast on the 5th
+//!   floor. Because of the buildings to the left and right, this location
+//!   has a narrow field of view." Modeled as an indoor sensor with a glass
+//!   aperture toward 135° and flanking neighbor buildings.
+//! * **Location ③** — "inside the building on the 5th floor at least 8
+//!   meters away from windows, with no field of view to the outside."
+//!   Modeled as a deep-interior enclosure.
+
+use crate::building::Building;
+use crate::site::{Enclosure, SensorSite};
+use crate::world::World;
+use aircal_geo::{LatLon, Point2, Polygon2, Sector};
+use aircal_rfprop::Material;
+use serde::{Deserialize, Serialize};
+
+/// Geographic anchor of the paper's testbed (Berkeley, CA).
+pub fn testbed_origin() -> LatLon {
+    LatLon::surface(37.8716, -122.2727)
+}
+
+/// Which experiment location a scenario reproduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScenarioKind {
+    /// Paper Location ①: rooftop, open west sector.
+    Rooftop,
+    /// Paper Location ②: behind a southeast-facing window.
+    BehindWindow,
+    /// Paper Location ③: deep interior, no field of view.
+    Indoor,
+    /// Extra: unobstructed open field (ideal installation).
+    OpenField,
+    /// Extra: street canyon open only to the north.
+    UrbanCanyon,
+    /// Extra: suburban yard mast above low wooden houses.
+    Suburban,
+    /// Extra: a 150 m ridge shadows the northern half of the sky.
+    HillShadow,
+}
+
+impl ScenarioKind {
+    /// Parse a command-line-friendly name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "rooftop" | "1" | "loc1" => Some(Self::Rooftop),
+            "window" | "behind-window" | "2" | "loc2" => Some(Self::BehindWindow),
+            "indoor" | "inside" | "3" | "loc3" => Some(Self::Indoor),
+            "open" | "open-field" => Some(Self::OpenField),
+            "canyon" | "urban-canyon" => Some(Self::UrbanCanyon),
+            "suburban" => Some(Self::Suburban),
+            "hill" | "hill-shadow" => Some(Self::HillShadow),
+            _ => None,
+        }
+    }
+
+    /// Kebab-case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Rooftop => "rooftop",
+            Self::BehindWindow => "behind-window",
+            Self::Indoor => "indoor",
+            Self::OpenField => "open-field",
+            Self::UrbanCanyon => "urban-canyon",
+            Self::Suburban => "suburban",
+            Self::HillShadow => "hill-shadow",
+        }
+    }
+}
+
+/// A complete experiment setup: the world, the sensor under test, and the
+/// ground-truth field of view the calibration should discover.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Which location this is.
+    pub kind: ScenarioKind,
+    /// The world geometry.
+    pub world: World,
+    /// The sensor installation under test.
+    pub site: SensorSite,
+    /// Ground-truth long-range field of view (width 0 = none).
+    pub expected_fov: Sector,
+    /// Whether the installation is genuinely outdoors (ground truth for
+    /// the indoor/outdoor classifier).
+    pub is_outdoor: bool,
+}
+
+impl Scenario {
+    /// Build the scenario for a given kind.
+    pub fn build(kind: ScenarioKind) -> Self {
+        match kind {
+            ScenarioKind::Rooftop => rooftop(),
+            ScenarioKind::BehindWindow => behind_window(),
+            ScenarioKind::Indoor => indoor(),
+            ScenarioKind::OpenField => open_field(),
+            ScenarioKind::UrbanCanyon => urban_canyon(),
+            ScenarioKind::Suburban => suburban(),
+            ScenarioKind::HillShadow => hill_shadow(),
+        }
+    }
+}
+
+/// The three scenarios evaluated in the paper (Locations ①–③).
+pub fn paper_scenarios() -> Vec<Scenario> {
+    vec![rooftop(), behind_window(), indoor()]
+}
+
+/// All scenarios, including the two extra synthetic worlds.
+pub fn all_scenarios() -> Vec<Scenario> {
+    vec![
+        rooftop(),
+        behind_window(),
+        indoor(),
+        open_field(),
+        urban_canyon(),
+        suburban(),
+        hill_shadow(),
+    ]
+}
+
+/// The apartment building hosting all three paper sites: 30 m × 25 m,
+/// six stories (18 m), concrete.
+fn apartment_building() -> Building {
+    Building::new(
+        "apartment",
+        Polygon2::rect(-15.0, -12.5, 15.0, 12.5),
+        18.0,
+        Material::Concrete,
+    )
+}
+
+/// Neighbor buildings flanking the southeast window of Location ②.
+fn neighbors() -> Vec<Building> {
+    vec![
+        Building::new(
+            "east-neighbor",
+            Polygon2::rect(30.0, -15.0, 50.0, 15.0),
+            25.0,
+            Material::Brick,
+        ),
+        Building::new(
+            "south-neighbor",
+            Polygon2::rect(-15.0, -50.0, 15.0, -30.0),
+            25.0,
+            Material::Brick,
+        ),
+    ]
+}
+
+fn base_world() -> World {
+    let mut w = World::open(testbed_origin()).with_building(apartment_building());
+    for n in neighbors() {
+        w.buildings.push(n);
+    }
+    w
+}
+
+/// Location ①: rooftop with an open west sector.
+fn rooftop() -> Scenario {
+    let mut world = base_world();
+    // Concrete penthouse east of the sensor (stairs/elevator machinery —
+    // dense interior, hence the elevated bulk loss).
+    world.buildings.push(
+        Building::new(
+            "penthouse",
+            Polygon2::rect(-10.0, -9.0, 2.0, 9.0),
+            25.5,
+            Material::Concrete,
+        )
+        .with_interior_loss(2.5),
+    );
+    // Rooftop machinery enclosures north and south of the sensor position
+    // (dense: ducting, tanks, equipment — hence the high bulk loss).
+    world.buildings.push(
+        Building::new(
+            "north-wing",
+            Polygon2::rect(-14.5, 4.0, -8.3, 9.0),
+            24.5,
+            Material::Concrete,
+        )
+        .with_interior_loss(2.5),
+    );
+    world.buildings.push(
+        Building::new(
+            "south-wing",
+            Polygon2::rect(-14.5, -9.0, -8.3, -4.0),
+            24.5,
+            Material::Concrete,
+        )
+        .with_interior_loss(2.5),
+    );
+    // Sensor on the west parapet, antenna 1.5 m above the 18 m roof.
+    let mut pos = testbed_origin().destination(270.0, 12.0);
+    pos.alt_m = 19.5;
+    Scenario {
+        kind: ScenarioKind::Rooftop,
+        world,
+        site: SensorSite::outdoor("rooftop", pos),
+        expected_fov: Sector::centered(270.0, 120.0),
+        is_outdoor: true,
+    }
+}
+
+/// Location ②: behind a southeast-facing window on the 5th floor.
+fn behind_window() -> Scenario {
+    let world = base_world();
+    // Sensor just inside the building's southeast corner, 5th floor (15 m).
+    let corner_2d = Point2::new(13.0, -10.5);
+    let mut pos = testbed_origin().destination(corner_2d.bearing_deg(), corner_2d.range_m());
+    pos.alt_m = 15.0;
+    let enclosure = Enclosure::behind_window(Sector::centered(135.0, 30.0));
+    Scenario {
+        kind: ScenarioKind::BehindWindow,
+        world,
+        site: SensorSite::indoor("behind-window", pos, enclosure),
+        expected_fov: Sector::centered(135.0, 30.0),
+        is_outdoor: false,
+    }
+}
+
+/// Location ③: deep interior, 5th floor, ≥8 m from any window.
+fn indoor() -> Scenario {
+    let world = base_world();
+    let mut pos = testbed_origin();
+    pos.alt_m = 15.0;
+    Scenario {
+        kind: ScenarioKind::Indoor,
+        world,
+        site: SensorSite::indoor("indoor", pos, Enclosure::interior()),
+        expected_fov: Sector::new(0.0, 0.0),
+        is_outdoor: false,
+    }
+}
+
+/// Extra: a mast in an open field — the ideal reference installation.
+fn open_field() -> Scenario {
+    let world = World::open(testbed_origin());
+    let mut pos = testbed_origin();
+    pos.alt_m = 10.0;
+    Scenario {
+        kind: ScenarioKind::OpenField,
+        world,
+        site: SensorSite::outdoor("open-field", pos),
+        expected_fov: Sector::full(),
+        is_outdoor: true,
+    }
+}
+
+/// Extra: a street canyon between two tall slabs, open only northward.
+fn urban_canyon() -> Scenario {
+    let world = World::open(testbed_origin())
+        .with_building(
+            Building::new(
+                "west-slab",
+                Polygon2::rect(-40.0, -80.0, -10.0, 10.0),
+                45.0,
+                Material::Concrete,
+            )
+            // Dense office slab: through-the-building paths are hopeless,
+            // only over-the-roof diffraction matters.
+            .with_interior_loss(2.0),
+        )
+        .with_building(
+            Building::new(
+                "east-slab",
+                Polygon2::rect(10.0, -80.0, 40.0, 10.0),
+                45.0,
+                Material::Concrete,
+            )
+            .with_interior_loss(2.0),
+        )
+        .with_building(
+            Building::new(
+                "south-block",
+                Polygon2::rect(-40.0, -110.0, 40.0, -85.0),
+                45.0,
+                Material::Concrete,
+            )
+            .with_interior_loss(2.0),
+        );
+    let mut pos = testbed_origin();
+    pos.alt_m = 3.0;
+    Scenario {
+        kind: ScenarioKind::UrbanCanyon,
+        world,
+        site: SensorSite::outdoor("urban-canyon", pos),
+        // The slab ends sit 10 m north and 10 m east/west of the sensor:
+        // the mouth subtends ±45°.
+        expected_fov: Sector::centered(0.0, 90.0),
+        is_outdoor: true,
+    }
+}
+
+/// Extra: a mast in a suburban yard, above the surrounding single-story
+/// wooden houses — a realistic "good volunteer" installation.
+fn suburban() -> Scenario {
+    let mut world = World::open(testbed_origin());
+    // A ring of low wooden houses around the yard.
+    for (i, bearing) in [30.0, 100.0, 170.0, 250.0, 320.0].iter().enumerate() {
+        let c = Point2::from_bearing(*bearing, 35.0);
+        world.buildings.push(Building::rect(
+            format!("house-{i}"),
+            c,
+            14.0,
+            10.0,
+            6.0,
+            Material::Wood,
+        ));
+    }
+    let mut pos = testbed_origin();
+    pos.alt_m = 8.0; // mast above the rooflines
+    Scenario {
+        kind: ScenarioKind::Suburban,
+        world,
+        site: SensorSite::outdoor("suburban", pos),
+        expected_fov: Sector::full(),
+        is_outdoor: true,
+    }
+}
+
+/// Extra: open installation with a 150 m ridge ~800 m north — terrain
+/// shadowing, the paper's "nearby buildings or mountains" case.
+fn hill_shadow() -> Scenario {
+    let world = World::open(testbed_origin()).with_building(
+        Building::new(
+            "ridge",
+            Polygon2::rect(-3_000.0, 800.0, 3_000.0, 1_400.0),
+            150.0,
+            Material::Concrete, // rock: treated as opaque
+        )
+        .with_interior_loss(10.0),
+    );
+    let mut pos = testbed_origin();
+    pos.alt_m = 5.0;
+    Scenario {
+        kind: ScenarioKind::HillShadow,
+        world,
+        site: SensorSite::outdoor("hill-shadow", pos),
+        expected_fov: Sector::centered(180.0, 210.0),
+        is_outdoor: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Mean deterministic obstruction loss (dB) inside / outside a sector
+    /// for a scenario, at ADS-B geometry (low elevation, long range).
+    fn sector_losses(s: &Scenario, sector: &Sector) -> (f64, f64) {
+        let prof = s
+            .world
+            .obstruction_profile(&s.site, 1.09e9, 2.0, 50_000.0, 72);
+        let (mut in_sum, mut in_n, mut out_sum, mut out_n) = (0.0, 0, 0.0, 0);
+        for (i, &loss) in prof.iter().enumerate() {
+            let bearing = i as f64 * 5.0;
+            if sector.contains(bearing) {
+                in_sum += loss;
+                in_n += 1;
+            } else {
+                out_sum += loss;
+                out_n += 1;
+            }
+        }
+        (in_sum / in_n.max(1) as f64, out_sum / out_n.max(1) as f64)
+    }
+
+    #[test]
+    fn rooftop_open_west_blocked_elsewhere() {
+        let s = Scenario::build(ScenarioKind::Rooftop);
+        let (inside, outside) = sector_losses(&s, &s.expected_fov);
+        assert!(inside < 3.0, "west sector should be clear, got {inside} dB");
+        assert!(
+            outside > 15.0,
+            "other sectors should be obstructed, got {outside} dB"
+        );
+    }
+
+    #[test]
+    fn window_narrow_aperture() {
+        let s = Scenario::build(ScenarioKind::BehindWindow);
+        let (inside, outside) = sector_losses(&s, &s.expected_fov);
+        assert!(inside < 5.0, "aperture should be cheap, got {inside} dB");
+        assert!(outside > 12.0, "walls should be lossy, got {outside} dB");
+    }
+
+    #[test]
+    fn indoor_blocked_everywhere() {
+        let s = Scenario::build(ScenarioKind::Indoor);
+        let prof = s
+            .world
+            .obstruction_profile(&s.site, 1.09e9, 2.0, 50_000.0, 36);
+        for (i, &loss) in prof.iter().enumerate() {
+            assert!(loss > 15.0, "bearing {} only {loss} dB", i * 10);
+        }
+    }
+
+    #[test]
+    fn open_field_clear_everywhere() {
+        let s = Scenario::build(ScenarioKind::OpenField);
+        let prof = s
+            .world
+            .obstruction_profile(&s.site, 1.09e9, 2.0, 50_000.0, 36);
+        assert!(prof.iter().all(|&l| l == 0.0));
+    }
+
+    #[test]
+    fn canyon_open_north() {
+        let s = Scenario::build(ScenarioKind::UrbanCanyon);
+        let (inside, outside) = sector_losses(&s, &s.expected_fov);
+        assert!(inside < 3.0, "north should be clear, got {inside}");
+        assert!(outside > 10.0, "canyon walls should block, got {outside}");
+    }
+
+    #[test]
+    fn kinds_parse_round_trip() {
+        for k in [
+            ScenarioKind::Rooftop,
+            ScenarioKind::BehindWindow,
+            ScenarioKind::Indoor,
+            ScenarioKind::OpenField,
+            ScenarioKind::UrbanCanyon,
+            ScenarioKind::Suburban,
+            ScenarioKind::HillShadow,
+        ] {
+            assert_eq!(ScenarioKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(ScenarioKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn paper_scenarios_are_the_three_locations() {
+        let s = paper_scenarios();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].kind, ScenarioKind::Rooftop);
+        assert_eq!(s[1].kind, ScenarioKind::BehindWindow);
+        assert_eq!(s[2].kind, ScenarioKind::Indoor);
+        assert!(s[0].is_outdoor && !s[1].is_outdoor && !s[2].is_outdoor);
+    }
+
+    #[test]
+    fn window_elevation_dependence() {
+        // The aperture works at low elevation but closes at high elevation
+        // (ceiling): distant aircraft through the window, overhead ones not.
+        let s = Scenario::build(ScenarioKind::BehindWindow);
+        let low = s
+            .world
+            .obstruction_profile(&s.site, 1.09e9, 5.0, 40_000.0, 72);
+        let high = s
+            .world
+            .obstruction_profile(&s.site, 1.09e9, 60.0, 5_000.0, 72);
+        let idx_135 = 27; // 135° at 5° steps
+        assert!(low[idx_135] < 5.0);
+        assert!(high[idx_135] > low[idx_135] + 5.0);
+    }
+}
+
+#[cfg(test)]
+mod extra_scenario_tests {
+    use super::*;
+
+    #[test]
+    fn suburban_mostly_clear() {
+        let s = Scenario::build(ScenarioKind::Suburban);
+        let prof = s
+            .world
+            .obstruction_profile(&s.site, 1.09e9, 2.0, 50_000.0, 72);
+        let clear = prof.iter().filter(|&&l| l < 3.0).count();
+        // The mast clears the rooflines in (almost) every direction.
+        assert!(clear >= 60, "only {clear}/72 bearings clear");
+    }
+
+    #[test]
+    fn hill_blocks_north_low_elevation_only() {
+        let s = Scenario::build(ScenarioKind::HillShadow);
+        let low = s
+            .world
+            .obstruction_profile(&s.site, 1.09e9, 2.0, 50_000.0, 72);
+        // North (index 0) deeply shadowed at low elevation…
+        assert!(low[0] > 15.0, "north low-elevation {}", low[0]);
+        // …south untouched…
+        assert!(low[36] < 1.0, "south {}", low[36]);
+        // …and the ridge cannot stop a high-elevation aircraft.
+        let high = s
+            .world
+            .obstruction_profile(&s.site, 1.09e9, 30.0, 20_000.0, 72);
+        assert!(high[0] < 3.0, "north high-elevation {}", high[0]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Sensor sites and enclosures.
+
+use aircal_geo::{LatLon, Sector};
+use aircal_rfprop::{AntennaPattern, Material};
+use serde::{Deserialize, Serialize};
+
+/// Describes the immediate enclosure of an indoor-mounted sensor: which
+/// materials a ray must cross to leave the room, as a function of direction.
+///
+/// This models the paper's window and interior sites more faithfully than
+/// raw footprint geometry: the window site's field of view is set by a
+/// glass aperture between flanking walls, and the interior site pays
+/// multiple walls in every direction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Enclosure {
+    /// The angular aperture (e.g. a window), if any.
+    pub aperture: Option<Sector>,
+    /// Maximum elevation (degrees) at which the aperture is usable; above
+    /// this, rays hit the wall/ceiling instead of the window.
+    pub aperture_max_elevation_deg: f64,
+    /// Materials crossed when exiting through the aperture.
+    pub aperture_materials: Vec<Material>,
+    /// Materials crossed when exiting through the walls (any non-aperture
+    /// azimuth below the roofline).
+    pub wall_materials: Vec<Material>,
+    /// Materials crossed when exiting upward (elevation above
+    /// `roof_elevation_deg`).
+    pub roof_materials: Vec<Material>,
+    /// Elevation (degrees) above which a ray exits through the roof stack.
+    pub roof_elevation_deg: f64,
+}
+
+impl Enclosure {
+    /// A sensor behind a single glass window spanning `aperture`, in an
+    /// otherwise masonry-walled corner room. Exiting any non-aperture
+    /// direction means crossing the room's brick/concrete exterior
+    /// elements plus interior partitions (the sensor sits at a corner of a
+    /// large building).
+    pub fn behind_window(aperture: Sector) -> Self {
+        Self {
+            aperture: Some(aperture),
+            aperture_max_elevation_deg: 35.0,
+            aperture_materials: vec![Material::Glass],
+            wall_materials: vec![
+                Material::Brick,
+                Material::Brick,
+                Material::Concrete,
+                Material::Drywall,
+                Material::Drywall,
+            ],
+            roof_materials: vec![Material::Concrete],
+            roof_elevation_deg: 55.0,
+        }
+    }
+
+    /// A deep-interior room ≥ 8 m from any window: no aperture, and every
+    /// exit crosses several structural walls and partitions; one concrete
+    /// floor slab above (a 6-story building has one floor overhead of the
+    /// 5th floor, plus roof structure).
+    pub fn interior() -> Self {
+        Self {
+            aperture: None,
+            aperture_max_elevation_deg: 0.0,
+            aperture_materials: Vec::new(),
+            wall_materials: vec![
+                Material::Concrete,
+                Material::Concrete,
+                Material::Concrete,
+                Material::Drywall,
+                Material::Drywall,
+                Material::Drywall,
+                Material::Drywall,
+            ],
+            roof_materials: vec![Material::Concrete, Material::Concrete],
+            roof_elevation_deg: 40.0,
+        }
+    }
+
+    /// Penetration loss in dB for a ray leaving toward the given azimuth
+    /// and elevation, at `freq_hz`.
+    pub fn exit_loss_db(&self, azimuth_deg: f64, elevation_deg: f64, freq_hz: f64) -> f64 {
+        let stack: &[Material] = if elevation_deg >= self.roof_elevation_deg {
+            &self.roof_materials
+        } else if let Some(ap) = &self.aperture {
+            if ap.contains(azimuth_deg) && elevation_deg <= self.aperture_max_elevation_deg {
+                &self.aperture_materials
+            } else {
+                &self.wall_materials
+            }
+        } else {
+            &self.wall_materials
+        };
+        aircal_rfprop::materials::stack_loss_db(stack, freq_hz)
+    }
+
+    /// Does this enclosure give the ray a clear-ish exit (≤ 5 dB at 1 GHz)?
+    pub fn is_open_toward(&self, azimuth_deg: f64, elevation_deg: f64) -> bool {
+        self.exit_loss_db(azimuth_deg, elevation_deg, 1e9) <= 5.0
+    }
+}
+
+/// A spectrum sensor installation: where it is, how high it sits, what
+/// antenna it has, and what (if anything) encloses it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SensorSite {
+    /// Display name ("rooftop", "behind-window", …).
+    pub name: String,
+    /// Geographic position; `alt_m` is the antenna height above local
+    /// ground (not sea level — the simulation uses a flat local datum).
+    pub position: LatLon,
+    /// Receive antenna pattern.
+    pub antenna: AntennaPattern,
+    /// Enclosure, if the sensor is indoors.
+    pub enclosure: Option<Enclosure>,
+    /// Receiver noise figure in dB (front end + cabling).
+    pub noise_figure_db: f64,
+}
+
+impl SensorSite {
+    /// An outdoor site with the paper's wideband whip antenna and a typical
+    /// 7 dB receive noise figure.
+    pub fn outdoor(name: impl Into<String>, position: LatLon) -> Self {
+        Self {
+            name: name.into(),
+            position,
+            antenna: AntennaPattern::paper_wideband_whip(),
+            enclosure: None,
+            noise_figure_db: 7.0,
+        }
+    }
+
+    /// An indoor site with the given enclosure.
+    pub fn indoor(name: impl Into<String>, position: LatLon, enclosure: Enclosure) -> Self {
+        Self {
+            enclosure: Some(enclosure),
+            ..Self::outdoor(name, position)
+        }
+    }
+
+    /// Is the sensor indoors (has an enclosure)?
+    pub fn is_indoor(&self) -> bool {
+        self.enclosure.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_aperture_is_cheap_walls_are_not() {
+        let e = Enclosure::behind_window(Sector::centered(135.0, 40.0));
+        let f = 1.09e9;
+        let through_window = e.exit_loss_db(135.0, 10.0, f);
+        let through_wall = e.exit_loss_db(315.0, 10.0, f);
+        assert!(through_window < 4.0, "window {through_window}");
+        assert!(through_wall > 10.0, "wall {through_wall}");
+        assert!(e.is_open_toward(135.0, 10.0));
+        assert!(!e.is_open_toward(315.0, 10.0));
+    }
+
+    #[test]
+    fn window_closes_at_high_elevation() {
+        let e = Enclosure::behind_window(Sector::centered(135.0, 40.0));
+        let f = 1.09e9;
+        assert!(e.exit_loss_db(135.0, 50.0, f) > e.exit_loss_db(135.0, 10.0, f) + 5.0);
+        // Above the roofline, the roof stack applies.
+        let roof = e.exit_loss_db(135.0, 80.0, f);
+        assert!(roof > 5.0);
+    }
+
+    #[test]
+    fn interior_blocked_everywhere() {
+        let e = Enclosure::interior();
+        for az in (0..360).step_by(30) {
+            assert!(!e.is_open_toward(az as f64, 5.0), "azimuth {az}");
+        }
+    }
+
+    #[test]
+    fn interior_loss_grows_with_frequency() {
+        let e = Enclosure::interior();
+        let low = e.exit_loss_db(0.0, 5.0, 731e6);
+        let mid = e.exit_loss_db(0.0, 5.0, 2.145e9);
+        assert!(mid > low + 5.0, "low {low}, mid {mid}");
+    }
+
+    #[test]
+    fn site_constructors() {
+        let pos = LatLon::new(37.8716, -122.2727, 18.5);
+        let s = SensorSite::outdoor("roof", pos);
+        assert!(!s.is_indoor());
+        let w = SensorSite::indoor(
+            "window",
+            pos,
+            Enclosure::behind_window(Sector::centered(135.0, 40.0)),
+        );
+        assert!(w.is_indoor());
+        assert_eq!(w.noise_figure_db, 7.0);
+    }
+}

@@ -1,0 +1,347 @@
+//! Angle and bearing arithmetic on the circle.
+//!
+//! Bearings follow the compass convention used throughout the paper's
+//! figures: degrees clockwise from true north, in `[0, 360)`. The painful
+//! part of angular math is wrap-around; the helpers here centralize it so
+//! the rest of the workspace never writes a modulo by hand.
+
+use serde::{Deserialize, Serialize};
+
+/// Normalize any angle in degrees into the compass range `[0, 360)`.
+pub fn normalize_bearing(deg: f64) -> f64 {
+    let r = deg % 360.0;
+    if r < 0.0 {
+        r + 360.0
+    } else {
+        r
+    }
+}
+
+/// Normalize an angle difference into the signed range `(-180, 180]`.
+///
+/// Useful for "how far and which way" questions between two bearings.
+pub fn normalize_signed(deg: f64) -> f64 {
+    let mut r = deg % 360.0;
+    if r > 180.0 {
+        r -= 360.0;
+    } else if r <= -180.0 {
+        r += 360.0;
+    }
+    r
+}
+
+/// Smallest absolute angular separation between two bearings, in `[0, 180]`.
+pub fn separation(a_deg: f64, b_deg: f64) -> f64 {
+    normalize_signed(a_deg - b_deg).abs()
+}
+
+/// Circular mean of a set of bearings in degrees.
+///
+/// Returns `None` for an empty slice or when the resultant vector is
+/// numerically zero (e.g. two opposite bearings), in which case no mean
+/// direction is defined.
+pub fn circular_mean(bearings_deg: &[f64]) -> Option<f64> {
+    if bearings_deg.is_empty() {
+        return None;
+    }
+    let (mut s, mut c) = (0.0f64, 0.0f64);
+    for &b in bearings_deg {
+        let r = b.to_radians();
+        s += r.sin();
+        c += r.cos();
+    }
+    let norm = (s * s + c * c).sqrt() / bearings_deg.len() as f64;
+    if norm < 1e-12 {
+        return None;
+    }
+    Some(normalize_bearing(s.atan2(c).to_degrees()))
+}
+
+/// An angular sector on the compass circle: `width_deg` degrees of arc
+/// starting at `start_deg` and sweeping clockwise.
+///
+/// Sectors model fields of view: the paper's rooftop site has an open
+/// sector facing west, the window site a slim south-east aperture. A sector
+/// may wrap through north (e.g. start 350°, width 20° covers 350°–10°).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sector {
+    /// Clockwise start bearing in degrees, normalized to `[0, 360)`.
+    pub start_deg: f64,
+    /// Arc width in degrees, clamped to `[0, 360]`.
+    pub width_deg: f64,
+}
+
+impl Sector {
+    /// Create a sector from a start bearing and clockwise width.
+    pub fn new(start_deg: f64, width_deg: f64) -> Self {
+        Self {
+            start_deg: normalize_bearing(start_deg),
+            width_deg: width_deg.clamp(0.0, 360.0),
+        }
+    }
+
+    /// Sector centered on `center_deg` spanning `width_deg`.
+    pub fn centered(center_deg: f64, width_deg: f64) -> Self {
+        Self::new(center_deg - width_deg / 2.0, width_deg)
+    }
+
+    /// The full circle.
+    pub fn full() -> Self {
+        Self::new(0.0, 360.0)
+    }
+
+    /// Center bearing of the sector.
+    pub fn center_deg(&self) -> f64 {
+        normalize_bearing(self.start_deg + self.width_deg / 2.0)
+    }
+
+    /// End bearing (clockwise from start), normalized.
+    pub fn end_deg(&self) -> f64 {
+        normalize_bearing(self.start_deg + self.width_deg)
+    }
+
+    /// Does the sector contain the given bearing?
+    ///
+    /// The start edge is inclusive, the end edge exclusive, except that a
+    /// 360° sector contains everything.
+    pub fn contains(&self, bearing_deg: f64) -> bool {
+        if self.width_deg >= 360.0 {
+            return true;
+        }
+        let rel = normalize_bearing(bearing_deg - self.start_deg);
+        // Tolerate float error at the start edge: a bearing recomputed
+        // through trigonometry may land at start − 1e-12, which would
+        // otherwise wrap to rel ≈ 360 and be rejected.
+        rel < self.width_deg || rel > 360.0 - 1e-6
+    }
+
+    /// Angular distance (degrees) from a bearing to the nearest point of the
+    /// sector; zero if the bearing is inside.
+    pub fn distance_to(&self, bearing_deg: f64) -> f64 {
+        if self.contains(bearing_deg) {
+            return 0.0;
+        }
+        let to_start = separation(bearing_deg, self.start_deg);
+        let to_end = separation(bearing_deg, self.end_deg());
+        to_start.min(to_end)
+    }
+
+    /// Width of the overlap between two sectors, in degrees.
+    ///
+    /// Computed by 0.1°-resolution sampling of the candidate boundary points;
+    /// exact for the axis-aligned cases used in practice and accurate to one
+    /// sample step otherwise.
+    pub fn overlap_deg(&self, other: &Sector) -> f64 {
+        // Exact interval intersection on the unwrapped circle: cut both
+        // sectors at `self.start_deg` so self becomes [0, w).
+        if self.width_deg <= 0.0 || other.width_deg <= 0.0 {
+            return 0.0;
+        }
+        if self.width_deg >= 360.0 {
+            return other.width_deg;
+        }
+        if other.width_deg >= 360.0 {
+            return self.width_deg;
+        }
+        let w_self = self.width_deg;
+        let o_start = normalize_bearing(other.start_deg - self.start_deg);
+        let o_end = o_start + other.width_deg;
+        // other occupies [o_start, o_end) which may extend past 360; split.
+        let mut total = 0.0;
+        for (lo, hi) in [(o_start, o_end.min(360.0)), (0.0, (o_end - 360.0).max(0.0))] {
+            if hi > lo {
+                total += (hi.min(w_self) - lo.min(w_self)).max(0.0);
+            }
+        }
+        total
+    }
+
+    /// Intersection-over-union of two sectors (angular Jaccard index).
+    ///
+    /// Used to score estimated fields of view against ground truth.
+    pub fn iou(&self, other: &Sector) -> f64 {
+        let inter = self.overlap_deg(other);
+        let union = self.width_deg + other.width_deg - inter;
+        if union <= 0.0 {
+            // Two empty sectors are identical.
+            1.0
+        } else {
+            inter / union
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_wraps_negative() {
+        assert_eq!(normalize_bearing(-90.0), 270.0);
+        assert_eq!(normalize_bearing(720.0), 0.0);
+        assert_eq!(normalize_bearing(359.0), 359.0);
+    }
+
+    #[test]
+    fn signed_normalization() {
+        assert_eq!(normalize_signed(190.0), -170.0);
+        assert_eq!(normalize_signed(-190.0), 170.0);
+        assert_eq!(normalize_signed(180.0), 180.0);
+        assert_eq!(normalize_signed(0.0), 0.0);
+    }
+
+    #[test]
+    fn separation_is_symmetric_and_bounded() {
+        assert_eq!(separation(10.0, 350.0), 20.0);
+        assert_eq!(separation(350.0, 10.0), 20.0);
+        assert_eq!(separation(0.0, 180.0), 180.0);
+    }
+
+    #[test]
+    fn circular_mean_wraps_north() {
+        let m = circular_mean(&[350.0, 10.0]).unwrap();
+        assert!(m < 1e-9 || (360.0 - m) < 1e-9, "mean was {m}");
+    }
+
+    #[test]
+    fn circular_mean_empty_and_degenerate() {
+        assert!(circular_mean(&[]).is_none());
+        assert!(circular_mean(&[0.0, 180.0]).is_none());
+    }
+
+    #[test]
+    fn sector_contains_with_wrap() {
+        let s = Sector::new(350.0, 20.0);
+        assert!(s.contains(355.0));
+        assert!(s.contains(0.0));
+        assert!(s.contains(9.9));
+        assert!(!s.contains(10.0));
+        assert!(!s.contains(180.0));
+    }
+
+    #[test]
+    fn full_sector_contains_everything() {
+        let s = Sector::full();
+        for b in 0..360 {
+            assert!(s.contains(b as f64));
+        }
+    }
+
+    #[test]
+    fn sector_centered_construction() {
+        let s = Sector::centered(270.0, 90.0); // paper's west-facing rooftop
+        assert_eq!(s.start_deg, 225.0);
+        assert_eq!(s.end_deg(), 315.0);
+        assert!(s.contains(270.0));
+        assert!(!s.contains(90.0));
+    }
+
+    #[test]
+    fn sector_distance() {
+        let s = Sector::new(0.0, 90.0);
+        assert_eq!(s.distance_to(45.0), 0.0);
+        assert!((s.distance_to(100.0) - 10.0).abs() < 1e-9);
+        assert!((s.distance_to(350.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_disjoint_and_nested() {
+        let a = Sector::new(0.0, 90.0);
+        let b = Sector::new(180.0, 90.0);
+        assert_eq!(a.overlap_deg(&b), 0.0);
+        let c = Sector::new(10.0, 20.0);
+        assert!((a.overlap_deg(&c) - 20.0).abs() < 1e-9);
+        assert!((c.overlap_deg(&a) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_wrapping() {
+        let a = Sector::new(350.0, 20.0); // 350..10
+        let b = Sector::new(0.0, 90.0); // 0..90
+        assert!((a.overlap_deg(&b) - 10.0).abs() < 1e-9);
+        assert!((b.overlap_deg(&a) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iou_identity_and_disjoint() {
+        let a = Sector::new(30.0, 60.0);
+        assert!((a.iou(&a) - 1.0).abs() < 1e-9);
+        let b = Sector::new(180.0, 60.0);
+        assert_eq!(a.iou(&b), 0.0);
+    }
+
+    #[test]
+    fn overlap_with_full_circle() {
+        let a = Sector::full();
+        let b = Sector::new(10.0, 45.0);
+        assert!((a.overlap_deg(&b) - 45.0).abs() < 1e-9);
+        assert!((b.overlap_deg(&a) - 45.0).abs() < 1e-9);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Overlap is commutative and bounded by both widths.
+            #[test]
+            fn overlap_commutative_and_bounded(
+                s1 in 0.0f64..360.0, w1 in 0.0f64..360.0,
+                s2 in 0.0f64..360.0, w2 in 0.0f64..360.0,
+            ) {
+                let a = Sector::new(s1, w1);
+                let b = Sector::new(s2, w2);
+                let ab = a.overlap_deg(&b);
+                let ba = b.overlap_deg(&a);
+                prop_assert!((ab - ba).abs() < 1e-6, "{ab} vs {ba}");
+                prop_assert!(ab <= a.width_deg + 1e-9);
+                prop_assert!(ab <= b.width_deg + 1e-9);
+                prop_assert!(ab >= -1e-9);
+            }
+
+            /// IoU is symmetric, within [0, 1], and 1 for self.
+            #[test]
+            fn iou_properties(s1 in 0.0f64..360.0, w1 in 1.0f64..360.0, s2 in 0.0f64..360.0, w2 in 1.0f64..360.0) {
+                let a = Sector::new(s1, w1);
+                let b = Sector::new(s2, w2);
+                let i = a.iou(&b);
+                prop_assert!((i - b.iou(&a)).abs() < 1e-6);
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&i));
+                prop_assert!((a.iou(&a) - 1.0).abs() < 1e-9);
+            }
+
+            /// A sector contains its own center; the antipode of the center
+            /// is outside whenever the width is under 180°.
+            #[test]
+            fn center_containment(start in 0.0f64..360.0, width in 1.0f64..179.0) {
+                let s = Sector::new(start, width);
+                prop_assert!(s.contains(s.center_deg()));
+                prop_assert!(!s.contains(s.center_deg() + 180.0));
+            }
+
+            /// `distance_to` is zero exactly on containment.
+            #[test]
+            fn distance_zero_iff_contained(start in 0.0f64..360.0, width in 1.0f64..359.0, probe in 0.0f64..360.0) {
+                let s = Sector::new(start, width);
+                let d = s.distance_to(probe);
+                if s.contains(probe) {
+                    prop_assert_eq!(d, 0.0);
+                } else {
+                    prop_assert!(d > 0.0);
+                }
+            }
+
+            /// normalize_signed is idempotent and consistent with
+            /// normalize_bearing modulo 360.
+            #[test]
+            fn normalization_consistency(deg in -2000.0f64..2000.0) {
+                let s = normalize_signed(deg);
+                prop_assert!((-180.0..=180.0).contains(&s));
+                prop_assert!((normalize_signed(s) - s).abs() < 1e-12);
+                let b = normalize_bearing(deg);
+                prop_assert!((0.0..360.0).contains(&b));
+                prop_assert!((normalize_bearing(s) - b).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! The cloud aggregator: remote calibration, claim verification, and the
+//! marketplace gate.
+//!
+//! The cloud never sees the node's environment — only what comes back
+//! over the link: the operator's claims, a survey it *commissioned* (with
+//! a seed the operator couldn't predict), and the cross-band sweeps. From
+//! those plus its own ground truth (the tracking service and the public
+//! tower databases) it independently verifies the claims, which is
+//! precisely the paper's end goal: "These deductions can be used to
+//! independently verify claims about a node installation."
+
+use crate::protocol::{NodeClaims, Request, Response};
+use crate::transport::Link;
+use aircal_aircraft::TrafficSim;
+use aircal_cellular::{paper_towers, CellMeasurement, CellScanner};
+use aircal_core::classifier::{IndoorOutdoorClassifier, InstallFeatures, InstallVerdict};
+use aircal_core::fov::{FovEstimate, FovEstimator};
+use aircal_core::freqprofile::{BandMeasurement, FrequencyProfile, SourceKind};
+use aircal_core::survey::{SurveyConfig, SurveyResult};
+use aircal_core::trust::{TrustAuditor, TrustScore};
+use aircal_env::{SensorSite, World};
+use aircal_geo::LatLon;
+use aircal_tv::{paper_tv_towers, TvMeasurement, TvPowerProbe};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Everything the cloud concluded about one node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VerificationVerdict {
+    /// What the operator claimed.
+    pub claims: NodeClaims,
+    /// Field-of-view estimate from the commissioned survey.
+    pub fov: FovEstimate,
+    /// Cross-band profile assembled from the sweeps.
+    pub profile: FrequencyProfile,
+    /// The classifier's independent indoor/outdoor call.
+    pub install: InstallVerdict,
+    /// Whether the operator's indoor/outdoor claim survived verification.
+    pub outdoor_claim_verified: bool,
+    /// Highest frequency with a usable measurement, Hz.
+    pub measured_max_freq_hz: Option<f64>,
+    /// Trust audit of the reported data.
+    pub trust: TrustScore,
+    /// Admitted to the marketplace?
+    pub approved: bool,
+}
+
+/// One row in the cloud's registry.
+pub struct NodeRecord {
+    /// The node's link (None once shut down).
+    pub link: Link,
+    /// Last verdict, if audited.
+    pub verdict: Option<VerificationVerdict>,
+    /// Did the node answer its last audit?
+    pub reachable: bool,
+}
+
+/// The aggregator.
+pub struct Cloud {
+    /// Ground truth the cloud can consult independently (the tracking
+    /// service's view of the sky).
+    pub sky: Arc<TrafficSim>,
+    /// Survey configuration commissioned from nodes.
+    pub survey_config: SurveyConfig,
+    /// Classifier used for claim verification.
+    pub classifier: IndoorOutdoorClassifier,
+    /// Trust auditor.
+    pub auditor: TrustAuditor,
+    /// Registered nodes, by name.
+    registry: parking_lot::Mutex<std::collections::BTreeMap<String, NodeRecord>>,
+}
+
+impl Cloud {
+    /// Create a cloud with the given ground-truth sky.
+    pub fn new(sky: Arc<TrafficSim>) -> Self {
+        Self {
+            sky,
+            survey_config: SurveyConfig::quick(),
+            classifier: IndoorOutdoorClassifier::default(),
+            auditor: TrustAuditor::default(),
+            registry: parking_lot::Mutex::new(std::collections::BTreeMap::new()),
+        }
+    }
+
+    /// Register a node by asking it to describe itself. Returns the
+    /// claimed name, or `None` if unreachable.
+    pub fn register(&self, mut link: Link) -> Option<String> {
+        let claims = match link.call(Request::Describe) {
+            Some(Response::Description(c)) => c,
+            _ => {
+                // Unreachable at registration: keep the link around as
+                // unreachable so the operator can be chased.
+                return None;
+            }
+        };
+        let name = claims.name.clone();
+        self.registry.lock().insert(
+            name.clone(),
+            NodeRecord {
+                link,
+                verdict: None,
+                reachable: true,
+            },
+        );
+        Some(name)
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.registry.lock().len()
+    }
+
+    /// Audit every registered node with seeds derived from `base_seed`.
+    /// Returns verdicts sorted by name.
+    pub fn audit_all(&self, base_seed: u64) -> Vec<(String, Option<VerificationVerdict>)> {
+        let mut registry = self.registry.lock();
+        let mut out = Vec::new();
+        for (i, (name, record)) in registry.iter_mut().enumerate() {
+            let seed = base_seed.wrapping_add(i as u64 * 0x9E37_79B9);
+            let verdict = self.audit_one(&mut record.link, seed);
+            record.reachable = verdict.is_some();
+            record.verdict = verdict.clone();
+            out.push((name.clone(), verdict));
+        }
+        out
+    }
+
+    /// Audit one node over its link.
+    pub fn audit_one(&self, link: &mut Link, seed: u64) -> Option<VerificationVerdict> {
+        let claims = match link.call(Request::Describe)? {
+            Response::Description(c) => c,
+            _ => return None,
+        };
+        let survey = match link.call(Request::RunSurvey {
+            config: self.survey_config,
+            seed,
+        })? {
+            Response::Survey(s) => s,
+            _ => return None,
+        };
+        let cells = match link.call(Request::ScanCells { seed: seed ^ 0xCE11 })? {
+            Response::Cells(c) => c,
+            _ => return None,
+        };
+        let tv = match link.call(Request::SweepTv { seed: seed ^ 0x7E1E })? {
+            Response::Tv(t) => t,
+            _ => return None,
+        };
+        Some(self.judge(claims, survey, cells, tv, seed))
+    }
+
+    /// Pure verification logic (no I/O): turn reported measurements into a
+    /// verdict. Public so the tests and the example can drive it directly.
+    pub fn judge(
+        &self,
+        claims: NodeClaims,
+        survey: SurveyResult,
+        cells: Vec<CellMeasurement>,
+        tv: Vec<TvMeasurement>,
+        seed: u64,
+    ) -> VerificationVerdict {
+        let fov = FovEstimator::default().estimate(&survey.points);
+        let profile = self.assemble_profile(&claims.position, cells, tv, seed);
+        let features = InstallFeatures::extract(&survey, &fov, &profile);
+        let install = self.classifier.classify(&features);
+        let trust = self
+            .auditor
+            .audit(&survey, &profile, &self.sky, fov.open_fraction());
+        let outdoor_claim_verified = claims.outdoor == install.outdoor;
+        let approved = trust.is_trustworthy() && outdoor_claim_verified;
+        VerificationVerdict {
+            measured_max_freq_hz: profile.max_usable_freq_hz(),
+            claims,
+            fov,
+            install,
+            outdoor_claim_verified,
+            trust,
+            approved,
+            profile,
+        }
+    }
+
+    /// Build the band profile: reported measurements vs the cloud's own
+    /// clear-sky expectation (computed from the public tower databases at
+    /// the claimed coordinates — no access to the node's environment).
+    fn assemble_profile(
+        &self,
+        claimed_position: &LatLon,
+        cells: Vec<CellMeasurement>,
+        tv: Vec<TvMeasurement>,
+        seed: u64,
+    ) -> FrequencyProfile {
+        let mut origin = *claimed_position;
+        origin.alt_m = 0.0;
+        let clear_world = World::open(origin);
+        let clear_site = SensorSite::outdoor("expectation", *claimed_position);
+        let cell_db = paper_towers(&origin);
+        let tv_db = paper_tv_towers(&origin);
+        let clear_cells = CellScanner::default().scan(&clear_world, &clear_site, &cell_db, seed ^ 1);
+        let clear_tv = TvPowerProbe::default().sweep(&clear_world, &clear_site, &tv_db, seed ^ 1);
+
+        let mut bands = Vec::new();
+        for (r, c) in cells.iter().zip(&clear_cells) {
+            bands.push(BandMeasurement {
+                label: r.tower_name.clone(),
+                freq_hz: r.freq_hz,
+                source: SourceKind::Cellular,
+                measured_db: r.rsrp_dbm,
+                expected_clear_db: c.rsrp_dbm.unwrap_or(-120.0),
+            });
+        }
+        for (r, c) in tv.iter().zip(&clear_tv) {
+            bands.push(BandMeasurement {
+                label: r.station.clone(),
+                freq_hz: r.center_hz,
+                source: SourceKind::BroadcastTv,
+                measured_db: Some(r.power_dbfs),
+                expected_clear_db: c.power_dbfs,
+            });
+        }
+        bands.sort_by(|a, b| a.freq_hz.partial_cmp(&b.freq_hz).unwrap());
+        FrequencyProfile { bands }
+    }
+
+    /// The marketplace: approved nodes, cheapest first.
+    pub fn marketplace(&self) -> Vec<(String, f64, f64)> {
+        let registry = self.registry.lock();
+        let mut listings: Vec<(String, f64, f64)> = registry
+            .iter()
+            .filter_map(|(name, rec)| {
+                let v = rec.verdict.as_ref()?;
+                v.approved.then(|| {
+                    (
+                        name.clone(),
+                        v.claims.price_per_hour,
+                        v.trust.score,
+                    )
+                })
+            })
+            .collect();
+        listings.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        listings
+    }
+
+    /// Shut down every registered node.
+    pub fn shutdown(self) {
+        let mut registry = self.registry.into_inner();
+        while let Some((_, record)) = registry.pop_first() {
+            record.link.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{NodeAgent, NodeBehavior};
+    use crate::transport::spawn_node;
+    use aircal_aircraft::TrafficConfig;
+    use aircal_env::{Scenario, ScenarioKind};
+
+    fn sky() -> Arc<TrafficSim> {
+        let center = aircal_env::scenarios::testbed_origin();
+        Arc::new(TrafficSim::generate(
+            TrafficConfig {
+                count: 40,
+                ..TrafficConfig::paper_default(center)
+            },
+            500,
+        ))
+    }
+
+    fn spawn(kind: ScenarioKind, behavior: NodeBehavior, sky: &Arc<TrafficSim>, seed: u64) -> Link {
+        spawn_node(
+            NodeAgent::new(Scenario::build(kind), behavior, sky.clone()),
+            0.0,
+            seed,
+        )
+    }
+
+    #[test]
+    fn honest_outdoor_node_approved() {
+        let sky = sky();
+        let cloud = Cloud::new(sky.clone());
+        cloud
+            .register(spawn(ScenarioKind::OpenField, NodeBehavior::Honest, &sky, 1))
+            .unwrap();
+        let verdicts = cloud.audit_all(600);
+        let (_, v) = &verdicts[0];
+        let v = v.as_ref().expect("reachable");
+        assert!(v.outdoor_claim_verified);
+        assert!(v.approved, "verdict {v:?}");
+        assert_eq!(cloud.marketplace().len(), 1);
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn false_outdoor_claim_caught() {
+        let sky = sky();
+        let cloud = Cloud::new(sky.clone());
+        cloud
+            .register(spawn(ScenarioKind::Indoor, NodeBehavior::FalseClaims, &sky, 2))
+            .unwrap();
+        let verdicts = cloud.audit_all(601);
+        let v = verdicts[0].1.as_ref().unwrap();
+        assert!(v.claims.outdoor, "the lie");
+        assert!(!v.install.outdoor, "the independent call");
+        assert!(!v.outdoor_claim_verified);
+        assert!(!v.approved);
+        assert!(cloud.marketplace().is_empty());
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn fabricator_rejected_by_trust() {
+        let sky = sky();
+        let cloud = Cloud::new(sky.clone());
+        cloud
+            .register(spawn(
+                ScenarioKind::OpenField,
+                NodeBehavior::Fabricator { ghosts: 120 },
+                &sky,
+                3,
+            ))
+            .unwrap();
+        let verdicts = cloud.audit_all(602);
+        let v = verdicts[0].1.as_ref().unwrap();
+        assert!(!v.trust.flags.is_empty(), "fabrication must be flagged");
+        assert!(!v.approved);
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn mixed_fleet_marketplace() {
+        let sky = sky();
+        let cloud = Cloud::new(sky.clone());
+        for (kind, behavior, seed) in [
+            (ScenarioKind::OpenField, NodeBehavior::Honest, 10u64),
+            (ScenarioKind::Rooftop, NodeBehavior::Honest, 11),
+            (ScenarioKind::Indoor, NodeBehavior::Honest, 12),
+            (ScenarioKind::BehindWindow, NodeBehavior::FalseClaims, 13),
+        ] {
+            cloud.register(spawn(kind, behavior, &sky, seed)).unwrap();
+        }
+        assert_eq!(cloud.node_count(), 4);
+        let verdicts = cloud.audit_all(603);
+        assert_eq!(verdicts.len(), 4);
+
+        let market = cloud.marketplace();
+        let names: Vec<&str> = market.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert!(names.contains(&"open-field"), "market {names:?}");
+        assert!(names.contains(&"rooftop"), "market {names:?}");
+        assert!(
+            !names.contains(&"behind-window"),
+            "false claimant must be excluded: {names:?}"
+        );
+        // The honest indoor node is honest about being indoor: the claim
+        // verifies; whether it is *approved* depends on its trust score.
+        for v in verdicts.iter().filter_map(|(_, v)| v.as_ref()) {
+            if v.claims.name == "indoor" {
+                assert!(v.outdoor_claim_verified);
+            }
+        }
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn unreachable_node_reported() {
+        let sky = sky();
+        let cloud = Cloud::new(sky.clone());
+        // 100%-lossy link: registration fails cleanly.
+        let dead_link = spawn_node(
+            NodeAgent::new(
+                Scenario::build(ScenarioKind::OpenField),
+                NodeBehavior::Honest,
+                sky.clone(),
+            ),
+            0.999,
+            4,
+        );
+        assert!(cloud.register(dead_link).is_none());
+        assert_eq!(cloud.node_count(), 0);
+        cloud.shutdown();
+    }
+}

@@ -1,0 +1,159 @@
+//! The node ⇄ cloud transport: a duplex crossbeam-channel link plus the
+//! node service loop on its own OS thread.
+//!
+//! The link optionally drops requests (flaky last-mile connectivity) —
+//! the cloud treats a timeout as "node unreachable", which is itself an
+//! auditable signal.
+
+use crate::node::NodeAgent;
+use crate::protocol::{Request, Response};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The cloud's handle to one node.
+pub struct Link {
+    tx: Sender<Request>,
+    rx: Receiver<Response>,
+    /// Per-request drop probability, [0, 1).
+    pub drop_probability: f64,
+    /// How long the cloud waits before declaring the node unreachable.
+    pub timeout: Duration,
+    rng: ChaCha8Rng,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Link {
+    /// Send a request and wait for the reply. `None` = dropped or timed
+    /// out (the cloud cannot tell the difference, as in real life).
+    pub fn call(&mut self, request: Request) -> Option<Response> {
+        if self.drop_probability > 0.0 && self.rng.gen_range(0.0..1.0) < self.drop_probability {
+            return None; // swallowed by the network
+        }
+        self.tx.send(request).ok()?;
+        match self.rx.recv_timeout(self.timeout) {
+            Ok(resp) => Some(resp),
+            Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Shut the node down and join its thread.
+    pub fn shutdown(mut self) {
+        let _ = self.tx.send(Request::Shutdown);
+        // Drain the Bye (or give up after the timeout).
+        let _ = self.rx.recv_timeout(self.timeout);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Link {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Request::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Start a node agent on its own thread and return the cloud-side link.
+pub fn spawn_node(agent: NodeAgent, drop_probability: f64, link_seed: u64) -> Link {
+    let (req_tx, req_rx) = bounded::<Request>(4);
+    let (resp_tx, resp_rx) = bounded::<Response>(4);
+    let handle = std::thread::Builder::new()
+        .name(format!("node-{}", agent.claims.name))
+        .spawn(move || {
+            while let Ok(req) = req_rx.recv() {
+                let shutdown = matches!(req, Request::Shutdown);
+                let resp = agent.handle(&req);
+                if resp_tx.send(resp).is_err() || shutdown {
+                    break;
+                }
+            }
+        })
+        .expect("spawn node thread");
+    Link {
+        tx: req_tx,
+        rx: resp_rx,
+        drop_probability: drop_probability.clamp(0.0, 0.999),
+        timeout: Duration::from_secs(120),
+        rng: ChaCha8Rng::seed_from_u64(link_seed),
+        handle: Some(handle),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeBehavior;
+    use aircal_aircraft::{TrafficConfig, TrafficSim};
+    use aircal_env::{Scenario, ScenarioKind};
+    use std::sync::Arc;
+
+    fn agent(kind: ScenarioKind) -> NodeAgent {
+        let s = Scenario::build(kind);
+        let sky = Arc::new(TrafficSim::generate(
+            TrafficConfig {
+                count: 20,
+                ..TrafficConfig::paper_default(s.site.position)
+            },
+            11,
+        ));
+        NodeAgent::new(s, NodeBehavior::Honest, sky)
+    }
+
+    #[test]
+    fn request_reply_over_thread() {
+        let mut link = spawn_node(agent(ScenarioKind::OpenField), 0.0, 1);
+        let resp = link.call(Request::Describe).expect("reply");
+        assert_eq!(resp.kind(), "description");
+        link.shutdown();
+    }
+
+    #[test]
+    fn lossy_link_sometimes_swallows() {
+        let mut link = spawn_node(agent(ScenarioKind::OpenField), 0.7, 2);
+        let mut answered = 0;
+        for _ in 0..30 {
+            if link.call(Request::Describe).is_some() {
+                answered += 1;
+            }
+        }
+        assert!(answered > 0, "some requests should get through");
+        assert!(answered < 30, "a 70% lossy link cannot answer everything");
+        link.shutdown();
+    }
+
+    #[test]
+    fn multiple_nodes_run_concurrently() {
+        let mut links: Vec<Link> = [
+            ScenarioKind::Rooftop,
+            ScenarioKind::Indoor,
+            ScenarioKind::OpenField,
+        ]
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| spawn_node(agent(k), 0.0, i as u64))
+        .collect();
+        let mut names = Vec::new();
+        for link in &mut links {
+            if let Some(Response::Description(c)) = link.call(Request::Describe) {
+                names.push(c.name);
+            }
+        }
+        names.sort();
+        assert_eq!(names, vec!["indoor", "open-field", "rooftop"]);
+        for link in links {
+            link.shutdown();
+        }
+    }
+
+    #[test]
+    fn drop_is_graceful_without_shutdown_call() {
+        let link = spawn_node(agent(ScenarioKind::OpenField), 0.0, 3);
+        drop(link); // Drop impl must join without hanging.
+    }
+}

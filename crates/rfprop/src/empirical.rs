@@ -1,0 +1,198 @@
+//! Empirical macro-cell path-loss models: Okumura-Hata and COST-231 Hata,
+//! plus ITU-R P.838-style rain attenuation for millimeter wave.
+//!
+//! The geometric models in [`crate::pathloss`] plus explicit buildings
+//! describe the near field around a site. For *city-scale* links (the
+//! 40 km low-band cellular coverage the paper quotes, or TV at 50 km),
+//! decades of drive tests are baked into these empirical fits; the
+//! ablation benches use them as an alternative channel to show the
+//! calibration conclusions do not hinge on the free-space assumption.
+
+/// Environment class for the Hata family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HataEnvironment {
+    /// Dense urban (large city).
+    Urban,
+    /// Suburban.
+    Suburban,
+    /// Open / rural.
+    Open,
+}
+
+/// Okumura-Hata path loss, dB.
+///
+/// Valid ranges per the original fit: f 150–1500 MHz, base height 30–200 m,
+/// mobile height 1–10 m, distance 1–20 km. Inputs are clamped into those
+/// ranges (callers probing outside get the boundary value, documented
+/// behaviour for a fit).
+pub fn okumura_hata_db(
+    freq_hz: f64,
+    distance_m: f64,
+    base_height_m: f64,
+    mobile_height_m: f64,
+    env: HataEnvironment,
+) -> f64 {
+    let f = (freq_hz / 1e6).clamp(150.0, 1500.0);
+    let d = (distance_m / 1000.0).clamp(1.0, 20.0);
+    let hb = base_height_m.clamp(30.0, 200.0);
+    let hm = mobile_height_m.clamp(1.0, 10.0);
+
+    // Mobile antenna correction for a medium/small city.
+    let a_hm = (1.1 * f.log10() - 0.7) * hm - (1.56 * f.log10() - 0.8);
+    let urban = 69.55 + 26.16 * f.log10() - 13.82 * hb.log10() - a_hm
+        + (44.9 - 6.55 * hb.log10()) * d.log10();
+    match env {
+        HataEnvironment::Urban => urban,
+        HataEnvironment::Suburban => {
+            urban - 2.0 * (f / 28.0).log10().powi(2) - 5.4
+        }
+        HataEnvironment::Open => {
+            urban - 4.78 * f.log10().powi(2) + 18.33 * f.log10() - 40.94
+        }
+    }
+}
+
+/// COST-231 Hata extension (1500–2000 MHz), dB. Same clamping policy.
+pub fn cost231_hata_db(
+    freq_hz: f64,
+    distance_m: f64,
+    base_height_m: f64,
+    mobile_height_m: f64,
+    dense_urban: bool,
+) -> f64 {
+    let f = (freq_hz / 1e6).clamp(1500.0, 2000.0);
+    let d = (distance_m / 1000.0).clamp(1.0, 20.0);
+    let hb = base_height_m.clamp(30.0, 200.0);
+    let hm = mobile_height_m.clamp(1.0, 10.0);
+    let a_hm = (1.1 * f.log10() - 0.7) * hm - (1.56 * f.log10() - 0.8);
+    let c_m = if dense_urban { 3.0 } else { 0.0 };
+    46.3 + 33.9 * f.log10() - 13.82 * hb.log10() - a_hm
+        + (44.9 - 6.55 * hb.log10()) * d.log10()
+        + c_m
+}
+
+/// Specific rain attenuation γ = k·R^α in dB/km (ITU-R P.838 power-law
+/// with coefficients interpolated over our frequency range of interest,
+/// horizontal polarization).
+pub fn rain_specific_attenuation_db_per_km(freq_hz: f64, rain_rate_mm_h: f64) -> f64 {
+    let f_ghz = (freq_hz / 1e9).clamp(1.0, 100.0);
+    // Log-log interpolation over P.838 anchor points (k, α).
+    const ANCHORS: [(f64, f64, f64); 7] = [
+        (1.0, 0.0000387, 0.912),
+        (4.0, 0.00065, 1.121),
+        (10.0, 0.01217, 1.2571),
+        (20.0, 0.09164, 1.0568),
+        (30.0, 0.2403, 0.9485),
+        (60.0, 0.8606, 0.7656),
+        (100.0, 1.3671, 0.6815),
+    ];
+    let mut k = ANCHORS[0].1;
+    let mut alpha = ANCHORS[0].2;
+    for w in ANCHORS.windows(2) {
+        let (f0, k0, a0) = w[0];
+        let (f1, k1, a1) = w[1];
+        if f_ghz >= f0 && f_ghz <= f1 {
+            let t = (f_ghz.ln() - f0.ln()) / (f1.ln() - f0.ln());
+            k = (k0.ln() + t * (k1.ln() - k0.ln())).exp();
+            alpha = a0 + t * (a1 - a0);
+            break;
+        }
+        k = k1;
+        alpha = a1;
+    }
+    k * rain_rate_mm_h.max(0.0).powf(alpha)
+}
+
+/// Total rain loss over a path, dB.
+pub fn rain_loss_db(freq_hz: f64, rain_rate_mm_h: f64, path_length_m: f64) -> f64 {
+    rain_specific_attenuation_db_per_km(freq_hz, rain_rate_mm_h) * (path_length_m / 1000.0).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pathloss::free_space_path_loss_db;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hata_urban_reference_value() {
+        // Hand-computed from the formula: 900 MHz, 5 km, hb 50 m,
+        // hm 1.5 m, urban → 146.9 dB.
+        let pl = okumura_hata_db(900e6, 5_000.0, 50.0, 1.5, HataEnvironment::Urban);
+        assert!((pl - 146.94).abs() < 0.1, "got {pl}");
+    }
+
+    #[test]
+    fn hata_exceeds_free_space() {
+        // Clutter always costs more than vacuum.
+        for d in [1_000.0, 5_000.0, 15_000.0] {
+            let hata = okumura_hata_db(900e6, d, 30.0, 1.5, HataEnvironment::Urban);
+            let fspl = free_space_path_loss_db(d, 900e6);
+            assert!(hata > fspl + 10.0, "at {d} m: hata {hata} vs fspl {fspl}");
+        }
+    }
+
+    #[test]
+    fn environment_ordering() {
+        let args = (900e6, 8_000.0, 40.0, 1.5);
+        let urban = okumura_hata_db(args.0, args.1, args.2, args.3, HataEnvironment::Urban);
+        let suburban = okumura_hata_db(args.0, args.1, args.2, args.3, HataEnvironment::Suburban);
+        let open = okumura_hata_db(args.0, args.1, args.2, args.3, HataEnvironment::Open);
+        assert!(urban > suburban && suburban > open, "{urban} {suburban} {open}");
+    }
+
+    #[test]
+    fn cost231_continues_hata_scale() {
+        // At the 1500 MHz seam the two fits agree within a few dB.
+        let hata = okumura_hata_db(1_500e6, 5_000.0, 40.0, 1.5, HataEnvironment::Urban);
+        let cost = cost231_hata_db(1_500e6, 5_000.0, 40.0, 1.5, false);
+        assert!((hata - cost).abs() < 6.0, "hata {hata} vs cost231 {cost}");
+    }
+
+    #[test]
+    fn taller_base_station_helps() {
+        let low = okumura_hata_db(900e6, 10_000.0, 30.0, 1.5, HataEnvironment::Urban);
+        let high = okumura_hata_db(900e6, 10_000.0, 150.0, 1.5, HataEnvironment::Urban);
+        assert!(high < low - 5.0);
+    }
+
+    #[test]
+    fn rain_reference_points() {
+        // 28 GHz at 25 mm/h (heavy rain) ≈ 4–6 dB/km — the classic mmWave
+        // planning number.
+        let g = rain_specific_attenuation_db_per_km(28e9, 25.0);
+        assert!((3.0..=7.0).contains(&g), "got {g}");
+        // 1 GHz: rain is irrelevant (< 0.01 dB/km).
+        assert!(rain_specific_attenuation_db_per_km(1e9, 25.0) < 0.01);
+    }
+
+    #[test]
+    fn rain_loss_scales_with_path() {
+        let a = rain_loss_db(28e9, 25.0, 1_000.0);
+        let b = rain_loss_db(28e9, 25.0, 3_000.0);
+        assert!((b / a - 3.0).abs() < 1e-9);
+        assert_eq!(rain_loss_db(28e9, 0.0, 5_000.0), 0.0);
+    }
+
+    proptest! {
+        /// Rain attenuation is monotone in both rate and frequency over
+        /// the modeled range.
+        #[test]
+        fn rain_monotone(f1 in 1e9f64..95e9, r1 in 0.1f64..100.0, r2 in 0.1f64..100.0) {
+            let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+            prop_assert!(
+                rain_specific_attenuation_db_per_km(f1, lo)
+                    <= rain_specific_attenuation_db_per_km(f1, hi) + 1e-12
+            );
+        }
+
+        /// Hata is monotone in distance (inside the clamp window).
+        #[test]
+        fn hata_monotone_distance(d1 in 1_000.0f64..20_000.0, d2 in 1_000.0f64..20_000.0) {
+            let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+            let a = okumura_hata_db(900e6, lo, 40.0, 1.5, HataEnvironment::Urban);
+            let b = okumura_hata_db(900e6, hi, 40.0, 1.5, HataEnvironment::Urban);
+            prop_assert!(a <= b + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Frequency-dependent building-material attenuation.
+//!
+//! The paper's Figure 3 hinges on exactly this physics: "700 MHz signals
+//! can penetrate buildings much better than mid-band signals from towers 2
+//! through 5, although the difference varies based on building materials."
+//!
+//! Loss values follow the linear-in-frequency models of ITU-R P.2040-1 /
+//! 3GPP TR 38.901 §7.4.3 (O2I penetration): each material contributes
+//! `a + b·f_GHz` dB per traversal of a standard-thickness element.
+
+use serde::{Deserialize, Serialize};
+
+/// Common building materials, with standard-element penetration loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Material {
+    /// Standard (non-coated) glass: nearly transparent at low GHz.
+    Glass,
+    /// Infrared-reflective (low-emissivity) glass: surprisingly lossy.
+    IrrGlass,
+    /// Concrete wall.
+    Concrete,
+    /// Brick wall.
+    Brick,
+    /// Interior drywall / plasterboard.
+    Drywall,
+    /// Wood panel / door.
+    Wood,
+    /// Sheet metal (roof deck, HVAC): essentially opaque.
+    Metal,
+}
+
+impl Material {
+    /// Penetration loss in dB through one standard-thickness element at the
+    /// given frequency.
+    ///
+    /// Coefficients from ITU-R P.2040-1 Table 3 / 3GPP TR 38.901 Table
+    /// 7.4.3-1 (`L = a + b·f_GHz`), clamped below at 0 dB.
+    pub fn penetration_loss_db(&self, freq_hz: f64) -> f64 {
+        let f_ghz = (freq_hz / 1e9).max(0.0);
+        let (a, b) = match self {
+            Material::Glass => (2.0, 0.2),
+            Material::IrrGlass => (23.0, 0.3),
+            Material::Concrete => (5.0, 4.0),
+            Material::Brick => (6.0, 2.5),
+            Material::Drywall => (2.0, 1.2),
+            Material::Wood => (4.85, 0.12),
+            Material::Metal => (50.0, 1.0),
+        };
+        (a + b * f_ghz).max(0.0)
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Material::Glass => "glass",
+            Material::IrrGlass => "IRR glass",
+            Material::Concrete => "concrete",
+            Material::Brick => "brick",
+            Material::Drywall => "drywall",
+            Material::Wood => "wood",
+            Material::Metal => "metal",
+        }
+    }
+}
+
+/// Total penetration loss of a path crossing a sequence of materials
+/// (e.g. an indoor sensor behind glass + two drywall partitions).
+pub fn stack_loss_db(materials: &[Material], freq_hz: f64) -> f64 {
+    materials
+        .iter()
+        .map(|m| m.penetration_loss_db(freq_hz))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concrete_blocks_more_at_higher_frequency() {
+        // The paper's tower-1-vs-towers-2..5 effect.
+        let low = Material::Concrete.penetration_loss_db(731e6);
+        let mid = Material::Concrete.penetration_loss_db(2.145e9);
+        assert!(low < mid, "{low} !< {mid}");
+        assert!(mid - low > 4.0, "frequency effect too small: {}", mid - low);
+    }
+
+    #[test]
+    fn glass_mild_metal_severe() {
+        let f = 1.09e9;
+        assert!(Material::Glass.penetration_loss_db(f) < 4.0);
+        assert!(Material::Metal.penetration_loss_db(f) > 45.0);
+    }
+
+    #[test]
+    fn irr_glass_much_worse_than_plain() {
+        let f = 2e9;
+        let plain = Material::Glass.penetration_loss_db(f);
+        let irr = Material::IrrGlass.penetration_loss_db(f);
+        assert!(irr > plain + 15.0);
+    }
+
+    #[test]
+    fn stack_adds_losses() {
+        let f = 731e6;
+        let stack = [Material::Glass, Material::Drywall, Material::Drywall];
+        let total = stack_loss_db(&stack, f);
+        let by_hand: f64 = stack.iter().map(|m| m.penetration_loss_db(f)).sum();
+        assert!((total - by_hand).abs() < 1e-12);
+        assert_eq!(stack_loss_db(&[], f), 0.0);
+    }
+
+    #[test]
+    fn loss_never_negative() {
+        for m in [
+            Material::Glass,
+            Material::IrrGlass,
+            Material::Concrete,
+            Material::Brick,
+            Material::Drywall,
+            Material::Wood,
+            Material::Metal,
+        ] {
+            for f in [85e6, 731e6, 1.09e9, 2.68e9, 6e9, 28e9] {
+                assert!(m.penetration_loss_db(f) >= 0.0, "{m:?} at {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        use std::collections::HashSet;
+        let names: HashSet<&str> = [
+            Material::Glass,
+            Material::IrrGlass,
+            Material::Concrete,
+            Material::Brick,
+            Material::Drywall,
+            Material::Wood,
+            Material::Metal,
+        ]
+        .iter()
+        .map(|m| m.name())
+        .collect();
+        assert_eq!(names.len(), 7);
+    }
+}

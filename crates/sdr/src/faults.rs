@@ -1,0 +1,123 @@
+//! Front-end faults: the installation problems the paper's calibration is
+//! designed to detect without a site visit.
+//!
+//! "There are numerous problems that affect the quality of data such as the
+//! efficiency of the antenna and the sensitivity of the SDR in the desired
+//! spectrum bands, potential obstruction of the antenna …, and installation
+//! issues such as damaged antenna cables."
+
+use serde::{Deserialize, Serialize};
+
+/// A hardware/installation fault applied at the antenna port.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FrontendFault {
+    /// Healthy front end.
+    None,
+    /// Flat extra loss at all frequencies — a pinched/damaged coax run or a
+    /// corroded connector.
+    CableLoss {
+        /// Extra loss, dB.
+        db: f64,
+    },
+    /// The antenna/front end is deaf within a band — e.g. an antenna whose
+    /// usable range ends below the band of interest (the paper's "can a
+    /// node truly receive the entire claimed range" question).
+    DeafBand {
+        /// Lower edge, Hz.
+        lo_hz: f64,
+        /// Upper edge, Hz.
+        hi_hz: f64,
+        /// Loss inside the band, dB.
+        loss_db: f64,
+    },
+    /// Rolls off above a cutoff — a narrowband antenna sold as wideband.
+    DeafAbove {
+        /// Cutoff frequency, Hz.
+        cutoff_hz: f64,
+        /// Loss beyond the cutoff, dB.
+        loss_db: f64,
+    },
+    /// Completely dead (disconnected antenna): nothing but noise.
+    Dead,
+}
+
+impl FrontendFault {
+    /// Extra loss in dB this fault imposes at a carrier frequency.
+    pub fn loss_db(&self, freq_hz: f64) -> f64 {
+        match *self {
+            FrontendFault::None => 0.0,
+            FrontendFault::CableLoss { db } => db.max(0.0),
+            FrontendFault::DeafBand {
+                lo_hz,
+                hi_hz,
+                loss_db,
+            } => {
+                if freq_hz >= lo_hz && freq_hz <= hi_hz {
+                    loss_db.max(0.0)
+                } else {
+                    0.0
+                }
+            }
+            FrontendFault::DeafAbove { cutoff_hz, loss_db } => {
+                if freq_hz > cutoff_hz {
+                    loss_db.max(0.0)
+                } else {
+                    0.0
+                }
+            }
+            FrontendFault::Dead => 200.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_is_lossless() {
+        assert_eq!(FrontendFault::None.loss_db(1e9), 0.0);
+    }
+
+    #[test]
+    fn cable_loss_flat_across_bands() {
+        let f = FrontendFault::CableLoss { db: 8.0 };
+        assert_eq!(f.loss_db(100e6), 8.0);
+        assert_eq!(f.loss_db(6e9), 8.0);
+    }
+
+    #[test]
+    fn deaf_band_selective() {
+        let f = FrontendFault::DeafBand {
+            lo_hz: 2.0e9,
+            hi_hz: 3.0e9,
+            loss_db: 40.0,
+        };
+        assert_eq!(f.loss_db(1.09e9), 0.0);
+        assert_eq!(f.loss_db(2.5e9), 40.0);
+        assert_eq!(f.loss_db(3.5e9), 0.0);
+    }
+
+    #[test]
+    fn deaf_above_cutoff() {
+        // The paper's motivating example: claims 100 MHz–6 GHz, actually
+        // deaf above 2.7 GHz (the whip's real spec).
+        let f = FrontendFault::DeafAbove {
+            cutoff_hz: 2.7e9,
+            loss_db: 30.0,
+        };
+        assert_eq!(f.loss_db(2.66e9), 0.0);
+        assert_eq!(f.loss_db(3.5e9), 30.0);
+    }
+
+    #[test]
+    fn dead_kills_everything() {
+        assert!(FrontendFault::Dead.loss_db(1e9) >= 100.0);
+    }
+
+    #[test]
+    fn negative_loss_clamped() {
+        let f = FrontendFault::CableLoss { db: -3.0 };
+        assert_eq!(f.loss_db(1e9), 0.0);
+    }
+}

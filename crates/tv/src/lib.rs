@@ -1,0 +1,29 @@
+//! Broadcast TV (ATSC) substrate: channel plan, 8VSB-like signal
+//! synthesis, transmitter database, and the paper's band-power probe.
+//!
+//! §3.2, Broadcast TV: "to measure signal quality, we developed our own
+//! program using the GNU Radio software environment. The SDR was
+//! configured with a fixed gain … The received power was measured by
+//! bandpass filtering a desired ATSC channel, then applying Parseval's
+//! identity to measure the band's power by running the magnitude-squared
+//! time-domain samples through a very long moving average filter."
+//!
+//! [`probe::TvPowerProbe`] is that program: it tunes the simulated front
+//! end to each channel, synthesizes the 8VSB-like signal as received
+//! through the environment model, and measures dBFS through
+//! `aircal_dsp::BandPowerMeter` — the same filter → |x|² → long-moving-
+//! average chain.
+
+pub mod channels;
+pub mod probe;
+pub mod synth;
+pub mod towers;
+
+pub use channels::AtscChannel;
+pub use probe::{TvMeasurement, TvPowerProbe, TvProbeConfig};
+pub use towers::{paper_tv_towers, TvTower};
+
+/// ATSC channel bandwidth, Hz.
+pub const CHANNEL_BANDWIDTH_HZ: f64 = 6.0e6;
+/// Occupied 8VSB symbol bandwidth, Hz (10.762 MHz symbol rate, VSB).
+pub const OCCUPIED_BANDWIDTH_HZ: f64 = 5.381e6;

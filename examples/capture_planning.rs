@@ -1,0 +1,37 @@
+//! Measurement scheduling (§5 future work): decide *when* to run ADS-B
+//! captures so each one sees as much fresh traffic as possible.
+//!
+//! ```sh
+//! cargo run --release --example capture_planning [n_captures]
+//! ```
+
+use aircal_core::scheduler::{MeasurementScheduler, TrafficDensityModel};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+
+    let density = TrafficDensityModel::default();
+    println!("expected aircraft in the 100 km disc by hour:");
+    for h in (0..24).step_by(2) {
+        let e = density.expected_aircraft(h as f64);
+        println!("  {:02}:00  {:>5.1}  |{}", h, e, "#".repeat(e as usize / 2));
+    }
+
+    let scheduler = MeasurementScheduler::default();
+    let plan = scheduler.plan(n);
+    println!("\nplanned {} capture windows:", plan.len());
+    for c in &plan {
+        println!(
+            "  {:02}:{:02}  expected {:>5.1} aircraft  (marginal value {:.1})",
+            c.start_hour as u32,
+            ((c.start_hour % 1.0) * 60.0).round() as u32,
+            c.expected_aircraft,
+            c.marginal_value,
+        );
+    }
+    let total: f64 = plan.iter().map(|c| c.marginal_value).sum();
+    println!("\ntotal discounted information: {total:.1}");
+}

@@ -1,0 +1,94 @@
+//! Fault injection: show that the calibration pipeline catches the
+//! installation problems the paper lists — "the efficiency of the antenna
+//! and the sensitivity of the SDR in the desired spectrum bands, potential
+//! obstruction of the antenna …, installation issues such as damaged
+//! antenna cables" — and fabricated data.
+//!
+//! ```sh
+//! cargo run --release --example fault_injection [seed]
+//! ```
+
+use aircal::prelude::*;
+use aircal_aircraft::{TrafficConfig, TrafficSim};
+use aircal_core::trust::{fabricate_survey, TrustAuditor};
+use aircal_core::freqprofile::FrequencyProfiler;
+use aircal_core::fov::FovEstimator;
+use aircal_sdr::FrontendFault;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9);
+
+    let scenario = Scenario::build(ScenarioKind::OpenField);
+    let traffic = TrafficSim::generate(
+        TrafficConfig {
+            count: 50,
+            ..TrafficConfig::paper_default(scenario.site.position)
+        },
+        seed,
+    );
+    let cells = aircal_cellular::paper_towers(&scenario.world.origin);
+    let tv = aircal_tv::paper_tv_towers(&scenario.world.origin);
+    let profile =
+        FrequencyProfiler::default().profile(&scenario.world, &scenario.site, &cells, &tv, seed);
+
+    let faults: [(&str, FrontendFault); 4] = [
+        ("healthy", FrontendFault::None),
+        ("8 dB cable loss", FrontendFault::CableLoss { db: 8.0 }),
+        (
+            "deaf above 900 MHz",
+            FrontendFault::DeafAbove {
+                cutoff_hz: 900e6,
+                loss_db: 40.0,
+            },
+        ),
+        ("dead front end", FrontendFault::Dead),
+    ];
+
+    println!(
+        "{:20} {:>9} {:>9} {:>9} {:>7}  flags",
+        "condition", "observed", "messages", "maxrange", "trust"
+    );
+    for (label, fault) in faults {
+        let cfg = SurveyConfig {
+            fault,
+            ..SurveyConfig::quick()
+        };
+        let survey = run_survey(&scenario.world, &scenario.site, &traffic, &cfg, seed);
+        let fov = FovEstimator::default().estimate(&survey.points);
+        let trust =
+            TrustAuditor::default().audit(&survey, &profile, &traffic, fov.open_fraction());
+        print_row(label, &survey, trust.score, &trust.flags);
+    }
+
+    // The cheater: an operator who claims to have heard everything.
+    let honest = run_survey(
+        &scenario.world,
+        &scenario.site,
+        &traffic,
+        &SurveyConfig::quick(),
+        seed,
+    );
+    let fake = fabricate_survey(&honest, honest.total_messages / 12);
+    let fov = FovEstimator::default().estimate(&fake.points);
+    let trust = TrustAuditor::default().audit(&fake, &profile, &traffic, fov.open_fraction());
+    print_row("fabricated data", &fake, trust.score, &trust.flags);
+}
+
+fn print_row(label: &str, survey: &SurveyResult, trust: f64, flags: &[String]) {
+    println!(
+        "{:20} {:>8.0}% {:>9} {:>6.0} km {:>7.0}  {}",
+        label,
+        survey.observation_rate() * 100.0,
+        survey.total_messages,
+        survey.max_observed_range_m() / 1_000.0,
+        trust,
+        if flags.is_empty() {
+            "-".to_string()
+        } else {
+            flags.join("; ")
+        }
+    );
+}

@@ -1,0 +1,53 @@
+//! Audit a whole fleet of sensor nodes and rank them for the rental
+//! marketplace the paper envisions (§2: "node operators offer spectrum
+//! sensing as a service and users pay to rent these services").
+//!
+//! ```sh
+//! cargo run --release --example fleet_audit [seed]
+//! ```
+
+use aircal::prelude::*;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+
+    let fleet = all_scenarios();
+    println!("auditing {} nodes…\n", fleet.len());
+    let report = FleetAuditor::new(Calibrator::quick()).audit(&fleet, seed);
+
+    println!(
+        "{:>4}  {:14} {:>6}  {:>9}  {:>7}  {:>8}  {:8}  flags",
+        "rank", "node", "trust", "fov", "bands", "maxrange", "install"
+    );
+    for n in &report.nodes {
+        let r = &n.report;
+        println!(
+            "{:>4}  {:14} {:>6.0}  {:>7.0}°  {:>6.0}%  {:>5.0} km  {:8}  {}",
+            n.rank,
+            n.name,
+            r.trust.score,
+            r.fov.estimated.width_deg,
+            r.frequency.usable_fraction() * 100.0,
+            r.survey.max_observed_range_m / 1_000.0,
+            if r.install.outdoor { "outdoor" } else { "indoor" },
+            if r.trust.flags.is_empty() {
+                "-".to_string()
+            } else {
+                r.trust.flags.join("; ")
+            }
+        );
+    }
+
+    // A renter's query: outdoor nodes with at least 90° of sky and full
+    // band coverage.
+    let eligible = report.filter(|r| {
+        r.install.outdoor && r.fov.estimated.width_deg >= 90.0 && r.frequency.usable_fraction() >= 0.99
+    });
+    println!(
+        "\nrentable for 'outdoor, ≥90° sky, all bands': {:?}",
+        eligible.iter().map(|n| n.name.as_str()).collect::<Vec<_>>()
+    );
+}

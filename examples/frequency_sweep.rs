@@ -1,0 +1,67 @@
+//! Frequency-response evaluation at the paper's three locations — the
+//! cellular RSRP experiment of Figure 3 and the broadcast-TV band-power
+//! experiment of Figure 4, printed as bar tables.
+//!
+//! ```sh
+//! cargo run --release --example frequency_sweep [seed]
+//! ```
+
+use aircal::prelude::*;
+use aircal_cellular::{paper_towers, CellScanner};
+use aircal_tv::{paper_tv_towers, TvPowerProbe};
+
+fn bar(db_above_floor: f64) -> String {
+    "#".repeat((db_above_floor.max(0.0) / 2.0).round() as usize)
+}
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(11);
+    let scenarios = paper_scenarios();
+
+    println!("== Cellular RSRP (Figure 3) ==========================================");
+    let scanner = CellScanner::default();
+    for s in &scenarios {
+        let db = paper_towers(&s.world.origin);
+        println!("\n  location: {}", s.site.name);
+        for m in scanner.scan(&s.world, &s.site, &db, seed) {
+            match m.rsrp_dbm {
+                Some(rsrp) => println!(
+                    "    {:8} {:6.0} MHz  RSRP {rsrp:7.1} dBm  |{}",
+                    m.tower_name,
+                    m.freq_hz / 1e6,
+                    bar(rsrp + 105.0),
+                ),
+                None => println!(
+                    "    {:8} {:6.0} MHz  RSRP    ---- dBm  (no sync — missing bar)",
+                    m.tower_name,
+                    m.freq_hz / 1e6,
+                ),
+            }
+        }
+    }
+
+    println!("\n== Broadcast TV band power (Figure 4) ================================");
+    let probe = TvPowerProbe::default();
+    for s in &scenarios {
+        let towers = paper_tv_towers(&s.world.origin);
+        println!("\n  location: {}", s.site.name);
+        for m in probe.sweep(&s.world, &s.site, &towers, seed) {
+            println!(
+                "    RF {:2} {:5.0} MHz  power {:7.1} dBFS  |{}",
+                m.rf_channel,
+                m.center_hz / 1e6,
+                m.power_dbfs,
+                bar(m.power_dbfs + 60.0),
+            );
+        }
+    }
+
+    println!(
+        "\nNote the paper's two signatures: indoors only the 731 MHz cell survives\n\
+         (700 MHz penetrates walls), and the 521 MHz TV channel is anomalously\n\
+         strong behind the window (its transmitter sits in the window's view)."
+    );
+}

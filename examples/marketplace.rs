@@ -1,0 +1,82 @@
+//! The whole vision, end to end: a crowd-sourced network of sensor nodes
+//! (each on its own thread), a cloud that audits them with commissioned
+//! measurements, claim verification, and the rentable-node marketplace.
+//!
+//! ```sh
+//! cargo run --release --example marketplace [seed]
+//! ```
+
+use aircal::net::{Cloud, NodeAgent, NodeBehavior};
+use aircal_aircraft::{TrafficConfig, TrafficSim};
+use aircal_env::{scenarios::testbed_origin, Scenario, ScenarioKind};
+use std::sync::Arc;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(77);
+
+    // The shared sky every node hears, and the tracking service the cloud
+    // consults as ground truth.
+    let sky = Arc::new(TrafficSim::generate(
+        TrafficConfig {
+            count: 45,
+            ..TrafficConfig::paper_default(testbed_origin())
+        },
+        seed,
+    ));
+
+    let cloud = Cloud::new(sky.clone());
+
+    // Five operators sign up: three honest installs of varying quality,
+    // one who lies about being outdoors, one who fabricates receptions.
+    let roster: [(ScenarioKind, NodeBehavior); 5] = [
+        (ScenarioKind::OpenField, NodeBehavior::Honest),
+        (ScenarioKind::Rooftop, NodeBehavior::Honest),
+        (ScenarioKind::Indoor, NodeBehavior::Honest),
+        (ScenarioKind::BehindWindow, NodeBehavior::FalseClaims),
+        (ScenarioKind::UrbanCanyon, NodeBehavior::Fabricator { ghosts: 100 }),
+    ];
+    println!("registering {} nodes…", roster.len());
+    for (i, (kind, behavior)) in roster.into_iter().enumerate() {
+        let agent = NodeAgent::new(Scenario::build(kind), behavior, sky.clone());
+        let name = cloud
+            .register(aircal::net::spawn_node(agent, 0.0, seed + i as u64))
+            .expect("registration");
+        println!("  + {name}");
+    }
+
+    println!("\nauditing (commissioned surveys + cross-band sweeps)…\n");
+    let verdicts = cloud.audit_all(seed ^ 0xA0D17);
+
+    println!(
+        "{:16} {:>8} {:>9} {:>10} {:>7} {:>9}  flags",
+        "node", "claims", "measured", "claim OK?", "trust", "approved"
+    );
+    for (name, verdict) in &verdicts {
+        match verdict {
+            Some(v) => println!(
+                "{:16} {:>8} {:>9} {:>10} {:>7.0} {:>9}  {}",
+                name,
+                if v.claims.outdoor { "outdoor" } else { "indoor" },
+                if v.install.outdoor { "outdoor" } else { "indoor" },
+                if v.outdoor_claim_verified { "yes" } else { "NO" },
+                v.trust.score,
+                if v.approved { "yes" } else { "NO" },
+                if v.trust.flags.is_empty() {
+                    "-".to_string()
+                } else {
+                    v.trust.flags.join("; ")
+                },
+            ),
+            None => println!("{name:16} UNREACHABLE"),
+        }
+    }
+
+    println!("\nmarketplace (approved nodes, cheapest first):");
+    for (name, price, trust) in cloud.marketplace() {
+        println!("  {name:16} {price:>5.2}/h  trust {trust:.0}");
+    }
+    cloud.shutdown();
+}

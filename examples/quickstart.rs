@@ -1,0 +1,64 @@
+//! Quickstart: calibrate one sensor node and print its report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [seed]
+//! ```
+
+use aircal::prelude::*;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    // The paper's Location ①: a rooftop sensor with an open western view.
+    let scenario = Scenario::build(ScenarioKind::Rooftop);
+
+    println!("calibrating '{}' (seed {seed})…\n", scenario.site.name);
+    let report = Calibrator::quick().calibrate(&scenario.world, &scenario.site, seed);
+
+    println!("{}\n", report.headline());
+    println!(
+        "field of view : {:>6.1}° wide, centered {:.0}° (truth: {:.0}° wide @ {:.0}°, IoU {:.2})",
+        report.fov.estimated.width_deg,
+        report.fov.estimated.center_deg(),
+        scenario.expected_fov.width_deg,
+        scenario.expected_fov.center_deg(),
+        report.fov.iou(&scenario.expected_fov),
+    );
+    println!(
+        "survey        : {}/{} aircraft observed, {} messages, farthest {:.0} km",
+        report.survey.aircraft_observed,
+        report.survey.aircraft_total,
+        report.survey.messages,
+        report.survey.max_observed_range_m / 1_000.0,
+    );
+    println!("bands         :");
+    for b in &report.frequency.bands {
+        let value = b
+            .measured_db
+            .map(|v| format!("{v:7.1}"))
+            .unwrap_or_else(|| "   ----".into());
+        println!(
+            "  {:22} {:7.1} MHz  measured {value}  verdict {}",
+            b.label,
+            b.freq_hz / 1e6,
+            b.verdict()
+        );
+    }
+    println!(
+        "installation  : {} (p_outdoor = {:.2})",
+        if report.install.outdoor { "OUTDOOR" } else { "INDOOR" },
+        report.install.probability_outdoor,
+    );
+    println!(
+        "trust         : {:.0}/100 {}",
+        report.trust.score,
+        if report.trust.flags.is_empty() {
+            "(no flags)".to_string()
+        } else {
+            format!("flags: {:?}", report.trust.flags)
+        }
+    );
+}

@@ -1,0 +1,53 @@
+//! # aircal — automatic calibration for crowd-sourced spectrum sensors
+//!
+//! A from-scratch Rust reproduction of *"Automatic Calibration in
+//! Crowd-sourced Network of Spectrum Sensors"* (Abedi, Sanz, Sahai —
+//! HotNets '23): evaluate the installation quality of a remote,
+//! unattended spectrum sensor using nothing but **signals of
+//! opportunity** — ADS-B squitters from passing aircraft, cellular
+//! downlink reference signals, and broadcast TV carriers.
+//!
+//! This umbrella crate re-exports the whole workspace. Typical entry
+//! points:
+//!
+//! * [`core::Calibrator`] — run the full §3 calibration pipeline on a
+//!   node and get a [`core::CalibrationReport`];
+//! * [`env::Scenario`] — the paper's three testbed locations (rooftop /
+//!   behind-window / indoor) plus synthetic extras;
+//! * [`core::fleet::FleetAuditor`] — audit and rank a whole fleet;
+//! * the lower layers ([`adsb`], [`aircraft`], [`cellular`], [`tv`],
+//!   [`sdr`], [`rfprop`], [`dsp`], [`geo`]) for building custom
+//!   experiments.
+//!
+//! ```
+//! use aircal::prelude::*;
+//!
+//! let scenario = Scenario::build(ScenarioKind::Rooftop);
+//! let report = Calibrator::quick().calibrate(&scenario.world, &scenario.site, 42);
+//! println!("{}", report.headline());
+//! assert!(report.install.outdoor);
+//! ```
+
+pub use aircal_adsb as adsb;
+pub use aircal_aircraft as aircraft;
+pub use aircal_cellular as cellular;
+pub use aircal_core as core;
+pub use aircal_dsp as dsp;
+pub use aircal_env as env;
+pub use aircal_geo as geo;
+pub use aircal_net as net;
+pub use aircal_rfprop as rfprop;
+pub use aircal_sdr as sdr;
+pub use aircal_tv as tv;
+
+/// The most common imports for calibration workflows.
+pub mod prelude {
+    pub use aircal_core::engine::Calibrator;
+    pub use aircal_core::fleet::{FleetAuditor, FleetReport};
+    pub use aircal_core::fov::{FovEstimator, FovMethod};
+    pub use aircal_core::report::CalibrationReport;
+    pub use aircal_core::survey::{run_survey, SurveyConfig, SurveyResult};
+    pub use aircal_core::trust::TrustAuditor;
+    pub use aircal_env::{all_scenarios, paper_scenarios, Scenario, ScenarioKind};
+    pub use aircal_geo::{LatLon, Sector};
+}
