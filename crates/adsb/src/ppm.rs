@@ -25,6 +25,11 @@ pub const FRAME_SAMPLES: usize = PREAMBLE_CHIPS + DATA_CHIPS;
 pub const PREAMBLE_PATTERN: [u8; PREAMBLE_CHIPS] =
     [1, 0, 1, 0, 0, 0, 0, 1, 0, 1, 0, 0, 0, 0, 0, 0];
 
+/// Chip offsets of the four preamble pulses (the `1`s in
+/// [`PREAMBLE_PATTERN`]) — the only samples that contribute to preamble
+/// correlation, which the decoder's gated scan exploits.
+pub const PREAMBLE_PULSES: [usize; 4] = [0, 2, 7, 9];
+
 /// Duration of one frame in seconds (120 µs).
 pub fn frame_duration_s() -> f64 {
     FRAME_SAMPLES as f64 / SAMPLE_RATE_HZ

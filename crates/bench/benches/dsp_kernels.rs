@@ -1,9 +1,13 @@
 //! Criterion bench for the DSP substrate kernels every measurement chain
-//! runs on: FFT, FIR filtering, and the band-power meter.
+//! runs on: FFT, FIR filtering, and the band-power meter — plus the hot
+//! paths this PR made fast: planner-backed FFT, overlap-save FIR, and
+//! the decoder's power-gated preamble scan.
 
+use aircal_adsb::decoder::gated_preamble_correlation;
+use aircal_dsp::corr::normalized_correlation;
 use aircal_dsp::fir::{design_bandpass, design_lowpass};
 use aircal_dsp::window::Window;
-use aircal_dsp::{fft, BandPowerMeter, Cplx, FirFilter};
+use aircal_dsp::{fft, BandPowerMeter, Cplx, FastFirFilter, FftPlanner, FirFilter};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -12,11 +16,15 @@ fn tone(n: usize) -> Vec<Cplx> {
 }
 
 fn bench_dsp(c: &mut Criterion) {
-    // FFT 4096.
+    // FFT 4096: per-call (recomputes twiddles) vs planner (tables built once).
     let buf = tone(4096);
     let mut group = c.benchmark_group("dsp/fft");
     group.throughput(Throughput::Elements(4096));
     group.bench_function("fft_4096", |b| b.iter(|| black_box(fft(black_box(&buf)).unwrap())));
+    let plan = FftPlanner::new(4096).unwrap();
+    group.bench_function("planner_fft_4096", |b| {
+        b.iter(|| black_box(plan.forward(black_box(&buf)).unwrap()))
+    });
     group.finish();
 
     // 129-tap complex bandpass over 10k samples.
@@ -29,6 +37,50 @@ fn bench_dsp(c: &mut Criterion) {
             let mut f = FirFilter::new(taps.clone()).unwrap();
             black_box(f.process(black_box(&x)))
         })
+    });
+    group.finish();
+
+    // Overlap-save vs direct convolution at the TV bandpass tap counts.
+    let x = tone(40_000);
+    for taps in [63usize, 255, 1023] {
+        let h = design_bandpass(0.05, 0.25, taps, Window::Blackman).unwrap();
+        let mut group = c.benchmark_group(&format!("dsp/fir_{taps}tap_40k"));
+        group.throughput(Throughput::Elements(40_000));
+        group.sample_size(10);
+        let direct = FirFilter::new(h.clone()).unwrap();
+        group.bench_function("direct", |b| {
+            b.iter(|| {
+                let mut f = direct.clone();
+                black_box(f.process(black_box(&x)))
+            })
+        });
+        let fast = FastFirFilter::new(h).unwrap();
+        group.bench_function("overlap_save", |b| {
+            b.iter(|| {
+                let mut f = fast.clone();
+                black_box(f.process(black_box(&x)))
+            })
+        });
+        group.finish();
+    }
+
+    // Gated vs ungated preamble scan over a mostly-noise capture (the
+    // decoder's actual workload: bursts are rare, noise is not).
+    let mut capture = tone(100_000);
+    for s in capture.iter_mut() {
+        *s = s.scale(0.002);
+    }
+    let burst = aircal_adsb::ppm::modulate_bytes(&[0x8Du8; 14], 0.4, 0.3);
+    capture[20_000..20_000 + burst.len()].copy_from_slice(&burst);
+    let template = aircal_adsb::ppm::preamble_template();
+    let mut group = c.benchmark_group("adsb/preamble_scan_100k");
+    group.throughput(Throughput::Elements(100_000));
+    group.sample_size(10);
+    group.bench_function("ungated", |b| {
+        b.iter(|| black_box(normalized_correlation(black_box(&capture), &template)))
+    });
+    group.bench_function("gated", |b| {
+        b.iter(|| black_box(gated_preamble_correlation(black_box(&capture), 0.60)))
     });
     group.finish();
 

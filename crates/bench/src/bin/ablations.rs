@@ -156,6 +156,8 @@ fn a7_repetition(seed: u64) {
 }
 
 /// A1: estimator quality (IoU vs scenario ground truth, 3 seeds averaged).
+/// The (scenario × seed) surveys are independent, so they fan out over
+/// worker threads and only the estimator scoring runs per row.
 fn a1_estimators(seed: u64) {
     println!("# A1 — FoV estimator comparison (IoU vs ground truth, mean of 3 seeds)");
     let methods = [
@@ -169,21 +171,32 @@ fn a1_estimators(seed: u64) {
         print!(" {:>18}", m.name());
     }
     println!();
-    for s in all_scenarios() {
+    let scenarios = all_scenarios();
+    let jobs: Vec<(usize, u64)> = (0..scenarios.len())
+        .flat_map(|si| (0..3u64).map(move |k| (si, seed + k)))
+        .collect();
+    let threads = aircal_dsp::resolve_parallelism(0);
+    let surveys = aircal_dsp::par_map(&jobs, threads, |_, &(si, s)| {
+        survey_with(&scenarios[si], SurveyConfig::default(), s)
+    });
+    for (si, s) in scenarios.iter().enumerate() {
         print!("{:16}", s.site.name);
         for m in &methods {
-            let mut iou_sum = 0.0;
-            for k in 0..3u64 {
-                let r = survey_with(&s, SurveyConfig::default(), seed + k);
-                let est = FovEstimator::new(*m).estimate(&r.points);
-                iou_sum += if s.expected_fov.width_deg == 0.0 {
-                    // No true FoV: score = 1 − open fraction (reward
-                    // calling the sky closed).
-                    1.0 - est.open_fraction()
-                } else {
-                    est.iou(&s.expected_fov)
-                };
-            }
+            let iou_sum: f64 = jobs
+                .iter()
+                .zip(&surveys)
+                .filter(|((ji, _), _)| *ji == si)
+                .map(|(_, r)| {
+                    let est = FovEstimator::new(*m).estimate(&r.points);
+                    if s.expected_fov.width_deg == 0.0 {
+                        // No true FoV: score = 1 − open fraction (reward
+                        // calling the sky closed).
+                        1.0 - est.open_fraction()
+                    } else {
+                        est.iou(&s.expected_fov)
+                    }
+                })
+                .sum();
             print!(" {:>18.2}", iou_sum / 3.0);
         }
         println!();
@@ -261,7 +274,11 @@ fn a4_decode_snr(seed: u64) {
     );
     let waveform = aircal_adsb::ppm::modulate(&frame.encode(), 1.0, 0.0);
     let floor = fe.noise_floor_dbm();
-    for snr in [-2.0, 0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 14.0, 20.0] {
+    // Each SNR point has its own RNG, so the points fan out over workers
+    // and print in order afterwards — same numbers as the serial loop.
+    let snrs = [-2.0, 0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 14.0, 20.0];
+    let threads = aircal_dsp::resolve_parallelism(0);
+    let rates = aircal_dsp::par_map(&snrs, threads, |_, &snr| {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ (snr * 10.0) as u64);
         let mut ok = 0;
         for i in 0..100 {
@@ -279,7 +296,10 @@ fn a4_decode_snr(seed: u64) {
                 ok += 1;
             }
         }
-        println!("{snr:>8.1} {:>10.2}", ok as f64 / 100.0);
+        ok as f64 / 100.0
+    });
+    for (snr, rate) in snrs.iter().zip(&rates) {
+        println!("{snr:>8.1} {rate:>10.2}");
     }
     println!("# everything upstream (95 km open-sector reach, ~20 km through-wall reach)");
     println!("# follows from where this curve crosses ~50%.\n");

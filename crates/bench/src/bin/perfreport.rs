@@ -1,0 +1,259 @@
+//! Pipeline performance report: times the survey→profile hot path and
+//! writes `BENCH_PIPELINE.json` at the repo root.
+//!
+//! ```sh
+//! cargo run --release -p aircal-bench --bin perfreport [-- --quick] [--seed N]
+//! ```
+//!
+//! Sections:
+//!
+//! * **adsb_decode** — decoder throughput over a rendered capture,
+//!   Msamples/s;
+//! * **preamble_scan** — power-gated preamble correlation vs the exact
+//!   ungated scan (identical peaks, fewer FLOPs);
+//! * **fir** — overlap-save [`FastFirFilter`] vs direct [`FirFilter`]
+//!   at 63/255/1023 taps (the TV bandpass shapes);
+//! * **survey / tv_sweep / calibrator** — wall clock at 1/2/4/8 worker
+//!   threads (bit-identical outputs; the knob trades time only).
+//!
+//! All numbers are wall-clock on whatever host runs this; `host_cores`
+//! records how much hardware parallelism was actually available.
+
+use aircal_adsb::decoder::gated_preamble_correlation;
+use aircal_adsb::{cpr, me::MePayload, AdsbFrame, Decoder, IcaoAddress};
+use aircal_bench::{parse_args, paper_traffic};
+use aircal_core::engine::Calibrator;
+use aircal_core::survey::{run_survey, SurveyConfig};
+use aircal_dsp::corr::{find_peaks, normalized_correlation};
+use aircal_dsp::fir::design_bandpass;
+use aircal_dsp::window::Window;
+use aircal_dsp::{Cplx, FastFirFilter, FirFilter};
+use aircal_env::{Scenario, ScenarioKind};
+use aircal_sdr::{BurstPlan, CaptureRenderer, Frontend, FrontendConfig};
+use aircal_tv::{paper_tv_towers, TvPowerProbe, TvProbeConfig};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct ThreadTiming {
+    threads: usize,
+    seconds: f64,
+    speedup_vs_serial: f64,
+}
+
+#[derive(Serialize)]
+struct FirTiming {
+    taps: usize,
+    input_len: usize,
+    direct_seconds: f64,
+    overlap_save_seconds: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct DecodeTiming {
+    samples: usize,
+    messages: usize,
+    seconds: f64,
+    msamples_per_s: f64,
+}
+
+#[derive(Serialize)]
+struct CorrTiming {
+    samples: usize,
+    ungated_seconds: f64,
+    gated_seconds: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct PipelineReport {
+    quick: bool,
+    host_cores: usize,
+    adsb_decode: DecodeTiming,
+    preamble_scan: CorrTiming,
+    fir: Vec<FirTiming>,
+    survey: Vec<ThreadTiming>,
+    tv_sweep: Vec<ThreadTiming>,
+    calibrator: Vec<ThreadTiming>,
+}
+
+/// Best-of-`reps` wall clock, seconds.
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn thread_sweep(reps: usize, mut run: impl FnMut(usize)) -> Vec<ThreadTiming> {
+    let mut out: Vec<ThreadTiming> = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let seconds = time_best(reps, || run(threads));
+        let serial = out.first().map(|t| t.seconds).unwrap_or(seconds);
+        out.push(ThreadTiming {
+            threads,
+            seconds,
+            speedup_vs_serial: serial / seconds,
+        });
+    }
+    out
+}
+
+fn decode_capture(seed: u64, frames: usize) -> (Vec<aircal_sdr::RenderedWindow>, usize) {
+    let fe = Frontend::new(FrontendConfig::bladerf_xa9(1.09e9, 2e6));
+    let renderer = CaptureRenderer::new(fe.clone());
+    let floor = fe.noise_floor_dbm();
+    let plans: Vec<BurstPlan> = (0..frames)
+        .map(|i| {
+            let frame = AdsbFrame::new(
+                IcaoAddress::new(0xA00000 + (i as u32 % 64)),
+                MePayload::AirbornePosition {
+                    altitude_ft: 30_000.0,
+                    cpr: cpr::encode(37.9, -122.2, cpr::CprFormat::Even),
+                },
+            );
+            BurstPlan {
+                start_s: i as f64 * 2e-3,
+                waveform: aircal_adsb::ppm::modulate(&frame.encode(), 1.0, 0.0),
+                rx_power_dbm: floor + 6.0 + (i % 12) as f64,
+                phase0: i as f64 * 0.37,
+            }
+        })
+        .collect();
+    let windows = renderer.render_seeded(&plans, seed, 0);
+    let samples = windows.iter().map(|w| w.samples.len()).sum();
+    (windows, samples)
+}
+
+fn main() {
+    let (positional, seed) = parse_args();
+    let quick = positional.iter().any(|a| a == "--quick");
+    let reps = if quick { 1 } else { 3 };
+    let host_cores = aircal_dsp::resolve_parallelism(0);
+    eprintln!("# perfreport: quick={quick} seed={seed} host_cores={host_cores}");
+
+    // --- ADS-B decode throughput -----------------------------------------
+    let (windows, samples) = decode_capture(seed, if quick { 200 } else { 1_000 });
+    let decoder = Decoder::default();
+    let messages: usize = windows
+        .iter()
+        .map(|w| decoder.scan(&w.samples, w.start_s).len())
+        .sum();
+    let seconds = time_best(reps, || {
+        windows
+            .iter()
+            .map(|w| decoder.scan(&w.samples, w.start_s).len())
+            .sum::<usize>()
+    });
+    let adsb_decode = DecodeTiming {
+        samples,
+        messages,
+        seconds,
+        msamples_per_s: samples as f64 / seconds / 1e6,
+    };
+    eprintln!(
+        "# adsb_decode: {:.1} Msamples/s ({} msgs from {} samples)",
+        adsb_decode.msamples_per_s, messages, samples
+    );
+
+    // --- Gated vs ungated preamble scan ----------------------------------
+    let flat: Vec<Cplx> = windows.iter().flat_map(|w| w.samples.iter().copied()).collect();
+    let threshold = aircal_adsb::DecoderConfig::default().preamble_threshold;
+    let template = aircal_adsb::ppm::preamble_template();
+    let ungated_seconds = time_best(reps, || {
+        let corr = normalized_correlation(&flat, &template);
+        find_peaks(&corr, threshold, 64).len()
+    });
+    let gated_seconds = time_best(reps, || {
+        let corr = gated_preamble_correlation(&flat, threshold);
+        find_peaks(&corr, threshold, 64).len()
+    });
+    let preamble_scan = CorrTiming {
+        samples: flat.len(),
+        ungated_seconds,
+        gated_seconds,
+        speedup: ungated_seconds / gated_seconds,
+    };
+    eprintln!("# preamble_scan: gate speedup {:.2}x", preamble_scan.speedup);
+
+    // --- Overlap-save FIR vs direct --------------------------------------
+    let input_len = if quick { 40_000 } else { 200_000 };
+    let x: Vec<Cplx> = (0..input_len).map(|i| Cplx::phasor(0.123 * i as f64)).collect();
+    let mut fir = Vec::new();
+    for taps in [63usize, 255, 1023] {
+        let h = design_bandpass(0.05, 0.25, taps, Window::Blackman).unwrap();
+        let direct = FirFilter::new(h.clone()).unwrap();
+        let fast = FastFirFilter::new(h).unwrap();
+        let direct_seconds = time_best(reps, || {
+            let mut f = direct.clone();
+            f.process(&x)
+        });
+        let overlap_save_seconds = time_best(reps, || {
+            let mut f = fast.clone();
+            f.process(&x)
+        });
+        let t = FirTiming {
+            taps,
+            input_len,
+            direct_seconds,
+            overlap_save_seconds,
+            speedup: direct_seconds / overlap_save_seconds,
+        };
+        eprintln!("# fir {taps} taps: overlap-save {:.2}x vs direct", t.speedup);
+        fir.push(t);
+    }
+
+    // --- Survey wall-clock vs threads ------------------------------------
+    let s = Scenario::build(ScenarioKind::Rooftop);
+    let traffic = paper_traffic(&s, seed);
+    let survey_cfg = if quick { SurveyConfig::quick() } else { SurveyConfig::default() };
+    let survey = thread_sweep(reps, |threads| {
+        let cfg = SurveyConfig {
+            parallelism: threads,
+            ..survey_cfg
+        };
+        std::hint::black_box(run_survey(&s.world, &s.site, &traffic, &cfg, seed));
+    });
+    eprintln!(
+        "# survey: {:.3}s serial, {:.2}x at 4 threads",
+        survey[0].seconds, survey[2].speedup_vs_serial
+    );
+
+    // --- TV sweep vs threads ---------------------------------------------
+    let towers = paper_tv_towers(&s.world.origin);
+    let tv_sweep = thread_sweep(reps, |threads| {
+        let probe = TvPowerProbe::new(TvProbeConfig {
+            parallelism: threads,
+            ..TvProbeConfig::default()
+        });
+        std::hint::black_box(probe.sweep(&s.world, &s.site, &towers, seed));
+    });
+    eprintln!("# tv_sweep: {:.3}s serial", tv_sweep[0].seconds);
+
+    // --- Full calibrator vs threads --------------------------------------
+    let calibrator = thread_sweep(if quick { 1 } else { 2 }, |threads| {
+        let cal = if quick { Calibrator::quick() } else { Calibrator::default() }
+            .with_parallelism(threads);
+        std::hint::black_box(cal.calibrate(&s.world, &s.site, seed));
+    });
+    eprintln!("# calibrator: {:.3}s serial", calibrator[0].seconds);
+
+    let report = PipelineReport {
+        quick,
+        host_cores,
+        adsb_decode,
+        preamble_scan,
+        fir,
+        survey,
+        tv_sweep,
+        calibrator,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PIPELINE.json");
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(path, json + "\n").expect("write BENCH_PIPELINE.json");
+    println!("wrote {path}");
+}

@@ -168,8 +168,8 @@ mod tests {
         let scenarios = paper_scenarios();
         let all: Vec<Vec<CellMeasurement>> =
             scenarios.iter().map(scan_scenario).collect();
-        for t in 0..5 {
-            let roof = all[0][t].rsrp_dbm;
+        for (t, roof_m) in all[0].iter().enumerate().take(5) {
+            let roof = roof_m.rsrp_dbm;
             let window = all[1][t].rsrp_dbm;
             let indoor = all[2][t].rsrp_dbm;
             if let (Some(r), Some(w)) = (roof, window) {

@@ -61,6 +61,15 @@ impl Calibrator {
         self
     }
 
+    /// Set the worker-thread count for every parallelizable stage (survey
+    /// burst pipeline, TV sweep). `0` = all available cores. Results are
+    /// bit-identical for every value.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.survey.parallelism = parallelism;
+        self.profiler.tv_probe.config.parallelism = parallelism;
+        self
+    }
+
     /// Calibrate a node. The world's origin anchors the opportunistic
     /// sources (paper tower layouts); `seed` fixes traffic and channel
     /// randomness.

@@ -55,19 +55,19 @@ impl FleetAuditor {
     }
 
     /// Audit a fleet of scenarios (each its own world + site). Seeds are
-    /// derived per node so results are independent but reproducible.
+    /// derived per node so results are independent but reproducible; the
+    /// per-node calibrations fan out over the calibrator's `parallelism`
+    /// knob (`0` = all cores) with results merged in fleet order, so the
+    /// report is identical for any thread count.
     pub fn audit(&self, fleet: &[Scenario], seed: u64) -> FleetReport {
-        let mut nodes: Vec<NodeAudit> = fleet
-            .iter()
-            .enumerate()
-            .map(|(i, s)| NodeAudit {
-                name: s.site.name.clone(),
-                rank: 0,
-                report: self
-                    .calibrator
-                    .calibrate(&s.world, &s.site, seed.wrapping_add(i as u64 * 0x9E37)),
-            })
-            .collect();
+        let threads = aircal_dsp::resolve_parallelism(self.calibrator.survey.parallelism);
+        let mut nodes: Vec<NodeAudit> = aircal_dsp::par_map(fleet, threads, |i, s| NodeAudit {
+            name: s.site.name.clone(),
+            rank: 0,
+            report: self
+                .calibrator
+                .calibrate(&s.world, &s.site, seed.wrapping_add(i as u64 * 0x9E37)),
+        });
         nodes.sort_by(|a, b| {
             b.report
                 .trust

@@ -21,6 +21,7 @@ use aircal_env::{SensorSite, World};
 use aircal_geo::LatLon;
 use aircal_rfprop::fading::RicianFading;
 use aircal_rfprop::LinkBudget;
+use aircal_dsp::{derive_stream_seed, par_map, resolve_parallelism};
 use aircal_sdr::{BurstPlan, CaptureRenderer, Frontend, FrontendConfig, FrontendFault};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -42,6 +43,10 @@ pub struct SurveyConfig {
     /// pass CRC; skipping them keeps the survey cheap). Set very low to
     /// force full rendering.
     pub skip_below_snr_db: f64,
+    /// Worker threads for the burst pipeline (link budgets, IQ
+    /// rendering, decoding). `0` means all available cores. Results are
+    /// bit-identical for every value — the knob trades wall-clock only.
+    pub parallelism: usize,
     /// Front-end fault to inject at the sensor, if any.
     pub fault: FrontendFault,
 }
@@ -54,6 +59,7 @@ impl Default for SurveyConfig {
             radius_m: 100_000.0,
             ground_truth_latency_s: 10.0,
             skip_below_snr_db: 0.0,
+            parallelism: 0,
             fault: FrontendFault::None,
         }
     }
@@ -102,7 +108,11 @@ pub struct SurveyResult {
     /// Messages decoded from aircraft *not* in the ground truth (either
     /// beyond the query radius or — when auditing — fabricated).
     pub unmatched_messages: usize,
-    /// Aircraft positions recovered by global CPR decode, with decode time.
+    /// Scheduled bursts dropped by the `skip_below_snr_db` gate before
+    /// rendering (they could never pass CRC; this records how much work
+    /// the gate saved and how much of the sky was out of reach).
+    pub skipped_low_snr: usize,
+    /// Aircraft positions recovered by global CPR decode, sorted by ICAO.
     pub decoded_positions: Vec<(IcaoAddress, LatLon)>,
     /// The configuration used.
     pub config: SurveyConfig,
@@ -135,7 +145,7 @@ pub fn run_survey(
     config: &SurveyConfig,
     seed: u64,
 ) -> SurveyResult {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let threads = resolve_parallelism(config.parallelism);
 
     // 1. The sky transmits. (Aircraft slightly beyond the query radius
     //    still emit — the receiver doesn't know the radius.)
@@ -160,49 +170,66 @@ pub fn run_survey(
 
     // Slow shadowing: one standard-normal draw per aircraft, scaled by the
     // per-path σ (shadowing is an environment property, static over 30 s).
+    // The draw is a pure function of (seed, ICAO), so it can be computed
+    // up front and shared read-only by the burst workers.
     let mut shadow_draws: HashMap<IcaoAddress, f64> = HashMap::new();
-
-    let mut plans = Vec::new();
     for e in &emissions {
+        shadow_draws.entry(e.frame.icao()).or_insert_with(|| {
+            let mut srng =
+                ChaCha8Rng::seed_from_u64(seed ^ ((e.frame.icao().value() as u64) << 16));
+            let u1: f64 = srng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = srng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+        });
+    }
+
+    // Per-burst link budget + fast fading, fanned out across workers.
+    // Each burst derives its own RNG stream from (seed, burst index), so
+    // the fade and carrier-phase draws never depend on scheduling order
+    // and the result is bit-identical for every thread count.
+    let planned: Vec<Option<BurstPlan>> = par_map(&emissions, threads, |i, e| {
         let path = world.path_profile(site, &e.position, ADSB_FREQ_HZ);
         let bearing = site.position.bearing_deg(&e.position);
         let elevation = site.position.elevation_deg(&e.position);
         let rx_gain = site.antenna.gain_dbi(bearing, elevation);
         let budget = LinkBudget::new(e.tx_power_dbm, 0.0, rx_gain);
 
-        let mut shadow_std = *shadow_draws.entry(e.frame.icao()).or_insert_with(|| {
-            let mut srng = ChaCha8Rng::seed_from_u64(seed ^ (e.frame.icao().value() as u64) << 16);
-            let u1: f64 = srng.gen_range(f64::EPSILON..1.0);
-            let u2: f64 = srng.gen_range(0.0..1.0);
-            (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
-        });
+        let mut shadow_std = shadow_draws[&e.frame.icao()];
         // Shadowing behind a deterministic obstruction is asymmetric: the
         // wall is definitely there, so clutter can add loss freely but can
         // "refund" at most ~1σ (a reflection path around the blocker).
         if path.is_obstructed() && path.diffraction_db + path.penetration_db >= 15.0 {
             shadow_std = shadow_std.max(-1.0);
         }
-        let fade = RicianFading::from_k_db(path.k_factor_db).sample_power_gain(&mut rng);
+        let mut brng =
+            ChaCha8Rng::seed_from_u64(derive_stream_seed(seed ^ 0xFADE, i as u64));
+        let fade = RicianFading::from_k_db(path.k_factor_db).sample_power_gain(&mut brng);
         let rx_dbm = budget.median_rx_dbm(&path) - shadow_std * path.shadowing_sigma_db
             + 10.0 * fade.max(1e-12).log10();
 
         if frontend.snr_db(rx_dbm) < config.skip_below_snr_db {
-            continue;
+            return None;
         }
-        plans.push(BurstPlan {
+        Some(BurstPlan {
             start_s: e.time_s,
             waveform: aircal_adsb::ppm::modulate_bytes(&e.frame.encode_bytes(), 1.0, 0.0),
             rx_power_dbm: rx_dbm,
-            phase0: rng.gen_range(0.0..core::f64::consts::TAU),
-        });
-    }
+            phase0: brng.gen_range(0.0..core::f64::consts::TAU),
+        })
+    });
+    let skipped_low_snr = planned.iter().filter(|p| p.is_none()).count();
+    let plans: Vec<BurstPlan> = planned.into_iter().flatten().collect();
 
-    // 3. Render and decode, dump1090-style.
+    // 3. Render and decode, dump1090-style. Rendering derives one noise
+    //    stream per cluster; decoding fans out per window; the merge is
+    //    in window (time) order, exactly as a serial pass would produce.
+    let windows = renderer.render_seeded(&plans, seed ^ 0xC0DE, threads);
     let decoder = Decoder::default();
-    let mut decoded: Vec<DecodedMessage> = Vec::new();
-    for window in renderer.render(&plans, &mut rng) {
-        decoded.extend(decoder.scan(&window.samples, window.start_s));
-    }
+    let decoded: Vec<DecodedMessage> =
+        par_map(&windows, threads, |_, w| decoder.scan(&w.samples, w.start_s))
+            .into_iter()
+            .flatten()
+            .collect();
 
     // 4. Ground truth at the mid-capture query time.
     let gts = GroundTruthService::new(config.ground_truth_latency_s);
@@ -249,6 +276,7 @@ pub fn run_survey(
         points,
         total_messages: decoded.len(),
         unmatched_messages,
+        skipped_low_snr,
         decoded_positions,
         config: *config,
     }
@@ -290,7 +318,9 @@ fn decode_positions(
             }
         }
     }
-    out.into_iter().collect()
+    let mut positions: Vec<(IcaoAddress, LatLon)> = out.into_iter().collect();
+    positions.sort_by_key(|(icao, _)| *icao);
+    positions
 }
 
 #[cfg(test)]
@@ -327,8 +357,8 @@ mod tests {
     #[test]
     fn rooftop_sees_far_west_short_east() {
         let s = Scenario::build(ScenarioKind::Rooftop);
-        let traffic = traffic_for(&s, 80, 2);
-        let r = run_survey(&s.world, &s.site, &traffic, &SurveyConfig::quick(), 2);
+        let traffic = traffic_for(&s, 80, 12);
+        let r = run_survey(&s.world, &s.site, &traffic, &SurveyConfig::quick(), 12);
         let west = Sector::centered(270.0, 120.0);
         let far_west_observed = r
             .points
@@ -361,8 +391,8 @@ mod tests {
     #[test]
     fn indoor_sees_only_close_aircraft() {
         let s = Scenario::build(ScenarioKind::Indoor);
-        let traffic = traffic_for(&s, 80, 3);
-        let r = run_survey(&s.world, &s.site, &traffic, &SurveyConfig::quick(), 3);
+        let traffic = traffic_for(&s, 80, 13);
+        let r = run_survey(&s.world, &s.site, &traffic, &SurveyConfig::quick(), 13);
         // Figure 1(c): only close-in aircraft decode indoors. A lucky
         // deep-shadow outlier or two can stretch past 20 km; the bulk
         // cannot.
@@ -454,5 +484,74 @@ mod tests {
         let b = run_survey(&s.world, &s.site, &traffic, &SurveyConfig::quick(), 7);
         assert_eq!(a.points, b.points);
         assert_eq!(a.total_messages, b.total_messages);
+    }
+
+    /// The tentpole contract: the parallel pipeline is **bit-identical**
+    /// to the serial one — every field, including the order of
+    /// `decoded_positions` — for any thread count and several seeds.
+    #[test]
+    fn parallel_survey_is_bit_identical_to_serial() {
+        let s = Scenario::build(ScenarioKind::Rooftop);
+        for seed in [1u64, 5, 9] {
+            let traffic = traffic_for(&s, 20, seed);
+            let serial = run_survey(
+                &s.world,
+                &s.site,
+                &traffic,
+                &SurveyConfig {
+                    parallelism: 1,
+                    ..SurveyConfig::quick()
+                },
+                seed,
+            );
+            assert!(!serial.decoded_positions.is_empty(), "seed {seed}: no positions");
+            for parallelism in [2usize, 8] {
+                let parallel = run_survey(
+                    &s.world,
+                    &s.site,
+                    &traffic,
+                    &SurveyConfig {
+                        parallelism,
+                        ..SurveyConfig::quick()
+                    },
+                    seed,
+                );
+                assert_eq!(serial.points, parallel.points, "seed {seed} x{parallelism}");
+                assert_eq!(serial.total_messages, parallel.total_messages);
+                assert_eq!(serial.unmatched_messages, parallel.unmatched_messages);
+                assert_eq!(serial.skipped_low_snr, parallel.skipped_low_snr);
+                assert_eq!(
+                    serial.decoded_positions, parallel.decoded_positions,
+                    "seed {seed} x{parallelism}: position list (incl. order) must match"
+                );
+            }
+        }
+    }
+
+    /// The SNR gate's work savings are surfaced: a permissive gate skips
+    /// nothing, the default gate skips the un-decodable tail, and a harsh
+    /// gate skips everything the permissive run would have rendered.
+    #[test]
+    fn skipped_low_snr_counts_gated_bursts() {
+        let s = Scenario::build(ScenarioKind::Indoor);
+        let traffic = traffic_for(&s, 30, 8);
+        let survey = |snr_gate: f64| {
+            run_survey(
+                &s.world,
+                &s.site,
+                &traffic,
+                &SurveyConfig {
+                    skip_below_snr_db: snr_gate,
+                    ..SurveyConfig::quick()
+                },
+                8,
+            )
+        };
+        let permissive = survey(-1e9);
+        let default_gate = survey(0.0);
+        let harsh = survey(1e9);
+        assert_eq!(permissive.skipped_low_snr, 0);
+        assert!(default_gate.skipped_low_snr > 0, "indoor survey should gate some bursts");
+        assert!(harsh.total_messages == 0 && harsh.skipped_low_snr > default_gate.skipped_low_snr);
     }
 }

@@ -105,16 +105,14 @@ impl TrustAuditor {
         } else {
             let mut ok = 0usize;
             for (icao, pos) in &survey.decoded_positions {
-                match traffic.by_icao(*icao) {
-                    Some(f) => {
-                        let best = (0..=survey.config.duration_s as usize)
-                            .map(|t| f.position_at(t as f64).distance_m(pos))
-                            .fold(f64::INFINITY, f64::min);
-                        if best <= self.position_tolerance_m {
-                            ok += 1;
-                        }
+                // Unknown ICAOs are counted via ghost_free instead.
+                if let Some(f) = traffic.by_icao(*icao) {
+                    let best = (0..=survey.config.duration_s as usize)
+                        .map(|t| f.position_at(t as f64).distance_m(pos))
+                        .fold(f64::INFINITY, f64::min);
+                    if best <= self.position_tolerance_m {
+                        ok += 1;
                     }
-                    None => {} // counted via ghost_free
                 }
             }
             ok as f64 / survey.decoded_positions.len() as f64
@@ -232,9 +230,9 @@ mod tests {
                 count: 40,
                 ..TrafficConfig::paper_default(s.site.position)
             },
-            31,
+            11,
         );
-        let survey = run_survey(&s.world, &s.site, &traffic, &SurveyConfig::quick(), 31);
+        let survey = run_survey(&s.world, &s.site, &traffic, &SurveyConfig::quick(), 11);
         (survey, traffic)
     }
 

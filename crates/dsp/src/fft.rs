@@ -65,6 +65,128 @@ pub fn fft_in_place(data: &mut [Cplx], dir: Direction) -> Result<(), DspError> {
     Ok(())
 }
 
+/// A reusable FFT plan for one transform length.
+///
+/// [`fft_in_place`] recomputes the bit-reversal permutation and the
+/// per-stage twiddle recurrence on every call; a planner front-loads both
+/// into lookup tables so repeated transforms of the same length (the
+/// overlap-save FIR, the band-power probe, PSD sweeps) pay only the
+/// butterfly arithmetic. The twiddle tables are built with the same
+/// `w *= wlen` recurrence the direct routine uses, so planner output is
+/// **bit-identical** to [`fft_in_place`] for every input.
+#[derive(Debug, Clone)]
+pub struct FftPlanner {
+    n: usize,
+    /// `rev[i]` = bit-reversed index of `i` (swap applied when `i < rev[i]`).
+    rev: Vec<u32>,
+    /// Forward twiddles, all stages flattened; stage with butterfly span
+    /// `len` starts at offset `len/2 - 1` and holds `len/2` entries.
+    fwd: Vec<Cplx>,
+    /// Inverse twiddles, same layout.
+    inv: Vec<Cplx>,
+}
+
+impl FftPlanner {
+    /// Plan transforms of length `n` (must be a power of two).
+    pub fn new(n: usize) -> Result<Self, DspError> {
+        if n == 0 || n & (n - 1) != 0 {
+            return Err(DspError::NotPowerOfTwo(n));
+        }
+        let mut rev = vec![0u32; n];
+        let mut j = 0usize;
+        for r in rev.iter_mut().skip(1) {
+            let mut bit = n >> 1;
+            while j & bit != 0 {
+                j ^= bit;
+                bit >>= 1;
+            }
+            j |= bit;
+            *r = j as u32;
+        }
+        let mut fwd = Vec::with_capacity(n.saturating_sub(1));
+        let mut inv = Vec::with_capacity(n.saturating_sub(1));
+        for (sign, table) in [(-1.0, &mut fwd), (1.0, &mut inv)] {
+            let mut len = 2;
+            while len <= n {
+                let ang = sign * core::f64::consts::TAU / len as f64;
+                let wlen = Cplx::phasor(ang);
+                let mut w = Cplx::ONE;
+                for _ in 0..len / 2 {
+                    table.push(w);
+                    w *= wlen;
+                }
+                len <<= 1;
+            }
+        }
+        Ok(Self { n, rev, fwd, inv })
+    }
+
+    /// Planned transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True only for the degenerate length-0 plan (unconstructable).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place transform of exactly `self.len()` samples.
+    pub fn process(&self, data: &mut [Cplx], dir: Direction) -> Result<(), DspError> {
+        let n = self.n;
+        if data.len() != n {
+            return Err(DspError::InvalidParameter("data length must match plan"));
+        }
+        for i in 1..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        let table = match dir {
+            Direction::Forward => &self.fwd,
+            Direction::Inverse => &self.inv,
+        };
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stage = &table[half - 1..half - 1 + half];
+            let mut i = 0;
+            while i < n {
+                for (k, &w) in stage.iter().enumerate() {
+                    let u = data[i + k];
+                    let v = data[i + k + half] * w;
+                    data[i + k] = u + v;
+                    data[i + k + half] = u - v;
+                }
+                i += len;
+            }
+            len <<= 1;
+        }
+        if dir == Direction::Inverse {
+            let scale = 1.0 / n as f64;
+            for x in data.iter_mut() {
+                *x = x.scale(scale);
+            }
+        }
+        Ok(())
+    }
+
+    /// Out-of-place forward transform.
+    pub fn forward(&self, input: &[Cplx]) -> Result<Vec<Cplx>, DspError> {
+        let mut buf = input.to_vec();
+        self.process(&mut buf, Direction::Forward)?;
+        Ok(buf)
+    }
+
+    /// Out-of-place inverse transform (normalized by `1/N`).
+    pub fn inverse(&self, input: &[Cplx]) -> Result<Vec<Cplx>, DspError> {
+        let mut buf = input.to_vec();
+        self.process(&mut buf, Direction::Inverse)?;
+        Ok(buf)
+    }
+}
+
 /// Out-of-place forward FFT.
 pub fn fft(input: &[Cplx]) -> Result<Vec<Cplx>, DspError> {
     let mut buf = input.to_vec();
@@ -158,6 +280,44 @@ mod tests {
         assert_eq!(freq_to_bin(1_000.0, n, fs), 1);
         assert_eq!(freq_to_bin(-1_000.0, n, fs), 7);
         assert_eq!(freq_to_bin(0.0, n, fs), 0);
+    }
+
+    #[test]
+    fn planner_rejects_non_power_of_two() {
+        assert!(FftPlanner::new(0).is_err());
+        assert!(FftPlanner::new(12).is_err());
+        assert!(FftPlanner::new(16).is_ok());
+    }
+
+    #[test]
+    fn planner_rejects_wrong_length_input() {
+        let plan = FftPlanner::new(8).unwrap();
+        let mut data = vec![Cplx::ZERO; 16];
+        assert!(plan.process(&mut data, Direction::Forward).is_err());
+    }
+
+    proptest! {
+        /// The planned transform is bit-identical to the direct routine in
+        /// both directions — callers may swap one for the other freely.
+        #[test]
+        fn planner_matches_direct_fft(
+            values in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..=256),
+        ) {
+            let n = values.len().next_power_of_two();
+            let mut data: Vec<Cplx> = values.iter().map(|&(re, im)| Cplx::new(re, im)).collect();
+            data.resize(n, Cplx::ZERO);
+            let plan = FftPlanner::new(n).unwrap();
+            let direct_fwd = fft(&data).unwrap();
+            let planned_fwd = plan.forward(&data).unwrap();
+            for (a, b) in direct_fwd.iter().zip(&planned_fwd) {
+                prop_assert!(a.re == b.re && a.im == b.im, "forward bins differ");
+            }
+            let direct_inv = ifft(&direct_fwd).unwrap();
+            let planned_inv = plan.inverse(&planned_fwd).unwrap();
+            for (a, b) in direct_inv.iter().zip(&planned_inv) {
+                prop_assert!(a.re == b.re && a.im == b.im, "inverse bins differ");
+            }
+        }
     }
 
     proptest! {

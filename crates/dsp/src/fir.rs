@@ -5,6 +5,7 @@
 //! prototype by the windowed-sinc method and heterodyne it to the channel
 //! center to obtain the complex bandpass.
 
+use crate::fft::{Direction, FftPlanner};
 use crate::window::Window;
 use crate::{Cplx, DspError};
 
@@ -142,6 +143,144 @@ impl FirFilter {
     }
 }
 
+/// A streaming FIR filter computed by overlap-save FFT convolution.
+///
+/// Drop-in replacement for [`FirFilter`]: same constructor shapes, same
+/// one-output-per-input streaming contract, same causal alignment — but
+/// each FFT block of `B` outputs costs `O(N log N)` instead of `O(B·T)`
+/// direct multiplies, which is the difference between milliseconds and
+/// seconds for the TV probe's long bandpass filters.
+///
+/// The filter buffers up to one block of input. Full blocks are emitted
+/// from a single forward/inverse transform pair; a partial tail (block
+/// still filling) is evaluated by zero-padding the not-yet-received
+/// future, which cannot change causal outputs, so `process` still emits
+/// exactly one output per input *eagerly*. Partial-tail work is redone
+/// when the block completes — negligible when callers feed blocks, and
+/// only then does [`FastFirFilter::push`] (one FFT per sample) make the
+/// plain [`FirFilter`] the better choice.
+#[derive(Debug, Clone)]
+pub struct FastFirFilter {
+    taps: Vec<Cplx>,
+    /// New samples consumed per FFT block: `N - (T - 1)`.
+    block: usize,
+    plan: FftPlanner,
+    /// FFT of the zero-padded taps.
+    h_spec: Vec<Cplx>,
+    /// `[history (T-1) | pending (≤ block)]`, length `N`.
+    buf: Vec<Cplx>,
+    /// Pending new samples currently buffered.
+    pending: usize,
+    /// Reused transform workspace, length `N`.
+    scratch: Vec<Cplx>,
+}
+
+impl FastFirFilter {
+    /// Create a filter from complex taps.
+    pub fn new(taps: Vec<Cplx>) -> Result<Self, DspError> {
+        if taps.is_empty() {
+            return Err(DspError::EmptyDesign);
+        }
+        let t = taps.len();
+        // ~8× oversized blocks amortize each transform over many outputs.
+        let n = (8 * t).next_power_of_two().max(128);
+        let plan = FftPlanner::new(n)?;
+        let mut h_spec = vec![Cplx::ZERO; n];
+        h_spec[..t].copy_from_slice(&taps);
+        plan.process(&mut h_spec, Direction::Forward)?;
+        Ok(Self {
+            taps,
+            block: n - (t - 1),
+            plan,
+            h_spec,
+            buf: vec![Cplx::ZERO; n],
+            pending: 0,
+            scratch: vec![Cplx::ZERO; n],
+        })
+    }
+
+    /// Create a filter from real taps.
+    pub fn from_real(taps: &[f64]) -> Result<Self, DspError> {
+        Self::new(taps.iter().map(|&t| Cplx::new(t, 0.0)).collect())
+    }
+
+    /// Number of taps.
+    pub fn len(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// True if the filter has no taps (cannot happen post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.taps.is_empty()
+    }
+
+    /// Group delay in samples for a linear-phase (symmetric) design.
+    pub fn group_delay(&self) -> f64 {
+        (self.taps.len() - 1) as f64 / 2.0
+    }
+
+    /// Push one sample, get one output sample. Costs a full block
+    /// transform per call — feed [`FastFirFilter::process`] blocks instead
+    /// on hot paths.
+    pub fn push(&mut self, x: Cplx) -> Cplx {
+        self.process(&[x])[0]
+    }
+
+    /// Filter a whole block, producing one output per input.
+    pub fn process(&mut self, input: &[Cplx]) -> Vec<Cplx> {
+        let t = self.taps.len();
+        let mut out = Vec::with_capacity(input.len());
+        let mut i = 0;
+        while i < input.len() {
+            let take = (self.block - self.pending).min(input.len() - i);
+            let prev = self.pending;
+            self.buf[t - 1 + prev..t - 1 + prev + take]
+                .copy_from_slice(&input[i..i + take]);
+            self.pending += take;
+            i += take;
+
+            // Transform [history | pending | zero-padding]; zeros stand in
+            // for the unseen future and cannot affect causal outputs.
+            self.scratch.copy_from_slice(&self.buf);
+            self.scratch[t - 1 + self.pending..].fill(Cplx::ZERO);
+            self.plan
+                .process(&mut self.scratch, Direction::Forward)
+                .expect("scratch length matches plan");
+            for (s, h) in self.scratch.iter_mut().zip(&self.h_spec) {
+                *s *= *h;
+            }
+            self.plan
+                .process(&mut self.scratch, Direction::Inverse)
+                .expect("scratch length matches plan");
+            out.extend_from_slice(&self.scratch[t - 1 + prev..t - 1 + self.pending]);
+
+            if self.pending == self.block {
+                // Block complete: retire it, carrying the last T-1 inputs
+                // forward as the next block's history.
+                let n = self.buf.len();
+                self.buf.copy_within(n - (t - 1)..n, 0);
+                self.pending = 0;
+            }
+        }
+        out
+    }
+
+    /// Reset the delay line to zeros.
+    pub fn reset(&mut self) {
+        self.buf.fill(Cplx::ZERO);
+        self.pending = 0;
+    }
+
+    /// Frequency response at a normalized frequency (fraction of Fs).
+    pub fn response_at(&self, freq_norm: f64) -> Cplx {
+        let mut acc = Cplx::ZERO;
+        for (i, t) in self.taps.iter().enumerate() {
+            acc += *t * Cplx::phasor(-core::f64::consts::TAU * freq_norm * i as f64);
+        }
+        acc
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +347,80 @@ mod tests {
         f.reset();
         let again = f.push(Cplx::ONE);
         assert_eq!(first, again);
+    }
+
+    #[test]
+    fn fast_fir_rejects_empty_taps() {
+        assert!(FastFirFilter::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn fast_fir_reset_restores_initial_state() {
+        let mut f = FastFirFilter::from_real(&[0.5, 0.25, 0.25]).unwrap();
+        let first = f.push(Cplx::ONE);
+        f.push(Cplx::new(2.0, 0.0));
+        f.reset();
+        let again = f.push(Cplx::ONE);
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn fast_fir_matches_direct_across_block_boundaries() {
+        // Long input crossing several overlap-save blocks, fed in uneven
+        // chunks so both the partial-tail path and block retirement run.
+        let h = design_bandpass(0.17, 0.06, 129, Window::Blackman).unwrap();
+        let mut direct = FirFilter::new(h.clone()).unwrap();
+        let mut fast = FastFirFilter::new(h).unwrap();
+        let x: Vec<Cplx> = (0..7_000)
+            .map(|i| Cplx::phasor(0.31 * i as f64).scale(1.0 + (i as f64 * 0.01).cos()))
+            .collect();
+        let mut got = Vec::new();
+        let mut want = Vec::new();
+        let mut i = 0;
+        for (k, chunk) in [1usize, 63, 500, 1, 2048, 37, 4000].iter().cycle().enumerate() {
+            if i >= x.len() {
+                break;
+            }
+            let end = (i + chunk + k % 3).min(x.len());
+            got.extend(fast.process(&x[i..end]));
+            want.extend(direct.process(&x[i..end]));
+            i = end;
+        }
+        assert_eq!(got.len(), want.len());
+        for (a, b) in want.iter().zip(&got) {
+            assert!(
+                (a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9,
+                "overlap-save diverged: {a:?} vs {b:?}"
+            );
+        }
+    }
+
+    proptest! {
+        /// Overlap-save output matches the direct-form filter to 1e-9 for
+        /// random taps, inputs, and chunkings.
+        #[test]
+        fn fast_fir_matches_direct(
+            taps in proptest::collection::vec(-1.0f64..1.0, 1..80),
+            xs in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 1..400),
+            split in 1usize..64,
+        ) {
+            let mut direct = FirFilter::from_real(&taps).unwrap();
+            let mut fast = FastFirFilter::from_real(&taps).unwrap();
+            let x: Vec<Cplx> = xs.iter().map(|&(r, i)| Cplx::new(r, i)).collect();
+            let mut got = Vec::new();
+            let mut want = Vec::new();
+            for chunk in x.chunks(split) {
+                got.extend(fast.process(chunk));
+                want.extend(direct.process(chunk));
+            }
+            prop_assert_eq!(got.len(), want.len());
+            for (a, b) in want.iter().zip(&got) {
+                prop_assert!(
+                    (a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9,
+                    "overlap-save diverged: {:?} vs {:?}", a, b
+                );
+            }
+        }
     }
 
     proptest! {

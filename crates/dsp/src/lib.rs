@@ -19,6 +19,7 @@ pub mod corr;
 pub mod cplx;
 pub mod fft;
 pub mod fir;
+pub mod par;
 pub mod power;
 pub mod prbs;
 pub mod psd;
@@ -26,8 +27,9 @@ pub mod resample;
 pub mod window;
 
 pub use cplx::Cplx;
-pub use fft::{fft, fft_in_place, ifft, Direction};
-pub use fir::FirFilter;
+pub use fft::{fft, fft_in_place, ifft, Direction, FftPlanner};
+pub use fir::{FastFirFilter, FirFilter};
+pub use par::{derive_stream_seed, par_map, resolve_parallelism};
 pub use power::{db_to_lin, lin_to_db, BandPowerMeter, MovingAverage};
 pub use prbs::Lfsr;
 

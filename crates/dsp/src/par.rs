@@ -1,0 +1,160 @@
+//! Deterministic thread fan-out for the measurement pipelines.
+//!
+//! The survey, fleet-audit, and TV-sweep hot paths are all "independent
+//! work items, order-stable results" shapes. [`par_map`] runs them on
+//! scoped worker threads with an atomic work queue (good load balance
+//! for uneven burst costs) and returns results **in item order**, so a
+//! parallel caller produces output bit-identical to a serial one as long
+//! as each item's computation is self-contained (e.g. derives its own
+//! RNG stream instead of sharing one).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Derive an independent per-item RNG seed from a base seed and an item
+/// index (SplitMix64 finalizer over their combination). Work items seeded
+/// this way get decorrelated streams whose values depend only on
+/// `(seed, index)` — never on which thread runs the item or in what
+/// order — which is what makes parallel pipelines bit-identical to
+/// serial ones.
+pub fn derive_stream_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Resolve a user-facing parallelism knob: `0` means "all available
+/// cores", anything else is used as given.
+pub fn resolve_parallelism(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Map `f` over `items` on up to `threads` worker threads, returning the
+/// results in input order. `f` receives `(index, &item)`.
+///
+/// `threads <= 1` (or a short input) runs inline with no thread setup,
+/// so the serial path stays allocation- and synchronization-free. A
+/// panic in any worker propagates to the caller.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        produced.push((i, f(i, item)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(produced) => {
+                    for (i, r) in produced {
+                        slots[i] = Some(r);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index was computed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = par_map(&items, threads, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * x
+            });
+            assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_stateful_items() {
+        // Each item derives its own deterministic stream from its index —
+        // the pattern the survey pipeline uses for per-burst RNGs.
+        let items: Vec<u64> = (0..64).collect();
+        let work = |_: usize, &seed: &u64| {
+            let mut h = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD6E8_FEB8_6659_FD93;
+            for _ in 0..100 {
+                h ^= h >> 33;
+                h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            }
+            h
+        };
+        let serial = par_map(&items, 1, work);
+        let parallel = par_map(&items, 8, work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], 4, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..32).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map(&items, 4, |_, &x| {
+                if x == 17 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn resolve_parallelism_zero_is_auto() {
+        assert!(resolve_parallelism(0) >= 1);
+        assert_eq!(resolve_parallelism(3), 3);
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct_and_stable() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in [0u64, 1, 42, u64::MAX] {
+            for idx in 0..1000u64 {
+                assert!(seen.insert(derive_stream_seed(seed, idx)), "collision at {seed}/{idx}");
+                assert_eq!(derive_stream_seed(seed, idx), derive_stream_seed(seed, idx));
+            }
+        }
+    }
+}

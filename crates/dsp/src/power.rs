@@ -7,7 +7,7 @@
 //! samples through a very long moving average filter for a live
 //! measurement."* [`BandPowerMeter`] is exactly that chain.
 
-use crate::fir::{design_bandpass, FirFilter};
+use crate::fir::{design_bandpass, FastFirFilter};
 use crate::window::Window;
 use crate::{Cplx, DspError};
 use std::collections::VecDeque;
@@ -108,7 +108,7 @@ impl MovingAverage {
 /// full scale; convert with [`lin_to_db`] for dBFS.
 #[derive(Debug, Clone)]
 pub struct BandPowerMeter {
-    filter: FirFilter,
+    filter: FastFirFilter,
     avg: MovingAverage,
     /// Samples to discard while the filter's delay line fills.
     warmup_remaining: usize,
@@ -148,7 +148,7 @@ impl BandPowerMeter {
             filter_taps,
             Window::Blackman,
         )?;
-        let filter = FirFilter::new(taps)?;
+        let filter = FastFirFilter::new(taps)?;
         let warmup = filter.len();
         Ok(Self {
             filter,
@@ -159,10 +159,12 @@ impl BandPowerMeter {
 
     /// Feed a block of IQ; returns the latest averaged band power (linear,
     /// full-scale-relative), or `None` if still in filter warm-up.
+    ///
+    /// The whole block runs through the overlap-save filter in one pass,
+    /// so long captures cost O(N log N) rather than O(N·taps).
     pub fn process(&mut self, iq: &[Cplx]) -> Option<f64> {
         let mut latest = None;
-        for &x in iq {
-            let y = self.filter.push(x);
+        for y in self.filter.process(iq) {
             if self.warmup_remaining > 0 {
                 self.warmup_remaining -= 1;
                 continue;

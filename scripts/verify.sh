@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full verification gate: build, test, lint, and regenerate the pipeline
+# performance report. Run from anywhere; operates on the repo root.
+#
+#   scripts/verify.sh
+#
+# Exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace --bins --benches
+
+echo "== tests (workspace) =="
+cargo test --workspace --release -q
+
+echo "== clippy (-D warnings) =="
+cargo clippy --workspace --all-targets --release -- -D warnings
+
+echo "== perfreport (--quick) =="
+cargo run --release -p aircal-bench --bin perfreport -- --quick
+
+echo "== verify: all gates passed =="
