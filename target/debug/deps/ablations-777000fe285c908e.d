@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-777000fe285c908e.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-777000fe285c908e: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

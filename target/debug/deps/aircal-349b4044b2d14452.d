@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aircal-349b4044b2d14452.d: src/main.rs
+
+/root/repo/target/debug/deps/aircal-349b4044b2d14452: src/main.rs
+
+src/main.rs:

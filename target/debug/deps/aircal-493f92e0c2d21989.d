@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aircal-493f92e0c2d21989.d: src/main.rs
+
+/root/repo/target/debug/deps/aircal-493f92e0c2d21989: src/main.rs
+
+src/main.rs:

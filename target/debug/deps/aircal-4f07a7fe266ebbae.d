@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/aircal-4f07a7fe266ebbae.d: src/lib.rs
+
+/root/repo/target/debug/deps/libaircal-4f07a7fe266ebbae.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libaircal-4f07a7fe266ebbae.rmeta: src/lib.rs
+
+src/lib.rs:

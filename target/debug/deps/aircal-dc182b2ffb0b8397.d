@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aircal-dc182b2ffb0b8397.d: src/lib.rs
+
+/root/repo/target/debug/deps/aircal-dc182b2ffb0b8397: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/aircal_adsb-3d9e8e8ec4f431d6.d: crates/adsb/src/lib.rs crates/adsb/src/altitude.rs crates/adsb/src/bits.rs crates/adsb/src/cpr.rs crates/adsb/src/crc.rs crates/adsb/src/decoder.rs crates/adsb/src/frame.rs crates/adsb/src/icao.rs crates/adsb/src/me.rs crates/adsb/src/ppm.rs
+
+/root/repo/target/debug/deps/aircal_adsb-3d9e8e8ec4f431d6: crates/adsb/src/lib.rs crates/adsb/src/altitude.rs crates/adsb/src/bits.rs crates/adsb/src/cpr.rs crates/adsb/src/crc.rs crates/adsb/src/decoder.rs crates/adsb/src/frame.rs crates/adsb/src/icao.rs crates/adsb/src/me.rs crates/adsb/src/ppm.rs
+
+crates/adsb/src/lib.rs:
+crates/adsb/src/altitude.rs:
+crates/adsb/src/bits.rs:
+crates/adsb/src/cpr.rs:
+crates/adsb/src/crc.rs:
+crates/adsb/src/decoder.rs:
+crates/adsb/src/frame.rs:
+crates/adsb/src/icao.rs:
+crates/adsb/src/me.rs:
+crates/adsb/src/ppm.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/aircal_aircraft-1be1d3c15adf814e.d: crates/aircraft/src/lib.rs crates/aircraft/src/flight.rs crates/aircraft/src/generator.rs crates/aircraft/src/ground_truth.rs crates/aircraft/src/transponder.rs
+
+/root/repo/target/debug/deps/libaircal_aircraft-1be1d3c15adf814e.rlib: crates/aircraft/src/lib.rs crates/aircraft/src/flight.rs crates/aircraft/src/generator.rs crates/aircraft/src/ground_truth.rs crates/aircraft/src/transponder.rs
+
+/root/repo/target/debug/deps/libaircal_aircraft-1be1d3c15adf814e.rmeta: crates/aircraft/src/lib.rs crates/aircraft/src/flight.rs crates/aircraft/src/generator.rs crates/aircraft/src/ground_truth.rs crates/aircraft/src/transponder.rs
+
+crates/aircraft/src/lib.rs:
+crates/aircraft/src/flight.rs:
+crates/aircraft/src/generator.rs:
+crates/aircraft/src/ground_truth.rs:
+crates/aircraft/src/transponder.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aircal_aircraft-8b82312a29208d98.d: crates/aircraft/src/lib.rs crates/aircraft/src/flight.rs crates/aircraft/src/generator.rs crates/aircraft/src/ground_truth.rs crates/aircraft/src/transponder.rs
+
+/root/repo/target/debug/deps/aircal_aircraft-8b82312a29208d98: crates/aircraft/src/lib.rs crates/aircraft/src/flight.rs crates/aircraft/src/generator.rs crates/aircraft/src/ground_truth.rs crates/aircraft/src/transponder.rs
+
+crates/aircraft/src/lib.rs:
+crates/aircraft/src/flight.rs:
+crates/aircraft/src/generator.rs:
+crates/aircraft/src/ground_truth.rs:
+crates/aircraft/src/transponder.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aircal_bench-6af5bfcb8020201b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/aircal_bench-6af5bfcb8020201b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

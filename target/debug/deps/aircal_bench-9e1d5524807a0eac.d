@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/aircal_bench-9e1d5524807a0eac.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libaircal_bench-9e1d5524807a0eac.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libaircal_bench-9e1d5524807a0eac.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

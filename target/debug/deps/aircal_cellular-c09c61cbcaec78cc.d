@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aircal_cellular-c09c61cbcaec78cc.d: crates/cellular/src/lib.rs crates/cellular/src/bands.rs crates/cellular/src/nr.rs crates/cellular/src/scan.rs crates/cellular/src/tower.rs
+
+/root/repo/target/debug/deps/aircal_cellular-c09c61cbcaec78cc: crates/cellular/src/lib.rs crates/cellular/src/bands.rs crates/cellular/src/nr.rs crates/cellular/src/scan.rs crates/cellular/src/tower.rs
+
+crates/cellular/src/lib.rs:
+crates/cellular/src/bands.rs:
+crates/cellular/src/nr.rs:
+crates/cellular/src/scan.rs:
+crates/cellular/src/tower.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/aircal_cellular-e3223ef43a494d17.d: crates/cellular/src/lib.rs crates/cellular/src/bands.rs crates/cellular/src/nr.rs crates/cellular/src/scan.rs crates/cellular/src/tower.rs
+
+/root/repo/target/debug/deps/libaircal_cellular-e3223ef43a494d17.rlib: crates/cellular/src/lib.rs crates/cellular/src/bands.rs crates/cellular/src/nr.rs crates/cellular/src/scan.rs crates/cellular/src/tower.rs
+
+/root/repo/target/debug/deps/libaircal_cellular-e3223ef43a494d17.rmeta: crates/cellular/src/lib.rs crates/cellular/src/bands.rs crates/cellular/src/nr.rs crates/cellular/src/scan.rs crates/cellular/src/tower.rs
+
+crates/cellular/src/lib.rs:
+crates/cellular/src/bands.rs:
+crates/cellular/src/nr.rs:
+crates/cellular/src/scan.rs:
+crates/cellular/src/tower.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/aircal_core-16567dccde47787b.d: crates/core/src/lib.rs crates/core/src/classifier.rs crates/core/src/engine.rs crates/core/src/fleet.rs crates/core/src/fov.rs crates/core/src/freqprofile.rs crates/core/src/history.rs crates/core/src/repeat.rs crates/core/src/report.rs crates/core/src/scheduler.rs crates/core/src/survey.rs crates/core/src/trust.rs
+
+/root/repo/target/debug/deps/libaircal_core-16567dccde47787b.rlib: crates/core/src/lib.rs crates/core/src/classifier.rs crates/core/src/engine.rs crates/core/src/fleet.rs crates/core/src/fov.rs crates/core/src/freqprofile.rs crates/core/src/history.rs crates/core/src/repeat.rs crates/core/src/report.rs crates/core/src/scheduler.rs crates/core/src/survey.rs crates/core/src/trust.rs
+
+/root/repo/target/debug/deps/libaircal_core-16567dccde47787b.rmeta: crates/core/src/lib.rs crates/core/src/classifier.rs crates/core/src/engine.rs crates/core/src/fleet.rs crates/core/src/fov.rs crates/core/src/freqprofile.rs crates/core/src/history.rs crates/core/src/repeat.rs crates/core/src/report.rs crates/core/src/scheduler.rs crates/core/src/survey.rs crates/core/src/trust.rs
+
+crates/core/src/lib.rs:
+crates/core/src/classifier.rs:
+crates/core/src/engine.rs:
+crates/core/src/fleet.rs:
+crates/core/src/fov.rs:
+crates/core/src/freqprofile.rs:
+crates/core/src/history.rs:
+crates/core/src/repeat.rs:
+crates/core/src/report.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/survey.rs:
+crates/core/src/trust.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/aircal_dsp-64196ae4597b949b.d: crates/dsp/src/lib.rs crates/dsp/src/agc.rs crates/dsp/src/corr.rs crates/dsp/src/cplx.rs crates/dsp/src/fft.rs crates/dsp/src/fir.rs crates/dsp/src/par.rs crates/dsp/src/power.rs crates/dsp/src/prbs.rs crates/dsp/src/psd.rs crates/dsp/src/resample.rs crates/dsp/src/window.rs
+
+/root/repo/target/debug/deps/libaircal_dsp-64196ae4597b949b.rlib: crates/dsp/src/lib.rs crates/dsp/src/agc.rs crates/dsp/src/corr.rs crates/dsp/src/cplx.rs crates/dsp/src/fft.rs crates/dsp/src/fir.rs crates/dsp/src/par.rs crates/dsp/src/power.rs crates/dsp/src/prbs.rs crates/dsp/src/psd.rs crates/dsp/src/resample.rs crates/dsp/src/window.rs
+
+/root/repo/target/debug/deps/libaircal_dsp-64196ae4597b949b.rmeta: crates/dsp/src/lib.rs crates/dsp/src/agc.rs crates/dsp/src/corr.rs crates/dsp/src/cplx.rs crates/dsp/src/fft.rs crates/dsp/src/fir.rs crates/dsp/src/par.rs crates/dsp/src/power.rs crates/dsp/src/prbs.rs crates/dsp/src/psd.rs crates/dsp/src/resample.rs crates/dsp/src/window.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/agc.rs:
+crates/dsp/src/corr.rs:
+crates/dsp/src/cplx.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/fir.rs:
+crates/dsp/src/par.rs:
+crates/dsp/src/power.rs:
+crates/dsp/src/prbs.rs:
+crates/dsp/src/psd.rs:
+crates/dsp/src/resample.rs:
+crates/dsp/src/window.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/aircal_dsp-d005c4d9546d661b.d: crates/dsp/src/lib.rs crates/dsp/src/agc.rs crates/dsp/src/corr.rs crates/dsp/src/cplx.rs crates/dsp/src/fft.rs crates/dsp/src/fir.rs crates/dsp/src/par.rs crates/dsp/src/power.rs crates/dsp/src/prbs.rs crates/dsp/src/psd.rs crates/dsp/src/resample.rs crates/dsp/src/window.rs
+
+/root/repo/target/debug/deps/aircal_dsp-d005c4d9546d661b: crates/dsp/src/lib.rs crates/dsp/src/agc.rs crates/dsp/src/corr.rs crates/dsp/src/cplx.rs crates/dsp/src/fft.rs crates/dsp/src/fir.rs crates/dsp/src/par.rs crates/dsp/src/power.rs crates/dsp/src/prbs.rs crates/dsp/src/psd.rs crates/dsp/src/resample.rs crates/dsp/src/window.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/agc.rs:
+crates/dsp/src/corr.rs:
+crates/dsp/src/cplx.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/fir.rs:
+crates/dsp/src/par.rs:
+crates/dsp/src/power.rs:
+crates/dsp/src/prbs.rs:
+crates/dsp/src/psd.rs:
+crates/dsp/src/resample.rs:
+crates/dsp/src/window.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/aircal_env-0461c1c7081df5f2.d: crates/env/src/lib.rs crates/env/src/building.rs crates/env/src/scenarios.rs crates/env/src/site.rs crates/env/src/world.rs
+
+/root/repo/target/debug/deps/libaircal_env-0461c1c7081df5f2.rlib: crates/env/src/lib.rs crates/env/src/building.rs crates/env/src/scenarios.rs crates/env/src/site.rs crates/env/src/world.rs
+
+/root/repo/target/debug/deps/libaircal_env-0461c1c7081df5f2.rmeta: crates/env/src/lib.rs crates/env/src/building.rs crates/env/src/scenarios.rs crates/env/src/site.rs crates/env/src/world.rs
+
+crates/env/src/lib.rs:
+crates/env/src/building.rs:
+crates/env/src/scenarios.rs:
+crates/env/src/site.rs:
+crates/env/src/world.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aircal_env-df19d86fc6f7faba.d: crates/env/src/lib.rs crates/env/src/building.rs crates/env/src/scenarios.rs crates/env/src/site.rs crates/env/src/world.rs
+
+/root/repo/target/debug/deps/aircal_env-df19d86fc6f7faba: crates/env/src/lib.rs crates/env/src/building.rs crates/env/src/scenarios.rs crates/env/src/site.rs crates/env/src/world.rs
+
+crates/env/src/lib.rs:
+crates/env/src/building.rs:
+crates/env/src/scenarios.rs:
+crates/env/src/site.rs:
+crates/env/src/world.rs:

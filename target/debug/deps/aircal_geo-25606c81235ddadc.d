@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/aircal_geo-25606c81235ddadc.d: crates/geo/src/lib.rs crates/geo/src/angle.rs crates/geo/src/coord.rs crates/geo/src/polygon.rs
+
+/root/repo/target/debug/deps/aircal_geo-25606c81235ddadc: crates/geo/src/lib.rs crates/geo/src/angle.rs crates/geo/src/coord.rs crates/geo/src/polygon.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/angle.rs:
+crates/geo/src/coord.rs:
+crates/geo/src/polygon.rs:

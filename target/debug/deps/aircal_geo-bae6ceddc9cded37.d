@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/aircal_geo-bae6ceddc9cded37.d: crates/geo/src/lib.rs crates/geo/src/angle.rs crates/geo/src/coord.rs crates/geo/src/polygon.rs
+
+/root/repo/target/debug/deps/libaircal_geo-bae6ceddc9cded37.rlib: crates/geo/src/lib.rs crates/geo/src/angle.rs crates/geo/src/coord.rs crates/geo/src/polygon.rs
+
+/root/repo/target/debug/deps/libaircal_geo-bae6ceddc9cded37.rmeta: crates/geo/src/lib.rs crates/geo/src/angle.rs crates/geo/src/coord.rs crates/geo/src/polygon.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/angle.rs:
+crates/geo/src/coord.rs:
+crates/geo/src/polygon.rs:

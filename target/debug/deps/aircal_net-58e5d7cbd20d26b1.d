@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aircal_net-58e5d7cbd20d26b1.d: crates/net/src/lib.rs crates/net/src/cloud.rs crates/net/src/node.rs crates/net/src/protocol.rs crates/net/src/transport.rs
+
+/root/repo/target/debug/deps/aircal_net-58e5d7cbd20d26b1: crates/net/src/lib.rs crates/net/src/cloud.rs crates/net/src/node.rs crates/net/src/protocol.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cloud.rs:
+crates/net/src/node.rs:
+crates/net/src/protocol.rs:
+crates/net/src/transport.rs:

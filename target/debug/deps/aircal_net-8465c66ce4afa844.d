@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/aircal_net-8465c66ce4afa844.d: crates/net/src/lib.rs crates/net/src/cloud.rs crates/net/src/node.rs crates/net/src/protocol.rs crates/net/src/transport.rs
+
+/root/repo/target/debug/deps/libaircal_net-8465c66ce4afa844.rlib: crates/net/src/lib.rs crates/net/src/cloud.rs crates/net/src/node.rs crates/net/src/protocol.rs crates/net/src/transport.rs
+
+/root/repo/target/debug/deps/libaircal_net-8465c66ce4afa844.rmeta: crates/net/src/lib.rs crates/net/src/cloud.rs crates/net/src/node.rs crates/net/src/protocol.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cloud.rs:
+crates/net/src/node.rs:
+crates/net/src/protocol.rs:
+crates/net/src/transport.rs:

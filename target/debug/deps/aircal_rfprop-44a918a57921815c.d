@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/aircal_rfprop-44a918a57921815c.d: crates/rfprop/src/lib.rs crates/rfprop/src/antenna.rs crates/rfprop/src/diffraction.rs crates/rfprop/src/empirical.rs crates/rfprop/src/fading.rs crates/rfprop/src/linkbudget.rs crates/rfprop/src/materials.rs crates/rfprop/src/noise.rs crates/rfprop/src/pathloss.rs
+
+/root/repo/target/debug/deps/aircal_rfprop-44a918a57921815c: crates/rfprop/src/lib.rs crates/rfprop/src/antenna.rs crates/rfprop/src/diffraction.rs crates/rfprop/src/empirical.rs crates/rfprop/src/fading.rs crates/rfprop/src/linkbudget.rs crates/rfprop/src/materials.rs crates/rfprop/src/noise.rs crates/rfprop/src/pathloss.rs
+
+crates/rfprop/src/lib.rs:
+crates/rfprop/src/antenna.rs:
+crates/rfprop/src/diffraction.rs:
+crates/rfprop/src/empirical.rs:
+crates/rfprop/src/fading.rs:
+crates/rfprop/src/linkbudget.rs:
+crates/rfprop/src/materials.rs:
+crates/rfprop/src/noise.rs:
+crates/rfprop/src/pathloss.rs:

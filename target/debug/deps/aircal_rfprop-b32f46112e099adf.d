@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/aircal_rfprop-b32f46112e099adf.d: crates/rfprop/src/lib.rs crates/rfprop/src/antenna.rs crates/rfprop/src/diffraction.rs crates/rfprop/src/empirical.rs crates/rfprop/src/fading.rs crates/rfprop/src/linkbudget.rs crates/rfprop/src/materials.rs crates/rfprop/src/noise.rs crates/rfprop/src/pathloss.rs
+
+/root/repo/target/debug/deps/libaircal_rfprop-b32f46112e099adf.rlib: crates/rfprop/src/lib.rs crates/rfprop/src/antenna.rs crates/rfprop/src/diffraction.rs crates/rfprop/src/empirical.rs crates/rfprop/src/fading.rs crates/rfprop/src/linkbudget.rs crates/rfprop/src/materials.rs crates/rfprop/src/noise.rs crates/rfprop/src/pathloss.rs
+
+/root/repo/target/debug/deps/libaircal_rfprop-b32f46112e099adf.rmeta: crates/rfprop/src/lib.rs crates/rfprop/src/antenna.rs crates/rfprop/src/diffraction.rs crates/rfprop/src/empirical.rs crates/rfprop/src/fading.rs crates/rfprop/src/linkbudget.rs crates/rfprop/src/materials.rs crates/rfprop/src/noise.rs crates/rfprop/src/pathloss.rs
+
+crates/rfprop/src/lib.rs:
+crates/rfprop/src/antenna.rs:
+crates/rfprop/src/diffraction.rs:
+crates/rfprop/src/empirical.rs:
+crates/rfprop/src/fading.rs:
+crates/rfprop/src/linkbudget.rs:
+crates/rfprop/src/materials.rs:
+crates/rfprop/src/noise.rs:
+crates/rfprop/src/pathloss.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/aircal_sdr-2e628e388b0197d7.d: crates/sdr/src/lib.rs crates/sdr/src/capture.rs crates/sdr/src/faults.rs crates/sdr/src/frontend.rs
+
+/root/repo/target/debug/deps/aircal_sdr-2e628e388b0197d7: crates/sdr/src/lib.rs crates/sdr/src/capture.rs crates/sdr/src/faults.rs crates/sdr/src/frontend.rs
+
+crates/sdr/src/lib.rs:
+crates/sdr/src/capture.rs:
+crates/sdr/src/faults.rs:
+crates/sdr/src/frontend.rs:

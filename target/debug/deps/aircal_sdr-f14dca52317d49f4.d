@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/aircal_sdr-f14dca52317d49f4.d: crates/sdr/src/lib.rs crates/sdr/src/capture.rs crates/sdr/src/faults.rs crates/sdr/src/frontend.rs
+
+/root/repo/target/debug/deps/libaircal_sdr-f14dca52317d49f4.rlib: crates/sdr/src/lib.rs crates/sdr/src/capture.rs crates/sdr/src/faults.rs crates/sdr/src/frontend.rs
+
+/root/repo/target/debug/deps/libaircal_sdr-f14dca52317d49f4.rmeta: crates/sdr/src/lib.rs crates/sdr/src/capture.rs crates/sdr/src/faults.rs crates/sdr/src/frontend.rs
+
+crates/sdr/src/lib.rs:
+crates/sdr/src/capture.rs:
+crates/sdr/src/faults.rs:
+crates/sdr/src/frontend.rs:

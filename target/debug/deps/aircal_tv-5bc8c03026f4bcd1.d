@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/aircal_tv-5bc8c03026f4bcd1.d: crates/tv/src/lib.rs crates/tv/src/channels.rs crates/tv/src/probe.rs crates/tv/src/synth.rs crates/tv/src/towers.rs
+
+/root/repo/target/debug/deps/libaircal_tv-5bc8c03026f4bcd1.rlib: crates/tv/src/lib.rs crates/tv/src/channels.rs crates/tv/src/probe.rs crates/tv/src/synth.rs crates/tv/src/towers.rs
+
+/root/repo/target/debug/deps/libaircal_tv-5bc8c03026f4bcd1.rmeta: crates/tv/src/lib.rs crates/tv/src/channels.rs crates/tv/src/probe.rs crates/tv/src/synth.rs crates/tv/src/towers.rs
+
+crates/tv/src/lib.rs:
+crates/tv/src/channels.rs:
+crates/tv/src/probe.rs:
+crates/tv/src/synth.rs:
+crates/tv/src/towers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aircal_tv-f68bb3e75afabc51.d: crates/tv/src/lib.rs crates/tv/src/channels.rs crates/tv/src/probe.rs crates/tv/src/synth.rs crates/tv/src/towers.rs
+
+/root/repo/target/debug/deps/aircal_tv-f68bb3e75afabc51: crates/tv/src/lib.rs crates/tv/src/channels.rs crates/tv/src/probe.rs crates/tv/src/synth.rs crates/tv/src/towers.rs
+
+crates/tv/src/lib.rs:
+crates/tv/src/channels.rs:
+crates/tv/src/probe.rs:
+crates/tv/src/synth.rs:
+crates/tv/src/towers.rs:

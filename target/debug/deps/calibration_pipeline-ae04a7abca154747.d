@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration_pipeline-ae04a7abca154747.d: tests/calibration_pipeline.rs
+
+/root/repo/target/debug/deps/calibration_pipeline-ae04a7abca154747: tests/calibration_pipeline.rs
+
+tests/calibration_pipeline.rs:

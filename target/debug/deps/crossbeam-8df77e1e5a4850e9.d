@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-8df77e1e5a4850e9.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-8df77e1e5a4850e9: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-a18dad01daa0b726.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-a18dad01daa0b726.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-a18dad01daa0b726.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-61a706e4081057f0.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-61a706e4081057f0: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

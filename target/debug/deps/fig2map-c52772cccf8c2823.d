@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2map-c52772cccf8c2823.d: crates/bench/src/bin/fig2map.rs
+
+/root/repo/target/debug/deps/fig2map-c52772cccf8c2823: crates/bench/src/bin/fig2map.rs
+
+crates/bench/src/bin/fig2map.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-5e60e46418849876.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-5e60e46418849876: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

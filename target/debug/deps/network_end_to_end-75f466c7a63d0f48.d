@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/network_end_to_end-75f466c7a63d0f48.d: tests/network_end_to_end.rs
+
+/root/repo/target/debug/deps/network_end_to_end-75f466c7a63d0f48: tests/network_end_to_end.rs
+
+tests/network_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_procedure-c325414e8e7eb5e6.d: tests/paper_procedure.rs
+
+/root/repo/target/debug/deps/paper_procedure-c325414e8e7eb5e6: tests/paper_procedure.rs
+
+tests/paper_procedure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-0718ffac2aa66857.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-0718ffac2aa66857: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-a679855334da1c79.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-a679855334da1c79.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-a679855334da1c79.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

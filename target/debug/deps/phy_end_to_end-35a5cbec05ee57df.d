@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phy_end_to_end-35a5cbec05ee57df.d: tests/phy_end_to_end.rs
+
+/root/repo/target/debug/deps/phy_end_to_end-35a5cbec05ee57df: tests/phy_end_to_end.rs
+
+tests/phy_end_to_end.rs:

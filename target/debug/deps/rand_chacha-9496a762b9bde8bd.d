@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-9496a762b9bde8bd.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/rand_chacha-9496a762b9bde8bd: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

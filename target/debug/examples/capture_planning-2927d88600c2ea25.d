@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capture_planning-2927d88600c2ea25.d: examples/capture_planning.rs
+
+/root/repo/target/debug/examples/capture_planning-2927d88600c2ea25: examples/capture_planning.rs
+
+examples/capture_planning.rs:

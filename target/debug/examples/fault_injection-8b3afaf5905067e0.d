@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_injection-8b3afaf5905067e0.d: examples/fault_injection.rs
+
+/root/repo/target/debug/examples/fault_injection-8b3afaf5905067e0: examples/fault_injection.rs
+
+examples/fault_injection.rs:

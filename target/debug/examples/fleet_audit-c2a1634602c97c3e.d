@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fleet_audit-c2a1634602c97c3e.d: examples/fleet_audit.rs
+
+/root/repo/target/debug/examples/fleet_audit-c2a1634602c97c3e: examples/fleet_audit.rs
+
+examples/fleet_audit.rs:

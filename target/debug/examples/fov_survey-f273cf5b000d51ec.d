@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fov_survey-f273cf5b000d51ec.d: examples/fov_survey.rs
+
+/root/repo/target/debug/examples/fov_survey-f273cf5b000d51ec: examples/fov_survey.rs
+
+examples/fov_survey.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/frequency_sweep-7ec3f0ae79705c91.d: examples/frequency_sweep.rs
+
+/root/repo/target/debug/examples/frequency_sweep-7ec3f0ae79705c91: examples/frequency_sweep.rs
+
+examples/frequency_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/marketplace-5a1570d4e91dd716.d: examples/marketplace.rs
+
+/root/repo/target/debug/examples/marketplace-5a1570d4e91dd716: examples/marketplace.rs
+
+examples/marketplace.rs:

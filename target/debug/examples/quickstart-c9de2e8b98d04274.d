@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c9de2e8b98d04274.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c9de2e8b98d04274: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spectrum_monitor-a73273ffa377e8e6.d: examples/spectrum_monitor.rs
+
+/root/repo/target/debug/examples/spectrum_monitor-a73273ffa377e8e6: examples/spectrum_monitor.rs
+
+examples/spectrum_monitor.rs:

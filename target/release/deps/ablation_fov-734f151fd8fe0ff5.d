@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_fov-734f151fd8fe0ff5.d: crates/bench/benches/ablation_fov.rs
+
+/root/repo/target/release/deps/ablation_fov-734f151fd8fe0ff5: crates/bench/benches/ablation_fov.rs
+
+crates/bench/benches/ablation_fov.rs:

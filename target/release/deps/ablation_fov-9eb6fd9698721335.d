@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_fov-9eb6fd9698721335.d: crates/bench/benches/ablation_fov.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_fov-9eb6fd9698721335.rmeta: crates/bench/benches/ablation_fov.rs Cargo.toml
+
+crates/bench/benches/ablation_fov.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-2afdf121d469dfd1.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-2afdf121d469dfd1: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

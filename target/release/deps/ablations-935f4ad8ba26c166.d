@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-935f4ad8ba26c166.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-935f4ad8ba26c166: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

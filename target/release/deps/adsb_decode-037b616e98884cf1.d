@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/adsb_decode-037b616e98884cf1.d: crates/bench/benches/adsb_decode.rs Cargo.toml
+
+/root/repo/target/release/deps/libadsb_decode-037b616e98884cf1.rmeta: crates/bench/benches/adsb_decode.rs Cargo.toml
+
+crates/bench/benches/adsb_decode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/adsb_decode-4328fd949ffef083.d: crates/bench/benches/adsb_decode.rs
+
+/root/repo/target/release/deps/adsb_decode-4328fd949ffef083: crates/bench/benches/adsb_decode.rs
+
+crates/bench/benches/adsb_decode.rs:

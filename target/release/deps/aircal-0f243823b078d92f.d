@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/aircal-0f243823b078d92f.d: src/main.rs Cargo.toml
+
+/root/repo/target/release/deps/libaircal-0f243823b078d92f.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/aircal-16600f0d8d8b2511.d: src/main.rs
+
+/root/repo/target/release/deps/aircal-16600f0d8d8b2511: src/main.rs
+
+src/main.rs:

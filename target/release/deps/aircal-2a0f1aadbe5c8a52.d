@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/aircal-2a0f1aadbe5c8a52.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libaircal-2a0f1aadbe5c8a52.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

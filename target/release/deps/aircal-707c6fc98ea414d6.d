@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/aircal-707c6fc98ea414d6.d: src/lib.rs
+
+/root/repo/target/release/deps/aircal-707c6fc98ea414d6: src/lib.rs
+
+src/lib.rs:

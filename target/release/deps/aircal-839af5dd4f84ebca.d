@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/aircal-839af5dd4f84ebca.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libaircal-839af5dd4f84ebca.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

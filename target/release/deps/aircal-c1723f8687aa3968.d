@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/aircal-c1723f8687aa3968.d: src/main.rs
+
+/root/repo/target/release/deps/aircal-c1723f8687aa3968: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/aircal-d49e00a0fe475715.d: src/lib.rs
+
+/root/repo/target/release/deps/libaircal-d49e00a0fe475715.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libaircal-d49e00a0fe475715.rmeta: src/lib.rs
+
+src/lib.rs:

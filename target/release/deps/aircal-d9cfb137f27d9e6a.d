@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/aircal-d9cfb137f27d9e6a.d: src/main.rs Cargo.toml
+
+/root/repo/target/release/deps/libaircal-d9cfb137f27d9e6a.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

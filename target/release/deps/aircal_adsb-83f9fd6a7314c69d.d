@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/aircal_adsb-83f9fd6a7314c69d.d: crates/adsb/src/lib.rs crates/adsb/src/altitude.rs crates/adsb/src/bits.rs crates/adsb/src/cpr.rs crates/adsb/src/crc.rs crates/adsb/src/decoder.rs crates/adsb/src/frame.rs crates/adsb/src/icao.rs crates/adsb/src/me.rs crates/adsb/src/ppm.rs Cargo.toml
+
+/root/repo/target/release/deps/libaircal_adsb-83f9fd6a7314c69d.rmeta: crates/adsb/src/lib.rs crates/adsb/src/altitude.rs crates/adsb/src/bits.rs crates/adsb/src/cpr.rs crates/adsb/src/crc.rs crates/adsb/src/decoder.rs crates/adsb/src/frame.rs crates/adsb/src/icao.rs crates/adsb/src/me.rs crates/adsb/src/ppm.rs Cargo.toml
+
+crates/adsb/src/lib.rs:
+crates/adsb/src/altitude.rs:
+crates/adsb/src/bits.rs:
+crates/adsb/src/cpr.rs:
+crates/adsb/src/crc.rs:
+crates/adsb/src/decoder.rs:
+crates/adsb/src/frame.rs:
+crates/adsb/src/icao.rs:
+crates/adsb/src/me.rs:
+crates/adsb/src/ppm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/aircal_adsb-877216a51d3784e4.d: crates/adsb/src/lib.rs crates/adsb/src/altitude.rs crates/adsb/src/bits.rs crates/adsb/src/cpr.rs crates/adsb/src/crc.rs crates/adsb/src/decoder.rs crates/adsb/src/frame.rs crates/adsb/src/icao.rs crates/adsb/src/me.rs crates/adsb/src/ppm.rs
+
+/root/repo/target/release/deps/aircal_adsb-877216a51d3784e4: crates/adsb/src/lib.rs crates/adsb/src/altitude.rs crates/adsb/src/bits.rs crates/adsb/src/cpr.rs crates/adsb/src/crc.rs crates/adsb/src/decoder.rs crates/adsb/src/frame.rs crates/adsb/src/icao.rs crates/adsb/src/me.rs crates/adsb/src/ppm.rs
+
+crates/adsb/src/lib.rs:
+crates/adsb/src/altitude.rs:
+crates/adsb/src/bits.rs:
+crates/adsb/src/cpr.rs:
+crates/adsb/src/crc.rs:
+crates/adsb/src/decoder.rs:
+crates/adsb/src/frame.rs:
+crates/adsb/src/icao.rs:
+crates/adsb/src/me.rs:
+crates/adsb/src/ppm.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/aircal_adsb-e6993c0a3638a06f.d: crates/adsb/src/lib.rs crates/adsb/src/altitude.rs crates/adsb/src/bits.rs crates/adsb/src/cpr.rs crates/adsb/src/crc.rs crates/adsb/src/decoder.rs crates/adsb/src/frame.rs crates/adsb/src/icao.rs crates/adsb/src/me.rs crates/adsb/src/ppm.rs
+
+/root/repo/target/release/deps/libaircal_adsb-e6993c0a3638a06f.rlib: crates/adsb/src/lib.rs crates/adsb/src/altitude.rs crates/adsb/src/bits.rs crates/adsb/src/cpr.rs crates/adsb/src/crc.rs crates/adsb/src/decoder.rs crates/adsb/src/frame.rs crates/adsb/src/icao.rs crates/adsb/src/me.rs crates/adsb/src/ppm.rs
+
+/root/repo/target/release/deps/libaircal_adsb-e6993c0a3638a06f.rmeta: crates/adsb/src/lib.rs crates/adsb/src/altitude.rs crates/adsb/src/bits.rs crates/adsb/src/cpr.rs crates/adsb/src/crc.rs crates/adsb/src/decoder.rs crates/adsb/src/frame.rs crates/adsb/src/icao.rs crates/adsb/src/me.rs crates/adsb/src/ppm.rs
+
+crates/adsb/src/lib.rs:
+crates/adsb/src/altitude.rs:
+crates/adsb/src/bits.rs:
+crates/adsb/src/cpr.rs:
+crates/adsb/src/crc.rs:
+crates/adsb/src/decoder.rs:
+crates/adsb/src/frame.rs:
+crates/adsb/src/icao.rs:
+crates/adsb/src/me.rs:
+crates/adsb/src/ppm.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/aircal_aircraft-3c8831767bd99d97.d: crates/aircraft/src/lib.rs crates/aircraft/src/flight.rs crates/aircraft/src/generator.rs crates/aircraft/src/ground_truth.rs crates/aircraft/src/transponder.rs Cargo.toml
+
+/root/repo/target/release/deps/libaircal_aircraft-3c8831767bd99d97.rmeta: crates/aircraft/src/lib.rs crates/aircraft/src/flight.rs crates/aircraft/src/generator.rs crates/aircraft/src/ground_truth.rs crates/aircraft/src/transponder.rs Cargo.toml
+
+crates/aircraft/src/lib.rs:
+crates/aircraft/src/flight.rs:
+crates/aircraft/src/generator.rs:
+crates/aircraft/src/ground_truth.rs:
+crates/aircraft/src/transponder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/aircal_aircraft-5a557bf131d3ae69.d: crates/aircraft/src/lib.rs crates/aircraft/src/flight.rs crates/aircraft/src/generator.rs crates/aircraft/src/ground_truth.rs crates/aircraft/src/transponder.rs
+
+/root/repo/target/release/deps/libaircal_aircraft-5a557bf131d3ae69.rlib: crates/aircraft/src/lib.rs crates/aircraft/src/flight.rs crates/aircraft/src/generator.rs crates/aircraft/src/ground_truth.rs crates/aircraft/src/transponder.rs
+
+/root/repo/target/release/deps/libaircal_aircraft-5a557bf131d3ae69.rmeta: crates/aircraft/src/lib.rs crates/aircraft/src/flight.rs crates/aircraft/src/generator.rs crates/aircraft/src/ground_truth.rs crates/aircraft/src/transponder.rs
+
+crates/aircraft/src/lib.rs:
+crates/aircraft/src/flight.rs:
+crates/aircraft/src/generator.rs:
+crates/aircraft/src/ground_truth.rs:
+crates/aircraft/src/transponder.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/aircal_aircraft-a578f76130bcefb3.d: crates/aircraft/src/lib.rs crates/aircraft/src/flight.rs crates/aircraft/src/generator.rs crates/aircraft/src/ground_truth.rs crates/aircraft/src/transponder.rs
+
+/root/repo/target/release/deps/aircal_aircraft-a578f76130bcefb3: crates/aircraft/src/lib.rs crates/aircraft/src/flight.rs crates/aircraft/src/generator.rs crates/aircraft/src/ground_truth.rs crates/aircraft/src/transponder.rs
+
+crates/aircraft/src/lib.rs:
+crates/aircraft/src/flight.rs:
+crates/aircraft/src/generator.rs:
+crates/aircraft/src/ground_truth.rs:
+crates/aircraft/src/transponder.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/aircal_bench-4a322618a3af7840.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libaircal_bench-4a322618a3af7840.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

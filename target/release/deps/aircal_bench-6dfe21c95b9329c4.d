@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/aircal_bench-6dfe21c95b9329c4.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libaircal_bench-6dfe21c95b9329c4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libaircal_bench-6dfe21c95b9329c4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/aircal_bench-7771bab4d245c28a.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/aircal_bench-7771bab4d245c28a: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

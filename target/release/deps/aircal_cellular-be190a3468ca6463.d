@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/aircal_cellular-be190a3468ca6463.d: crates/cellular/src/lib.rs crates/cellular/src/bands.rs crates/cellular/src/nr.rs crates/cellular/src/scan.rs crates/cellular/src/tower.rs
+
+/root/repo/target/release/deps/aircal_cellular-be190a3468ca6463: crates/cellular/src/lib.rs crates/cellular/src/bands.rs crates/cellular/src/nr.rs crates/cellular/src/scan.rs crates/cellular/src/tower.rs
+
+crates/cellular/src/lib.rs:
+crates/cellular/src/bands.rs:
+crates/cellular/src/nr.rs:
+crates/cellular/src/scan.rs:
+crates/cellular/src/tower.rs:

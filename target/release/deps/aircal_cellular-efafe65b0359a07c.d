@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/aircal_cellular-efafe65b0359a07c.d: crates/cellular/src/lib.rs crates/cellular/src/bands.rs crates/cellular/src/nr.rs crates/cellular/src/scan.rs crates/cellular/src/tower.rs Cargo.toml
+
+/root/repo/target/release/deps/libaircal_cellular-efafe65b0359a07c.rmeta: crates/cellular/src/lib.rs crates/cellular/src/bands.rs crates/cellular/src/nr.rs crates/cellular/src/scan.rs crates/cellular/src/tower.rs Cargo.toml
+
+crates/cellular/src/lib.rs:
+crates/cellular/src/bands.rs:
+crates/cellular/src/nr.rs:
+crates/cellular/src/scan.rs:
+crates/cellular/src/tower.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

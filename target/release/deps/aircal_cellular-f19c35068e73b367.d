@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/aircal_cellular-f19c35068e73b367.d: crates/cellular/src/lib.rs crates/cellular/src/bands.rs crates/cellular/src/nr.rs crates/cellular/src/scan.rs crates/cellular/src/tower.rs
+
+/root/repo/target/release/deps/libaircal_cellular-f19c35068e73b367.rlib: crates/cellular/src/lib.rs crates/cellular/src/bands.rs crates/cellular/src/nr.rs crates/cellular/src/scan.rs crates/cellular/src/tower.rs
+
+/root/repo/target/release/deps/libaircal_cellular-f19c35068e73b367.rmeta: crates/cellular/src/lib.rs crates/cellular/src/bands.rs crates/cellular/src/nr.rs crates/cellular/src/scan.rs crates/cellular/src/tower.rs
+
+crates/cellular/src/lib.rs:
+crates/cellular/src/bands.rs:
+crates/cellular/src/nr.rs:
+crates/cellular/src/scan.rs:
+crates/cellular/src/tower.rs:

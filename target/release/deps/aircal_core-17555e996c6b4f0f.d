@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/aircal_core-17555e996c6b4f0f.d: crates/core/src/lib.rs crates/core/src/classifier.rs crates/core/src/engine.rs crates/core/src/fleet.rs crates/core/src/fov.rs crates/core/src/freqprofile.rs crates/core/src/history.rs crates/core/src/repeat.rs crates/core/src/report.rs crates/core/src/scheduler.rs crates/core/src/survey.rs crates/core/src/trust.rs Cargo.toml
+
+/root/repo/target/release/deps/libaircal_core-17555e996c6b4f0f.rmeta: crates/core/src/lib.rs crates/core/src/classifier.rs crates/core/src/engine.rs crates/core/src/fleet.rs crates/core/src/fov.rs crates/core/src/freqprofile.rs crates/core/src/history.rs crates/core/src/repeat.rs crates/core/src/report.rs crates/core/src/scheduler.rs crates/core/src/survey.rs crates/core/src/trust.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/classifier.rs:
+crates/core/src/engine.rs:
+crates/core/src/fleet.rs:
+crates/core/src/fov.rs:
+crates/core/src/freqprofile.rs:
+crates/core/src/history.rs:
+crates/core/src/repeat.rs:
+crates/core/src/report.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/survey.rs:
+crates/core/src/trust.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/aircal_dsp-6b029878d2923af5.d: crates/dsp/src/lib.rs crates/dsp/src/agc.rs crates/dsp/src/corr.rs crates/dsp/src/cplx.rs crates/dsp/src/fft.rs crates/dsp/src/fir.rs crates/dsp/src/par.rs crates/dsp/src/power.rs crates/dsp/src/prbs.rs crates/dsp/src/psd.rs crates/dsp/src/resample.rs crates/dsp/src/window.rs Cargo.toml
+
+/root/repo/target/release/deps/libaircal_dsp-6b029878d2923af5.rmeta: crates/dsp/src/lib.rs crates/dsp/src/agc.rs crates/dsp/src/corr.rs crates/dsp/src/cplx.rs crates/dsp/src/fft.rs crates/dsp/src/fir.rs crates/dsp/src/par.rs crates/dsp/src/power.rs crates/dsp/src/prbs.rs crates/dsp/src/psd.rs crates/dsp/src/resample.rs crates/dsp/src/window.rs Cargo.toml
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/agc.rs:
+crates/dsp/src/corr.rs:
+crates/dsp/src/cplx.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/fir.rs:
+crates/dsp/src/par.rs:
+crates/dsp/src/power.rs:
+crates/dsp/src/prbs.rs:
+crates/dsp/src/psd.rs:
+crates/dsp/src/resample.rs:
+crates/dsp/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

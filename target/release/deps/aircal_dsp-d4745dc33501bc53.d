@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/aircal_dsp-d4745dc33501bc53.d: crates/dsp/src/lib.rs crates/dsp/src/agc.rs crates/dsp/src/corr.rs crates/dsp/src/cplx.rs crates/dsp/src/fft.rs crates/dsp/src/fir.rs crates/dsp/src/par.rs crates/dsp/src/power.rs crates/dsp/src/prbs.rs crates/dsp/src/psd.rs crates/dsp/src/resample.rs crates/dsp/src/window.rs
+
+/root/repo/target/release/deps/aircal_dsp-d4745dc33501bc53: crates/dsp/src/lib.rs crates/dsp/src/agc.rs crates/dsp/src/corr.rs crates/dsp/src/cplx.rs crates/dsp/src/fft.rs crates/dsp/src/fir.rs crates/dsp/src/par.rs crates/dsp/src/power.rs crates/dsp/src/prbs.rs crates/dsp/src/psd.rs crates/dsp/src/resample.rs crates/dsp/src/window.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/agc.rs:
+crates/dsp/src/corr.rs:
+crates/dsp/src/cplx.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/fir.rs:
+crates/dsp/src/par.rs:
+crates/dsp/src/power.rs:
+crates/dsp/src/prbs.rs:
+crates/dsp/src/psd.rs:
+crates/dsp/src/resample.rs:
+crates/dsp/src/window.rs:

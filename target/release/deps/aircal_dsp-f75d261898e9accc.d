@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/aircal_dsp-f75d261898e9accc.d: crates/dsp/src/lib.rs crates/dsp/src/agc.rs crates/dsp/src/corr.rs crates/dsp/src/cplx.rs crates/dsp/src/fft.rs crates/dsp/src/fir.rs crates/dsp/src/par.rs crates/dsp/src/power.rs crates/dsp/src/prbs.rs crates/dsp/src/psd.rs crates/dsp/src/resample.rs crates/dsp/src/window.rs
+
+/root/repo/target/release/deps/libaircal_dsp-f75d261898e9accc.rlib: crates/dsp/src/lib.rs crates/dsp/src/agc.rs crates/dsp/src/corr.rs crates/dsp/src/cplx.rs crates/dsp/src/fft.rs crates/dsp/src/fir.rs crates/dsp/src/par.rs crates/dsp/src/power.rs crates/dsp/src/prbs.rs crates/dsp/src/psd.rs crates/dsp/src/resample.rs crates/dsp/src/window.rs
+
+/root/repo/target/release/deps/libaircal_dsp-f75d261898e9accc.rmeta: crates/dsp/src/lib.rs crates/dsp/src/agc.rs crates/dsp/src/corr.rs crates/dsp/src/cplx.rs crates/dsp/src/fft.rs crates/dsp/src/fir.rs crates/dsp/src/par.rs crates/dsp/src/power.rs crates/dsp/src/prbs.rs crates/dsp/src/psd.rs crates/dsp/src/resample.rs crates/dsp/src/window.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/agc.rs:
+crates/dsp/src/corr.rs:
+crates/dsp/src/cplx.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/fir.rs:
+crates/dsp/src/par.rs:
+crates/dsp/src/power.rs:
+crates/dsp/src/prbs.rs:
+crates/dsp/src/psd.rs:
+crates/dsp/src/resample.rs:
+crates/dsp/src/window.rs:

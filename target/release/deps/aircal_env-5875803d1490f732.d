@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/aircal_env-5875803d1490f732.d: crates/env/src/lib.rs crates/env/src/building.rs crates/env/src/scenarios.rs crates/env/src/site.rs crates/env/src/world.rs Cargo.toml
+
+/root/repo/target/release/deps/libaircal_env-5875803d1490f732.rmeta: crates/env/src/lib.rs crates/env/src/building.rs crates/env/src/scenarios.rs crates/env/src/site.rs crates/env/src/world.rs Cargo.toml
+
+crates/env/src/lib.rs:
+crates/env/src/building.rs:
+crates/env/src/scenarios.rs:
+crates/env/src/site.rs:
+crates/env/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/aircal_env-bc8b60c4a05c4df2.d: crates/env/src/lib.rs crates/env/src/building.rs crates/env/src/scenarios.rs crates/env/src/site.rs crates/env/src/world.rs
+
+/root/repo/target/release/deps/libaircal_env-bc8b60c4a05c4df2.rlib: crates/env/src/lib.rs crates/env/src/building.rs crates/env/src/scenarios.rs crates/env/src/site.rs crates/env/src/world.rs
+
+/root/repo/target/release/deps/libaircal_env-bc8b60c4a05c4df2.rmeta: crates/env/src/lib.rs crates/env/src/building.rs crates/env/src/scenarios.rs crates/env/src/site.rs crates/env/src/world.rs
+
+crates/env/src/lib.rs:
+crates/env/src/building.rs:
+crates/env/src/scenarios.rs:
+crates/env/src/site.rs:
+crates/env/src/world.rs:

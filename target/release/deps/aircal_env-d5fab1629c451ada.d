@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/aircal_env-d5fab1629c451ada.d: crates/env/src/lib.rs crates/env/src/building.rs crates/env/src/scenarios.rs crates/env/src/site.rs crates/env/src/world.rs
+
+/root/repo/target/release/deps/aircal_env-d5fab1629c451ada: crates/env/src/lib.rs crates/env/src/building.rs crates/env/src/scenarios.rs crates/env/src/site.rs crates/env/src/world.rs
+
+crates/env/src/lib.rs:
+crates/env/src/building.rs:
+crates/env/src/scenarios.rs:
+crates/env/src/site.rs:
+crates/env/src/world.rs:

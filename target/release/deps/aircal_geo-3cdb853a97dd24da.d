@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/aircal_geo-3cdb853a97dd24da.d: crates/geo/src/lib.rs crates/geo/src/angle.rs crates/geo/src/coord.rs crates/geo/src/polygon.rs
+
+/root/repo/target/release/deps/aircal_geo-3cdb853a97dd24da: crates/geo/src/lib.rs crates/geo/src/angle.rs crates/geo/src/coord.rs crates/geo/src/polygon.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/angle.rs:
+crates/geo/src/coord.rs:
+crates/geo/src/polygon.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/aircal_geo-6a61d52bc2c867dc.d: crates/geo/src/lib.rs crates/geo/src/angle.rs crates/geo/src/coord.rs crates/geo/src/polygon.rs Cargo.toml
+
+/root/repo/target/release/deps/libaircal_geo-6a61d52bc2c867dc.rmeta: crates/geo/src/lib.rs crates/geo/src/angle.rs crates/geo/src/coord.rs crates/geo/src/polygon.rs Cargo.toml
+
+crates/geo/src/lib.rs:
+crates/geo/src/angle.rs:
+crates/geo/src/coord.rs:
+crates/geo/src/polygon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/aircal_geo-cdf712aa2ad50a59.d: crates/geo/src/lib.rs crates/geo/src/angle.rs crates/geo/src/coord.rs crates/geo/src/polygon.rs
+
+/root/repo/target/release/deps/libaircal_geo-cdf712aa2ad50a59.rlib: crates/geo/src/lib.rs crates/geo/src/angle.rs crates/geo/src/coord.rs crates/geo/src/polygon.rs
+
+/root/repo/target/release/deps/libaircal_geo-cdf712aa2ad50a59.rmeta: crates/geo/src/lib.rs crates/geo/src/angle.rs crates/geo/src/coord.rs crates/geo/src/polygon.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/angle.rs:
+crates/geo/src/coord.rs:
+crates/geo/src/polygon.rs:

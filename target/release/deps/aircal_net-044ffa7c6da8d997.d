@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/aircal_net-044ffa7c6da8d997.d: crates/net/src/lib.rs crates/net/src/cloud.rs crates/net/src/node.rs crates/net/src/protocol.rs crates/net/src/transport.rs Cargo.toml
+
+/root/repo/target/release/deps/libaircal_net-044ffa7c6da8d997.rmeta: crates/net/src/lib.rs crates/net/src/cloud.rs crates/net/src/node.rs crates/net/src/protocol.rs crates/net/src/transport.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/cloud.rs:
+crates/net/src/node.rs:
+crates/net/src/protocol.rs:
+crates/net/src/transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/aircal_net-63daab792d03fa89.d: crates/net/src/lib.rs crates/net/src/cloud.rs crates/net/src/node.rs crates/net/src/protocol.rs crates/net/src/transport.rs
+
+/root/repo/target/release/deps/aircal_net-63daab792d03fa89: crates/net/src/lib.rs crates/net/src/cloud.rs crates/net/src/node.rs crates/net/src/protocol.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cloud.rs:
+crates/net/src/node.rs:
+crates/net/src/protocol.rs:
+crates/net/src/transport.rs:

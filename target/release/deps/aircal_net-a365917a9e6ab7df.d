@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/aircal_net-a365917a9e6ab7df.d: crates/net/src/lib.rs crates/net/src/cloud.rs crates/net/src/node.rs crates/net/src/protocol.rs crates/net/src/transport.rs
+
+/root/repo/target/release/deps/libaircal_net-a365917a9e6ab7df.rlib: crates/net/src/lib.rs crates/net/src/cloud.rs crates/net/src/node.rs crates/net/src/protocol.rs crates/net/src/transport.rs
+
+/root/repo/target/release/deps/libaircal_net-a365917a9e6ab7df.rmeta: crates/net/src/lib.rs crates/net/src/cloud.rs crates/net/src/node.rs crates/net/src/protocol.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cloud.rs:
+crates/net/src/node.rs:
+crates/net/src/protocol.rs:
+crates/net/src/transport.rs:

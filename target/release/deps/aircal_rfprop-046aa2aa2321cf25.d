@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/aircal_rfprop-046aa2aa2321cf25.d: crates/rfprop/src/lib.rs crates/rfprop/src/antenna.rs crates/rfprop/src/diffraction.rs crates/rfprop/src/empirical.rs crates/rfprop/src/fading.rs crates/rfprop/src/linkbudget.rs crates/rfprop/src/materials.rs crates/rfprop/src/noise.rs crates/rfprop/src/pathloss.rs Cargo.toml
+
+/root/repo/target/release/deps/libaircal_rfprop-046aa2aa2321cf25.rmeta: crates/rfprop/src/lib.rs crates/rfprop/src/antenna.rs crates/rfprop/src/diffraction.rs crates/rfprop/src/empirical.rs crates/rfprop/src/fading.rs crates/rfprop/src/linkbudget.rs crates/rfprop/src/materials.rs crates/rfprop/src/noise.rs crates/rfprop/src/pathloss.rs Cargo.toml
+
+crates/rfprop/src/lib.rs:
+crates/rfprop/src/antenna.rs:
+crates/rfprop/src/diffraction.rs:
+crates/rfprop/src/empirical.rs:
+crates/rfprop/src/fading.rs:
+crates/rfprop/src/linkbudget.rs:
+crates/rfprop/src/materials.rs:
+crates/rfprop/src/noise.rs:
+crates/rfprop/src/pathloss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/aircal_rfprop-0a6d6c7e6845fce8.d: crates/rfprop/src/lib.rs crates/rfprop/src/antenna.rs crates/rfprop/src/diffraction.rs crates/rfprop/src/empirical.rs crates/rfprop/src/fading.rs crates/rfprop/src/linkbudget.rs crates/rfprop/src/materials.rs crates/rfprop/src/noise.rs crates/rfprop/src/pathloss.rs
+
+/root/repo/target/release/deps/aircal_rfprop-0a6d6c7e6845fce8: crates/rfprop/src/lib.rs crates/rfprop/src/antenna.rs crates/rfprop/src/diffraction.rs crates/rfprop/src/empirical.rs crates/rfprop/src/fading.rs crates/rfprop/src/linkbudget.rs crates/rfprop/src/materials.rs crates/rfprop/src/noise.rs crates/rfprop/src/pathloss.rs
+
+crates/rfprop/src/lib.rs:
+crates/rfprop/src/antenna.rs:
+crates/rfprop/src/diffraction.rs:
+crates/rfprop/src/empirical.rs:
+crates/rfprop/src/fading.rs:
+crates/rfprop/src/linkbudget.rs:
+crates/rfprop/src/materials.rs:
+crates/rfprop/src/noise.rs:
+crates/rfprop/src/pathloss.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/aircal_rfprop-abd7c8457d4c0165.d: crates/rfprop/src/lib.rs crates/rfprop/src/antenna.rs crates/rfprop/src/diffraction.rs crates/rfprop/src/empirical.rs crates/rfprop/src/fading.rs crates/rfprop/src/linkbudget.rs crates/rfprop/src/materials.rs crates/rfprop/src/noise.rs crates/rfprop/src/pathloss.rs
+
+/root/repo/target/release/deps/libaircal_rfprop-abd7c8457d4c0165.rlib: crates/rfprop/src/lib.rs crates/rfprop/src/antenna.rs crates/rfprop/src/diffraction.rs crates/rfprop/src/empirical.rs crates/rfprop/src/fading.rs crates/rfprop/src/linkbudget.rs crates/rfprop/src/materials.rs crates/rfprop/src/noise.rs crates/rfprop/src/pathloss.rs
+
+/root/repo/target/release/deps/libaircal_rfprop-abd7c8457d4c0165.rmeta: crates/rfprop/src/lib.rs crates/rfprop/src/antenna.rs crates/rfprop/src/diffraction.rs crates/rfprop/src/empirical.rs crates/rfprop/src/fading.rs crates/rfprop/src/linkbudget.rs crates/rfprop/src/materials.rs crates/rfprop/src/noise.rs crates/rfprop/src/pathloss.rs
+
+crates/rfprop/src/lib.rs:
+crates/rfprop/src/antenna.rs:
+crates/rfprop/src/diffraction.rs:
+crates/rfprop/src/empirical.rs:
+crates/rfprop/src/fading.rs:
+crates/rfprop/src/linkbudget.rs:
+crates/rfprop/src/materials.rs:
+crates/rfprop/src/noise.rs:
+crates/rfprop/src/pathloss.rs:

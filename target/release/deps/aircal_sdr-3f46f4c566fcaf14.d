@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/aircal_sdr-3f46f4c566fcaf14.d: crates/sdr/src/lib.rs crates/sdr/src/capture.rs crates/sdr/src/faults.rs crates/sdr/src/frontend.rs
+
+/root/repo/target/release/deps/libaircal_sdr-3f46f4c566fcaf14.rlib: crates/sdr/src/lib.rs crates/sdr/src/capture.rs crates/sdr/src/faults.rs crates/sdr/src/frontend.rs
+
+/root/repo/target/release/deps/libaircal_sdr-3f46f4c566fcaf14.rmeta: crates/sdr/src/lib.rs crates/sdr/src/capture.rs crates/sdr/src/faults.rs crates/sdr/src/frontend.rs
+
+crates/sdr/src/lib.rs:
+crates/sdr/src/capture.rs:
+crates/sdr/src/faults.rs:
+crates/sdr/src/frontend.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/aircal_sdr-9ff680f3415f9a1a.d: crates/sdr/src/lib.rs crates/sdr/src/capture.rs crates/sdr/src/faults.rs crates/sdr/src/frontend.rs Cargo.toml
+
+/root/repo/target/release/deps/libaircal_sdr-9ff680f3415f9a1a.rmeta: crates/sdr/src/lib.rs crates/sdr/src/capture.rs crates/sdr/src/faults.rs crates/sdr/src/frontend.rs Cargo.toml
+
+crates/sdr/src/lib.rs:
+crates/sdr/src/capture.rs:
+crates/sdr/src/faults.rs:
+crates/sdr/src/frontend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

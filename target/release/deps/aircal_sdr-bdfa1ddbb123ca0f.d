@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/aircal_sdr-bdfa1ddbb123ca0f.d: crates/sdr/src/lib.rs crates/sdr/src/capture.rs crates/sdr/src/faults.rs crates/sdr/src/frontend.rs
+
+/root/repo/target/release/deps/aircal_sdr-bdfa1ddbb123ca0f: crates/sdr/src/lib.rs crates/sdr/src/capture.rs crates/sdr/src/faults.rs crates/sdr/src/frontend.rs
+
+crates/sdr/src/lib.rs:
+crates/sdr/src/capture.rs:
+crates/sdr/src/faults.rs:
+crates/sdr/src/frontend.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/aircal_tv-800ee90bc63b09aa.d: crates/tv/src/lib.rs crates/tv/src/channels.rs crates/tv/src/probe.rs crates/tv/src/synth.rs crates/tv/src/towers.rs
+
+/root/repo/target/release/deps/libaircal_tv-800ee90bc63b09aa.rlib: crates/tv/src/lib.rs crates/tv/src/channels.rs crates/tv/src/probe.rs crates/tv/src/synth.rs crates/tv/src/towers.rs
+
+/root/repo/target/release/deps/libaircal_tv-800ee90bc63b09aa.rmeta: crates/tv/src/lib.rs crates/tv/src/channels.rs crates/tv/src/probe.rs crates/tv/src/synth.rs crates/tv/src/towers.rs
+
+crates/tv/src/lib.rs:
+crates/tv/src/channels.rs:
+crates/tv/src/probe.rs:
+crates/tv/src/synth.rs:
+crates/tv/src/towers.rs:

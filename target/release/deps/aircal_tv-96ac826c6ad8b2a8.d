@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/aircal_tv-96ac826c6ad8b2a8.d: crates/tv/src/lib.rs crates/tv/src/channels.rs crates/tv/src/probe.rs crates/tv/src/synth.rs crates/tv/src/towers.rs
+
+/root/repo/target/release/deps/aircal_tv-96ac826c6ad8b2a8: crates/tv/src/lib.rs crates/tv/src/channels.rs crates/tv/src/probe.rs crates/tv/src/synth.rs crates/tv/src/towers.rs
+
+crates/tv/src/lib.rs:
+crates/tv/src/channels.rs:
+crates/tv/src/probe.rs:
+crates/tv/src/synth.rs:
+crates/tv/src/towers.rs:

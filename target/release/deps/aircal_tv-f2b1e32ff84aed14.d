@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/aircal_tv-f2b1e32ff84aed14.d: crates/tv/src/lib.rs crates/tv/src/channels.rs crates/tv/src/probe.rs crates/tv/src/synth.rs crates/tv/src/towers.rs Cargo.toml
+
+/root/repo/target/release/deps/libaircal_tv-f2b1e32ff84aed14.rmeta: crates/tv/src/lib.rs crates/tv/src/channels.rs crates/tv/src/probe.rs crates/tv/src/synth.rs crates/tv/src/towers.rs Cargo.toml
+
+crates/tv/src/lib.rs:
+crates/tv/src/channels.rs:
+crates/tv/src/probe.rs:
+crates/tv/src/synth.rs:
+crates/tv/src/towers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

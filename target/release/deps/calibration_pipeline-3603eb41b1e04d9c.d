@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/calibration_pipeline-3603eb41b1e04d9c.d: tests/calibration_pipeline.rs Cargo.toml
+
+/root/repo/target/release/deps/libcalibration_pipeline-3603eb41b1e04d9c.rmeta: tests/calibration_pipeline.rs Cargo.toml
+
+tests/calibration_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibration_pipeline-5a3b43b539c0b96b.d: tests/calibration_pipeline.rs
+
+/root/repo/target/release/deps/calibration_pipeline-5a3b43b539c0b96b: tests/calibration_pipeline.rs
+
+tests/calibration_pipeline.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-3a8bdab98d32fcc3.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-3a8bdab98d32fcc3.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-3a8bdab98d32fcc3.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

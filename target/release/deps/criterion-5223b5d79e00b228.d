@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-5223b5d79e00b228.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-5223b5d79e00b228: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

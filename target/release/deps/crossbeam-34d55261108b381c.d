@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/crossbeam-34d55261108b381c.d: vendor/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcrossbeam-34d55261108b381c.rmeta: vendor/crossbeam/src/lib.rs Cargo.toml
+
+vendor/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

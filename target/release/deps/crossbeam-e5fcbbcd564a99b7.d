@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crossbeam-e5fcbbcd564a99b7.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/crossbeam-e5fcbbcd564a99b7: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-f98265efafb2f7e7.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-f98265efafb2f7e7.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-f98265efafb2f7e7.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dsp_kernels-217d617d6c5d6e10.d: crates/bench/benches/dsp_kernels.rs
+
+/root/repo/target/release/deps/dsp_kernels-217d617d6c5d6e10: crates/bench/benches/dsp_kernels.rs
+
+crates/bench/benches/dsp_kernels.rs:

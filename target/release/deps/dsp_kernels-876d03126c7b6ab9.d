@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dsp_kernels-876d03126c7b6ab9.d: crates/bench/benches/dsp_kernels.rs Cargo.toml
+
+/root/repo/target/release/deps/libdsp_kernels-876d03126c7b6ab9.rmeta: crates/bench/benches/dsp_kernels.rs Cargo.toml
+
+crates/bench/benches/dsp_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

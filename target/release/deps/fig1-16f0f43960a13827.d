@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-16f0f43960a13827.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-16f0f43960a13827: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

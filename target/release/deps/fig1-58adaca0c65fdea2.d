@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-58adaca0c65fdea2.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-58adaca0c65fdea2: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig1-aa8a5a212598a43e.d: crates/bench/src/bin/fig1.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig1-aa8a5a212598a43e.rmeta: crates/bench/src/bin/fig1.rs Cargo.toml
+
+crates/bench/src/bin/fig1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig1_survey-79958bb3b2cf8c8c.d: crates/bench/benches/fig1_survey.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig1_survey-79958bb3b2cf8c8c.rmeta: crates/bench/benches/fig1_survey.rs Cargo.toml
+
+crates/bench/benches/fig1_survey.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_survey-b4d937b86a07b02f.d: crates/bench/benches/fig1_survey.rs
+
+/root/repo/target/release/deps/fig1_survey-b4d937b86a07b02f: crates/bench/benches/fig1_survey.rs
+
+crates/bench/benches/fig1_survey.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig2map-27374b278f71d491.d: crates/bench/src/bin/fig2map.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig2map-27374b278f71d491.rmeta: crates/bench/src/bin/fig2map.rs Cargo.toml
+
+crates/bench/src/bin/fig2map.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2map-6d11da15c4a8a2f3.d: crates/bench/src/bin/fig2map.rs
+
+/root/repo/target/release/deps/fig2map-6d11da15c4a8a2f3: crates/bench/src/bin/fig2map.rs
+
+crates/bench/src/bin/fig2map.rs:

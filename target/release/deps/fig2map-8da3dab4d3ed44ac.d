@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig2map-8da3dab4d3ed44ac.d: crates/bench/src/bin/fig2map.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig2map-8da3dab4d3ed44ac.rmeta: crates/bench/src/bin/fig2map.rs Cargo.toml
+
+crates/bench/src/bin/fig2map.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2map-ea5de8b9c22ab481.d: crates/bench/src/bin/fig2map.rs
+
+/root/repo/target/release/deps/fig2map-ea5de8b9c22ab481: crates/bench/src/bin/fig2map.rs
+
+crates/bench/src/bin/fig2map.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-6d249e62a9b3ab28.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-6d249e62a9b3ab28: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-afec9b48f4688bac.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-afec9b48f4688bac: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

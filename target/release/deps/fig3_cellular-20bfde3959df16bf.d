@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_cellular-20bfde3959df16bf.d: crates/bench/benches/fig3_cellular.rs
+
+/root/repo/target/release/deps/fig3_cellular-20bfde3959df16bf: crates/bench/benches/fig3_cellular.rs
+
+crates/bench/benches/fig3_cellular.rs:

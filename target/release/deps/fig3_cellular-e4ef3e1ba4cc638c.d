@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig3_cellular-e4ef3e1ba4cc638c.d: crates/bench/benches/fig3_cellular.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig3_cellular-e4ef3e1ba4cc638c.rmeta: crates/bench/benches/fig3_cellular.rs Cargo.toml
+
+crates/bench/benches/fig3_cellular.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig4-be51a9c1f17e284a.d: crates/bench/src/bin/fig4.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig4-be51a9c1f17e284a.rmeta: crates/bench/src/bin/fig4.rs Cargo.toml
+
+crates/bench/src/bin/fig4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-f075a3913c7eb499.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-f075a3913c7eb499: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

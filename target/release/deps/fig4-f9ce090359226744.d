@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-f9ce090359226744.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-f9ce090359226744: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

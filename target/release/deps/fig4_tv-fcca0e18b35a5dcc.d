@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig4_tv-fcca0e18b35a5dcc.d: crates/bench/benches/fig4_tv.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig4_tv-fcca0e18b35a5dcc.rmeta: crates/bench/benches/fig4_tv.rs Cargo.toml
+
+crates/bench/benches/fig4_tv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_tv-fe9189ff343c9db4.d: crates/bench/benches/fig4_tv.rs
+
+/root/repo/target/release/deps/fig4_tv-fe9189ff343c9db4: crates/bench/benches/fig4_tv.rs
+
+crates/bench/benches/fig4_tv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/network_end_to_end-071dd34386ad336e.d: tests/network_end_to_end.rs
+
+/root/repo/target/release/deps/network_end_to_end-071dd34386ad336e: tests/network_end_to_end.rs
+
+tests/network_end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/network_end_to_end-660e87824cdc1699.d: tests/network_end_to_end.rs Cargo.toml
+
+/root/repo/target/release/deps/libnetwork_end_to_end-660e87824cdc1699.rmeta: tests/network_end_to_end.rs Cargo.toml
+
+tests/network_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

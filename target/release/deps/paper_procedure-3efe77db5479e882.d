@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_procedure-3efe77db5479e882.d: tests/paper_procedure.rs
+
+/root/repo/target/release/deps/paper_procedure-3efe77db5479e882: tests/paper_procedure.rs
+
+tests/paper_procedure.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/paper_procedure-df0eee7032bfc530.d: tests/paper_procedure.rs Cargo.toml
+
+/root/repo/target/release/deps/libpaper_procedure-df0eee7032bfc530.rmeta: tests/paper_procedure.rs Cargo.toml
+
+tests/paper_procedure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

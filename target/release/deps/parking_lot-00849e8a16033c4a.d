@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-00849e8a16033c4a.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-00849e8a16033c4a: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-fcb4d936619f4e2e.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-fcb4d936619f4e2e.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-fcb4d936619f4e2e.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/perfreport-526ed1d6cce149e8.d: crates/bench/src/bin/perfreport.rs
+
+/root/repo/target/release/deps/perfreport-526ed1d6cce149e8: crates/bench/src/bin/perfreport.rs
+
+crates/bench/src/bin/perfreport.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

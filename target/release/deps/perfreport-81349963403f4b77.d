@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/perfreport-81349963403f4b77.d: crates/bench/src/bin/perfreport.rs
+
+/root/repo/target/release/deps/perfreport-81349963403f4b77: crates/bench/src/bin/perfreport.rs
+
+crates/bench/src/bin/perfreport.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/perfreport-8ad5a4ad2fa19923.d: crates/bench/src/bin/perfreport.rs Cargo.toml
+
+/root/repo/target/release/deps/libperfreport-8ad5a4ad2fa19923.rmeta: crates/bench/src/bin/perfreport.rs Cargo.toml
+
+crates/bench/src/bin/perfreport.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/perfreport-99b1a9ad92261e70.d: crates/bench/src/bin/perfreport.rs Cargo.toml
+
+/root/repo/target/release/deps/libperfreport-99b1a9ad92261e70.rmeta: crates/bench/src/bin/perfreport.rs Cargo.toml
+
+crates/bench/src/bin/perfreport.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

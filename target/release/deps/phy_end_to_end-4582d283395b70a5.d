@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/phy_end_to_end-4582d283395b70a5.d: tests/phy_end_to_end.rs Cargo.toml
+
+/root/repo/target/release/deps/libphy_end_to_end-4582d283395b70a5.rmeta: tests/phy_end_to_end.rs Cargo.toml
+
+tests/phy_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/phy_end_to_end-be53739e1ac2a6ef.d: tests/phy_end_to_end.rs
+
+/root/repo/target/release/deps/phy_end_to_end-be53739e1ac2a6ef: tests/phy_end_to_end.rs
+
+tests/phy_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-2b4fa893e44e0dcc.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-2b4fa893e44e0dcc: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

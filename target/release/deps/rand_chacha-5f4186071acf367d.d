@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand_chacha-5f4186071acf367d.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/rand_chacha-5f4186071acf367d: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

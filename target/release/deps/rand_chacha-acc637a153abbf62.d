@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-acc637a153abbf62.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-acc637a153abbf62.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-acc637a153abbf62.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

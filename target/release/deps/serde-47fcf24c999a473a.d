@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-47fcf24c999a473a.d: vendor/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde-47fcf24c999a473a.rmeta: vendor/serde/src/lib.rs Cargo.toml
+
+vendor/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

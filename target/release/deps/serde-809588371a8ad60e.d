@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-809588371a8ad60e.d: vendor/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde-809588371a8ad60e.rmeta: vendor/serde/src/lib.rs Cargo.toml
+
+vendor/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

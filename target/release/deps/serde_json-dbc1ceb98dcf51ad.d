@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_json-dbc1ceb98dcf51ad.d: vendor/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde_json-dbc1ceb98dcf51ad.rmeta: vendor/serde_json/src/lib.rs Cargo.toml
+
+vendor/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

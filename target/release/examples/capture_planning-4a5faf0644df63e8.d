@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/capture_planning-4a5faf0644df63e8.d: examples/capture_planning.rs
+
+/root/repo/target/release/examples/capture_planning-4a5faf0644df63e8: examples/capture_planning.rs
+
+examples/capture_planning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/capture_planning-77a6a44f76e9b459.d: examples/capture_planning.rs Cargo.toml
+
+/root/repo/target/release/examples/libcapture_planning-77a6a44f76e9b459.rmeta: examples/capture_planning.rs Cargo.toml
+
+examples/capture_planning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

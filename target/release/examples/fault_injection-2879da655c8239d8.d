@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/fault_injection-2879da655c8239d8.d: examples/fault_injection.rs Cargo.toml
+
+/root/repo/target/release/examples/libfault_injection-2879da655c8239d8.rmeta: examples/fault_injection.rs Cargo.toml
+
+examples/fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

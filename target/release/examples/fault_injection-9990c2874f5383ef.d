@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_injection-9990c2874f5383ef.d: examples/fault_injection.rs
+
+/root/repo/target/release/examples/fault_injection-9990c2874f5383ef: examples/fault_injection.rs
+
+examples/fault_injection.rs:

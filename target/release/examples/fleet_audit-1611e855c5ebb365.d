@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fleet_audit-1611e855c5ebb365.d: examples/fleet_audit.rs
+
+/root/repo/target/release/examples/fleet_audit-1611e855c5ebb365: examples/fleet_audit.rs
+
+examples/fleet_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/fleet_audit-ca82d26011d1af5d.d: examples/fleet_audit.rs Cargo.toml
+
+/root/repo/target/release/examples/libfleet_audit-ca82d26011d1af5d.rmeta: examples/fleet_audit.rs Cargo.toml
+
+examples/fleet_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fov_survey-7a44743e46b82a51.d: examples/fov_survey.rs
+
+/root/repo/target/release/examples/fov_survey-7a44743e46b82a51: examples/fov_survey.rs
+
+examples/fov_survey.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/fov_survey-d2d083843ad9272d.d: examples/fov_survey.rs Cargo.toml
+
+/root/repo/target/release/examples/libfov_survey-d2d083843ad9272d.rmeta: examples/fov_survey.rs Cargo.toml
+
+examples/fov_survey.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

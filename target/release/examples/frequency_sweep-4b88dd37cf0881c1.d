@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/frequency_sweep-4b88dd37cf0881c1.d: examples/frequency_sweep.rs Cargo.toml
+
+/root/repo/target/release/examples/libfrequency_sweep-4b88dd37cf0881c1.rmeta: examples/frequency_sweep.rs Cargo.toml
+
+examples/frequency_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/frequency_sweep-a28e78a78c5369de.d: examples/frequency_sweep.rs
+
+/root/repo/target/release/examples/frequency_sweep-a28e78a78c5369de: examples/frequency_sweep.rs
+
+examples/frequency_sweep.rs:

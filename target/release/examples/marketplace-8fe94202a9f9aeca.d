@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/marketplace-8fe94202a9f9aeca.d: examples/marketplace.rs Cargo.toml
+
+/root/repo/target/release/examples/libmarketplace-8fe94202a9f9aeca.rmeta: examples/marketplace.rs Cargo.toml
+
+examples/marketplace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

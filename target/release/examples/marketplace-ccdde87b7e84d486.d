@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/marketplace-ccdde87b7e84d486.d: examples/marketplace.rs
+
+/root/repo/target/release/examples/marketplace-ccdde87b7e84d486: examples/marketplace.rs
+
+examples/marketplace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-8629a61c4e03c979.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-8629a61c4e03c979: examples/quickstart.rs
+
+examples/quickstart.rs:

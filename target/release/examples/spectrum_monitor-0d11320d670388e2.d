@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/spectrum_monitor-0d11320d670388e2.d: examples/spectrum_monitor.rs
+
+/root/repo/target/release/examples/spectrum_monitor-0d11320d670388e2: examples/spectrum_monitor.rs
+
+examples/spectrum_monitor.rs:

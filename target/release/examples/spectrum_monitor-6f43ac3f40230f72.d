@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/spectrum_monitor-6f43ac3f40230f72.d: examples/spectrum_monitor.rs Cargo.toml
+
+/root/repo/target/release/examples/libspectrum_monitor-6f43ac3f40230f72.rmeta: examples/spectrum_monitor.rs Cargo.toml
+
+examples/spectrum_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,36 @@
+//! Offline crossbeam subset: the `channel` module the aircal transport
+//! layer uses, backed by `std::sync::mpsc`. Only bounded channels and
+//! the timeout-receive path are exposed — that is the full surface the
+//! workspace consumes.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Bounded multi-producer channel sender.
+    pub type Sender<T> = std::sync::mpsc::SyncSender<T>;
+
+    /// Create a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn bounded_round_trip() {
+        let (tx, rx) = channel::bounded::<u32>(4);
+        tx.send(7).expect("send");
+        assert_eq!(rx.recv().expect("recv"), 7);
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (_tx, rx) = channel::bounded::<u32>(1);
+        let err = rx.recv_timeout(Duration::from_millis(5)).unwrap_err();
+        assert_eq!(err, channel::RecvTimeoutError::Timeout);
+    }
+}

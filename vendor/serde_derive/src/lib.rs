@@ -1,0 +1,423 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde shim — no `syn`/`quote`, just a small token-tree parser
+//! covering the item shapes the aircal workspace actually declares:
+//! structs with named fields, tuple structs, and enums with unit, tuple
+//! and struct variants (no generics). The generated code targets the
+//! shim's `Value` data model with serde's externally-tagged enum layout.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Advance past `#[...]` attribute sequences starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len()
+        && is_punct(&tokens[i], '#')
+        && matches!(&tokens[i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+    {
+        i += 2;
+    }
+    i
+}
+
+/// Advance past `pub` / `pub(...)` visibility starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if i < tokens.len() && is_ident(&tokens[i], "pub") {
+        i += 1;
+        if i < tokens.len()
+            && matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Split a token slice on commas that sit outside `<...>` nesting.
+/// (Brackets/braces/parens are whole `Group` trees, so only angle
+/// brackets need explicit depth tracking.)
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle: i32 = 0;
+    for t in tokens {
+        if is_punct(t, '<') {
+            angle += 1;
+        } else if is_punct(t, '>') {
+            angle -= 1;
+        } else if is_punct(t, ',') && angle == 0 {
+            out.push(std::mem::take(&mut cur));
+            continue;
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parse the named fields of a brace-delimited body: `a: T, pub b: U, ...`.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    split_top_level_commas(tokens)
+        .into_iter()
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let i = skip_vis(&part, skip_attrs(&part, 0));
+            match &part[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde shim derive: expected field name, got {other}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+
+    let is_enum = if is_ident(&tokens[i], "struct") {
+        false
+    } else if is_ident(&tokens[i], "enum") {
+        true
+    } else {
+        panic!("serde shim derive supports only structs and enums");
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected item name, got {other}"),
+    };
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("serde shim derive does not support generic type `{name}`");
+    }
+
+    if is_enum {
+        let body = match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("serde shim derive: expected enum body, got {other}"),
+        };
+        let body_tokens: Vec<TokenTree> = body.into_iter().collect();
+        let variants = split_top_level_commas(&body_tokens)
+            .into_iter()
+            .filter(|part| !part.is_empty())
+            .map(|part| {
+                let j = skip_attrs(&part, 0);
+                let vname = match &part[j] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    other => panic!("serde shim derive: expected variant name, got {other}"),
+                };
+                let kind = match part.get(j + 1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        VariantKind::Struct(parse_named_fields(&inner))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        VariantKind::Tuple(
+                            split_top_level_commas(&inner)
+                                .into_iter()
+                                .filter(|p| !p.is_empty())
+                                .count(),
+                        )
+                    }
+                    _ => VariantKind::Unit,
+                };
+                Variant { name: vname, kind }
+            })
+            .collect();
+        Item::Enum { name, variants }
+    } else {
+        match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(&inner),
+                }
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Item::TupleStruct {
+                    name,
+                    arity: split_top_level_commas(&inner)
+                        .into_iter()
+                        .filter(|p| !p.is_empty())
+                        .count(),
+                }
+            }
+            _ => Item::NamedStruct {
+                name,
+                fields: Vec::new(),
+            },
+        }
+    }
+}
+
+/// Derive `Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::serialize(&self.0)".to_string()
+            } else {
+                let items: String = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::serialize(&self.{i}),"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{items}])")
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vn}\")),\n"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), \
+                              ::serde::Serialize::serialize(f0))]),\n"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: String = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), \
+                                  ::serde::Value::Array(::std::vec![{items}]))]),\n",
+                                binders.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binders = fields.join(", ");
+                            let items: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::serialize({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binders} }} => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Object(::std::vec![{items}]))]),\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde shim derive: generated code parses")
+}
+
+/// Derive `Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::NamedStruct { name, fields } => {
+            let field_inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::get_field(entries, \"{f}\")?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let entries = v.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for `{name}`\"))?;\n\
+                         ::std::result::Result::Ok({name} {{ {field_inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(v)?))"
+                )
+            } else {
+                let items: String = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?,"))
+                    .collect();
+                format!(
+                    "let items = v.as_array().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected array for `{name}`\"))?;\n\
+                     if items.len() != {arity} {{\n\
+                         return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"wrong tuple arity for `{name}`\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({items}))"
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        // Unit variants may also arrive tagged (lenient).
+                        VariantKind::Unit => format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::deserialize(inner)?)),\n"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let items: String = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::deserialize(&items[{i}])?,")
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{\n\
+                                     let items = inner.as_array().ok_or_else(|| \
+                                         ::serde::Error::custom(\"expected array\"))?;\n\
+                                     if items.len() != {n} {{\n\
+                                         return ::std::result::Result::Err(\
+                                             ::serde::Error::custom(\"wrong variant arity\"));\n\
+                                     }}\n\
+                                     ::std::result::Result::Ok({name}::{vn}({items}))\n\
+                                 }}\n"
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let field_inits: String = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::get_field(entries, \"{f}\")?,"))
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{\n\
+                                     let entries = inner.as_object().ok_or_else(|| \
+                                         ::serde::Error::custom(\"expected object\"))?;\n\
+                                     ::std::result::Result::Ok({name}::{vn} {{ {field_inits} }})\n\
+                                 }}\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                                     ::std::format!(\"unknown variant `{{other}}` of `{name}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(tagged) if tagged.len() == 1 => {{\n\
+                                 let (tag, inner) = &tagged[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {data_arms}\n\
+                                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                                         ::std::format!(\"unknown variant `{{other}}` of `{name}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"expected externally tagged enum `{name}`\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde shim derive: generated code parses")
+}
