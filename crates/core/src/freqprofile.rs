@@ -80,9 +80,18 @@ impl BandMeasurement {
 pub struct FrequencyProfile {
     /// All band measurements, sorted by frequency.
     pub bands: Vec<BandMeasurement>,
+    /// Sources whose sweep never arrived (a failed audit step, not a
+    /// blind receiver): bands from these sources are *absent*, and the
+    /// profile must be read as incomplete rather than low-coverage.
+    pub missing_sources: Vec<SourceKind>,
 }
 
 impl FrequencyProfile {
+    /// Whether every commissioned sweep actually arrived.
+    pub fn is_complete(&self) -> bool {
+        self.missing_sources.is_empty()
+    }
+
     /// Fraction of bands that produced any measurement.
     pub fn usable_fraction(&self) -> f64 {
         if self.bands.is_empty() {
@@ -182,7 +191,10 @@ impl FrequencyProfiler {
         }
 
         bands.sort_by(|a, b| a.freq_hz.partial_cmp(&b.freq_hz).unwrap());
-        FrequencyProfile { bands }
+        FrequencyProfile {
+            bands,
+            missing_sources: Vec::new(),
+        }
     }
 }
 
@@ -282,6 +294,18 @@ mod tests {
             assert!(w[0].freq_hz <= w[1].freq_hz);
         }
         assert_eq!(p.bands.len(), 11); // 5 cells + 6 TV stations
+    }
+
+    #[test]
+    fn missing_sources_mark_profile_incomplete() {
+        let mut p = profile(ScenarioKind::Rooftop);
+        assert!(p.is_complete());
+        p.missing_sources.push(SourceKind::BroadcastTv);
+        assert!(!p.is_complete());
+        // Incompleteness survives the wire.
+        let back: FrequencyProfile =
+            serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+        assert_eq!(back.missing_sources, vec![SourceKind::BroadcastTv]);
     }
 
     #[test]

@@ -87,6 +87,7 @@ mod tests {
                 measured_db: Some(-50.0),
                 expected_clear_db: -49.0,
             }],
+            missing_sources: Vec::new(),
         };
         let features = InstallFeatures {
             sky_open_fraction: 0.33,

@@ -42,6 +42,17 @@ impl TrustScore {
     pub fn is_trustworthy(&self) -> bool {
         self.score >= 50.0 && self.flags.is_empty()
     }
+
+    /// Dock the score for an evidence source that never arrived (an
+    /// audit step that failed even with retries). Missing evidence
+    /// cannot earn trust: the node keeps its verdict but is penalized
+    /// and flagged rather than silently skipped, so a flaky-but-honest
+    /// node ranks below a complete one and the flag blocks marketplace
+    /// approval until a clean audit.
+    pub fn penalize_missing_evidence(&mut self, evidence: &str) {
+        self.score = (self.score - 20.0).max(0.0);
+        self.flags.push(format!("missing evidence: {evidence}"));
+    }
 }
 
 /// The auditor.
@@ -220,6 +231,7 @@ mod tests {
                     expected_clear_db: -58.0,
                 })
                 .collect(),
+            missing_sources: Vec::new(),
         }
     }
 
@@ -291,6 +303,31 @@ mod tests {
         let plaus = rssi_range_plausibility(&fake);
         assert!(plaus <= 0.55, "uniform RSSI scored {plaus}");
         let _ = traffic;
+    }
+
+    #[test]
+    fn missing_evidence_penalty_blocks_trust() {
+        let (survey, traffic) = honest_setup();
+        let mut score =
+            TrustAuditor::default().audit(&survey, &profile_stub(11, 11), &traffic, 0.95);
+        assert!(score.is_trustworthy());
+        let before = score.score;
+        score.penalize_missing_evidence("tv");
+        assert_eq!(score.score, (before - 20.0).max(0.0));
+        assert!(
+            score.flags.iter().any(|f| f == "missing evidence: tv"),
+            "flags: {:?}",
+            score.flags
+        );
+        assert!(
+            !score.is_trustworthy(),
+            "a flagged incomplete audit must not be rentable"
+        );
+        // The penalty floors at zero rather than going negative.
+        for _ in 0..10 {
+            score.penalize_missing_evidence("cells");
+        }
+        assert_eq!(score.score, 0.0);
     }
 
     #[test]

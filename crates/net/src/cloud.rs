@@ -8,9 +8,16 @@
 //! tower databases) it independently verifies the claims, which is
 //! precisely the paper's end goal: "These deductions can be used to
 //! independently verify claims about a node installation."
+//!
+//! Because the fleet is volunteer-run, audits degrade instead of abort:
+//! every step is retried under the [`RetryPolicy`], a step that still
+//! fails becomes a typed [`StepFailure`] on the verdict (with the trust
+//! score penalized for the missing evidence), and repeated failures move
+//! a node through the `Healthy → Degraded → Quarantined` lifecycle with
+//! re-admission on the next clean audit.
 
 use crate::protocol::{NodeClaims, Request, Response};
-use crate::transport::Link;
+use crate::transport::{Link, LinkError, LinkStats, RetryPolicy};
 use aircal_aircraft::TrafficSim;
 use aircal_cellular::{paper_towers, CellMeasurement, CellScanner};
 use aircal_core::classifier::{IndoorOutdoorClassifier, InstallFeatures, InstallVerdict};
@@ -24,6 +31,78 @@ use aircal_tv::{paper_tv_towers, TvMeasurement, TvPowerProbe};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
+/// Outcome of one audit step: the payload, or a typed failure that lets
+/// the rest of the audit continue instead of aborting it.
+#[derive(Debug, Clone)]
+pub enum StepOutcome<T> {
+    /// The step completed and returned its payload.
+    Complete(T),
+    /// The step failed after exhausting the retry budget.
+    Failed(StepFailure),
+}
+
+impl<T> StepOutcome<T> {
+    /// The failure record, if the step failed.
+    pub fn failure(&self) -> Option<&StepFailure> {
+        match self {
+            StepOutcome::Complete(_) => None,
+            StepOutcome::Failed(f) => Some(f),
+        }
+    }
+}
+
+/// A failed audit step, as recorded on the verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepFailure {
+    /// Which step ("describe", "survey", "cells", "tv").
+    pub step: String,
+    /// The transport error that exhausted the retry budget.
+    pub error: LinkError,
+    /// Wire attempts spent on the step.
+    pub attempts: u32,
+}
+
+/// Node lifecycle state, driven by consecutive failed or partial audits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeHealth {
+    /// Last audit was clean (reachable, every step complete).
+    Healthy,
+    /// Recent audits failed or came back partial; still fully audited.
+    Degraded,
+    /// Too many consecutive failures: excluded from the marketplace and
+    /// probed with a cheap `Describe` before any full audit budget is
+    /// spent on it. A clean audit re-admits it to `Healthy`.
+    Quarantined,
+}
+
+impl core::fmt::Display for NodeHealth {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NodeHealth::Healthy => write!(f, "healthy"),
+            NodeHealth::Degraded => write!(f, "degraded"),
+            NodeHealth::Quarantined => write!(f, "quarantined"),
+        }
+    }
+}
+
+/// Thresholds for the health lifecycle.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthPolicy {
+    /// Consecutive failed/partial audits before `Degraded`.
+    pub degraded_after: u32,
+    /// Consecutive failed/partial audits before `Quarantined`.
+    pub quarantined_after: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        Self {
+            degraded_after: 1,
+            quarantined_after: 3,
+        }
+    }
+}
+
 /// Everything the cloud concluded about one node.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct VerificationVerdict {
@@ -31,7 +110,8 @@ pub struct VerificationVerdict {
     pub claims: NodeClaims,
     /// Field-of-view estimate from the commissioned survey.
     pub fov: FovEstimate,
-    /// Cross-band profile assembled from the sweeps.
+    /// Cross-band profile assembled from the sweeps (its
+    /// `missing_sources` records sweeps that never arrived).
     pub profile: FrequencyProfile,
     /// The classifier's independent indoor/outdoor call.
     pub install: InstallVerdict,
@@ -39,20 +119,33 @@ pub struct VerificationVerdict {
     pub outdoor_claim_verified: bool,
     /// Highest frequency with a usable measurement, Hz.
     pub measured_max_freq_hz: Option<f64>,
-    /// Trust audit of the reported data.
+    /// Trust audit of the reported data (penalized per missing step).
     pub trust: TrustScore,
     /// Admitted to the marketplace?
     pub approved: bool,
+    /// Audit steps that failed after retries (empty = complete audit).
+    pub failed_steps: Vec<StepFailure>,
+}
+
+impl VerificationVerdict {
+    /// Did every audit step deliver its evidence?
+    pub fn is_complete(&self) -> bool {
+        self.failed_steps.is_empty()
+    }
 }
 
 /// One row in the cloud's registry.
 pub struct NodeRecord {
-    /// The node's link (None once shut down).
+    /// The node's link.
     pub link: Link,
     /// Last verdict, if audited.
     pub verdict: Option<VerificationVerdict>,
     /// Did the node answer its last audit?
     pub reachable: bool,
+    /// Lifecycle state.
+    pub health: NodeHealth,
+    /// Consecutive audits that failed or came back partial.
+    pub consecutive_failures: u32,
 }
 
 /// The aggregator.
@@ -66,8 +159,46 @@ pub struct Cloud {
     pub classifier: IndoorOutdoorClassifier,
     /// Trust auditor.
     pub auditor: TrustAuditor,
+    /// Retry/backoff/timeout policy for every node call.
+    pub retry_policy: RetryPolicy,
+    /// Health lifecycle thresholds.
+    pub health_policy: HealthPolicy,
     /// Registered nodes, by name.
     registry: parking_lot::Mutex<std::collections::BTreeMap<String, NodeRecord>>,
+}
+
+/// Run one audit step with retries and turn its result into a
+/// [`StepOutcome`].
+fn step<T>(
+    link: &mut Link,
+    policy: &RetryPolicy,
+    name: &str,
+    request: Request,
+    extract: impl FnOnce(Response) -> Option<T>,
+) -> StepOutcome<T> {
+    let before = link.stats().attempts;
+    match link.call_with_retry(request, policy) {
+        Ok(resp) => {
+            let got = resp.kind();
+            match extract(resp) {
+                Some(v) => StepOutcome::Complete(v),
+                // The transport already kind-checks replies; this arm is
+                // defensive against a future extract/kind mismatch.
+                None => StepOutcome::Failed(StepFailure {
+                    step: name.to_string(),
+                    error: LinkError::WrongKind {
+                        got: got.to_string(),
+                    },
+                    attempts: (link.stats().attempts - before) as u32,
+                }),
+            }
+        }
+        Err(error) => StepOutcome::Failed(StepFailure {
+            step: name.to_string(),
+            error,
+            attempts: (link.stats().attempts - before) as u32,
+        }),
+    }
 }
 
 impl Cloud {
@@ -78,18 +209,20 @@ impl Cloud {
             survey_config: SurveyConfig::quick(),
             classifier: IndoorOutdoorClassifier::default(),
             auditor: TrustAuditor::default(),
+            retry_policy: RetryPolicy::default(),
+            health_policy: HealthPolicy::default(),
             registry: parking_lot::Mutex::new(std::collections::BTreeMap::new()),
         }
     }
 
-    /// Register a node by asking it to describe itself. Returns the
-    /// claimed name, or `None` if unreachable.
+    /// Register a node by asking it to describe itself (with retries).
+    /// Returns the claimed name, or `None` if unreachable.
     pub fn register(&self, mut link: Link) -> Option<String> {
-        let claims = match link.call(Request::Describe) {
-            Some(Response::Description(c)) => c,
+        let claims = match link.call_with_retry(Request::Describe, &self.retry_policy) {
+            Ok(Response::Description(c)) => c,
             _ => {
-                // Unreachable at registration: keep the link around as
-                // unreachable so the operator can be chased.
+                // Unreachable at registration: dropping the link joins
+                // the node thread; the operator can be chased offline.
                 return None;
             }
         };
@@ -100,6 +233,8 @@ impl Cloud {
                 link,
                 verdict: None,
                 reachable: true,
+                health: NodeHealth::Healthy,
+                consecutive_failures: 0,
             },
         );
         Some(name)
@@ -110,43 +245,159 @@ impl Cloud {
         self.registry.lock().len()
     }
 
-    /// Audit every registered node with seeds derived from `base_seed`.
-    /// Returns verdicts sorted by name.
+    /// Audit every registered node with seeds derived from `base_seed`,
+    /// updating each node's health state. Returns verdicts sorted by
+    /// name (`None` = identity could not even be established).
     pub fn audit_all(&self, base_seed: u64) -> Vec<(String, Option<VerificationVerdict>)> {
         let mut registry = self.registry.lock();
         let mut out = Vec::new();
         for (i, (name, record)) in registry.iter_mut().enumerate() {
             let seed = base_seed.wrapping_add(i as u64 * 0x9E37_79B9);
+            // Quarantined nodes get a cheap probe first: no full audit
+            // budget until they at least answer a Describe.
+            if record.health == NodeHealth::Quarantined
+                && record
+                    .link
+                    .call_with_retry(Request::Describe, &self.retry_policy)
+                    .is_err()
+            {
+                record.reachable = false;
+                record.consecutive_failures = record.consecutive_failures.saturating_add(1);
+                record.verdict = None;
+                out.push((name.clone(), None));
+                continue;
+            }
             let verdict = self.audit_one(&mut record.link, seed);
             record.reachable = verdict.is_some();
+            let clean = verdict.as_ref().is_some_and(|v| v.is_complete());
+            if clean {
+                // Re-admission: one clean audit returns the node to full
+                // standing regardless of history.
+                record.consecutive_failures = 0;
+                record.health = NodeHealth::Healthy;
+            } else {
+                record.consecutive_failures = record.consecutive_failures.saturating_add(1);
+                if record.consecutive_failures >= self.health_policy.quarantined_after {
+                    record.health = NodeHealth::Quarantined;
+                } else if record.consecutive_failures >= self.health_policy.degraded_after {
+                    record.health = NodeHealth::Degraded;
+                }
+            }
             record.verdict = verdict.clone();
             out.push((name.clone(), verdict));
         }
         out
     }
 
-    /// Audit one node over its link.
+    /// Audit one node over its link. Returns `None` only when the node's
+    /// identity cannot be established (the `Describe` step fails even
+    /// with retries); any later step failure degrades to a partial
+    /// verdict instead of aborting the audit.
     pub fn audit_one(&self, link: &mut Link, seed: u64) -> Option<VerificationVerdict> {
-        let claims = match link.call(Request::Describe)? {
-            Response::Description(c) => c,
-            _ => return None,
+        let policy = &self.retry_policy;
+        let claims = match step(link, policy, "describe", Request::Describe, |r| match r {
+            Response::Description(c) => Some(c),
+            _ => None,
+        }) {
+            StepOutcome::Complete(c) => c,
+            StepOutcome::Failed(_) => return None,
         };
-        let survey = match link.call(Request::RunSurvey {
-            config: self.survey_config,
-            seed,
-        })? {
-            Response::Survey(s) => s,
-            _ => return None,
+        let survey = step(
+            link,
+            policy,
+            "survey",
+            Request::RunSurvey {
+                config: self.survey_config,
+                seed,
+            },
+            |r| match r {
+                Response::Survey(s) => Some(s),
+                _ => None,
+            },
+        );
+        let cells = step(
+            link,
+            policy,
+            "cells",
+            Request::ScanCells { seed: seed ^ 0xCE11 },
+            |r| match r {
+                Response::Cells(c) => Some(c),
+                _ => None,
+            },
+        );
+        let tv = step(
+            link,
+            policy,
+            "tv",
+            Request::SweepTv { seed: seed ^ 0x7E1E },
+            |r| match r {
+                Response::Tv(t) => Some(t),
+                _ => None,
+            },
+        );
+        Some(self.judge_partial(claims, survey, cells, tv, seed))
+    }
+
+    /// Verification when some evidence may be missing: judge whatever
+    /// the node delivered, mark the gaps on the profile, and penalize
+    /// the trust score once per missing evidence source.
+    pub fn judge_partial(
+        &self,
+        claims: NodeClaims,
+        survey: StepOutcome<SurveyResult>,
+        cells: StepOutcome<Vec<CellMeasurement>>,
+        tv: StepOutcome<Vec<TvMeasurement>>,
+        seed: u64,
+    ) -> VerificationVerdict {
+        let mut failures = Vec::new();
+        let survey = match survey {
+            StepOutcome::Complete(s) => s,
+            StepOutcome::Failed(f) => {
+                failures.push(f);
+                // An empty survey: no points, no messages — the trust
+                // auditor's "no evidence" branch handles it.
+                SurveyResult {
+                    points: Vec::new(),
+                    total_messages: 0,
+                    unmatched_messages: 0,
+                    skipped_low_snr: 0,
+                    decoded_positions: Vec::new(),
+                    config: self.survey_config,
+                }
+            }
         };
-        let cells = match link.call(Request::ScanCells { seed: seed ^ 0xCE11 })? {
-            Response::Cells(c) => c,
-            _ => return None,
+        let (cells, cells_missing) = match cells {
+            StepOutcome::Complete(c) => (c, false),
+            StepOutcome::Failed(f) => {
+                failures.push(f);
+                (Vec::new(), true)
+            }
         };
-        let tv = match link.call(Request::SweepTv { seed: seed ^ 0x7E1E })? {
-            Response::Tv(t) => t,
-            _ => return None,
+        let (tv, tv_missing) = match tv {
+            StepOutcome::Complete(t) => (t, false),
+            StepOutcome::Failed(f) => {
+                failures.push(f);
+                (Vec::new(), true)
+            }
         };
-        Some(self.judge(claims, survey, cells, tv, seed))
+
+        let mut verdict = self.judge(claims, survey, cells, tv, seed);
+        if cells_missing {
+            verdict.profile.missing_sources.push(SourceKind::Cellular);
+        }
+        if tv_missing {
+            verdict
+                .profile
+                .missing_sources
+                .push(SourceKind::BroadcastTv);
+        }
+        for f in &failures {
+            verdict.trust.penalize_missing_evidence(&f.step);
+        }
+        // Approval must reflect the penalized trust score.
+        verdict.approved = verdict.trust.is_trustworthy() && verdict.outdoor_claim_verified;
+        verdict.failed_steps = failures;
+        verdict
     }
 
     /// Pure verification logic (no I/O): turn reported measurements into a
@@ -177,6 +428,7 @@ impl Cloud {
             trust,
             approved,
             profile,
+            failed_steps: Vec::new(),
         }
     }
 
@@ -219,14 +471,18 @@ impl Cloud {
             });
         }
         bands.sort_by(|a, b| a.freq_hz.partial_cmp(&b.freq_hz).unwrap());
-        FrequencyProfile { bands }
+        FrequencyProfile {
+            bands,
+            missing_sources: Vec::new(),
+        }
     }
 
-    /// The marketplace: approved nodes, cheapest first.
+    /// The marketplace: approved, non-quarantined nodes, cheapest first.
     pub fn marketplace(&self) -> Vec<(String, f64, f64)> {
         let registry = self.registry.lock();
         let mut listings: Vec<(String, f64, f64)> = registry
             .iter()
+            .filter(|(_, rec)| rec.health != NodeHealth::Quarantined)
             .filter_map(|(name, rec)| {
                 let v = rec.verdict.as_ref()?;
                 v.approved.then(|| {
@@ -242,6 +498,25 @@ impl Cloud {
         listings
     }
 
+    /// Health lifecycle snapshot, sorted by name:
+    /// `(name, state, consecutive failed/partial audits)`.
+    pub fn health_report(&self) -> Vec<(String, NodeHealth, u32)> {
+        self.registry
+            .lock()
+            .iter()
+            .map(|(name, rec)| (name.clone(), rec.health, rec.consecutive_failures))
+            .collect()
+    }
+
+    /// Per-node wire counters, sorted by name.
+    pub fn link_stats(&self) -> Vec<(String, LinkStats)> {
+        self.registry
+            .lock()
+            .iter()
+            .map(|(name, rec)| (name.clone(), rec.link.stats()))
+            .collect()
+    }
+
     /// Shut down every registered node.
     pub fn shutdown(self) {
         let mut registry = self.registry.into_inner();
@@ -255,7 +530,7 @@ impl Cloud {
 mod tests {
     use super::*;
     use crate::node::{NodeAgent, NodeBehavior};
-    use crate::transport::spawn_node;
+    use crate::transport::{spawn_node, spawn_node_with_faults, LinkFaults};
     use aircal_aircraft::TrafficConfig;
     use aircal_env::{Scenario, ScenarioKind};
 
@@ -290,7 +565,10 @@ mod tests {
         let v = v.as_ref().expect("reachable");
         assert!(v.outdoor_claim_verified);
         assert!(v.approved, "verdict {v:?}");
+        assert!(v.is_complete());
         assert_eq!(cloud.marketplace().len(), 1);
+        let health = cloud.health_report();
+        assert_eq!(health[0].1, NodeHealth::Healthy);
         cloud.shutdown();
     }
 
@@ -368,18 +646,138 @@ mod tests {
     fn unreachable_node_reported() {
         let sky = sky();
         let cloud = Cloud::new(sky.clone());
-        // 100%-lossy link: registration fails cleanly.
-        let dead_link = spawn_node(
+        // The node daemon crashed before ever answering: registration
+        // fails fast (SendFailed is not retried) and cleanly.
+        let dead_link = spawn_node_with_faults(
             NodeAgent::new(
                 Scenario::build(ScenarioKind::OpenField),
                 NodeBehavior::Honest,
                 sky.clone(),
             ),
-            0.999,
+            LinkFaults {
+                crash_after: Some(0),
+                ..LinkFaults::none()
+            },
             4,
         );
         assert!(cloud.register(dead_link).is_none());
         assert_eq!(cloud.node_count(), 0);
+        cloud.shutdown();
+    }
+
+    /// One node's daemon dies mid-audit; its neighbors' audits complete
+    /// untouched and the victim still gets a partial verdict.
+    #[test]
+    fn node_dropping_mid_audit_leaves_neighbors_clean() {
+        let sky = sky();
+        let mut cloud = Cloud::new(sky.clone());
+        cloud.retry_policy = RetryPolicy::quick();
+        cloud
+            .register(spawn(ScenarioKind::OpenField, NodeBehavior::Honest, &sky, 20))
+            .unwrap();
+        cloud
+            .register(spawn(ScenarioKind::Rooftop, NodeBehavior::Honest, &sky, 21))
+            .unwrap();
+        // Daemon survives registration (1 request) + describe + survey,
+        // then crashes: the cells and tv steps fail with SendFailed.
+        let crasher = spawn_node_with_faults(
+            NodeAgent::new(
+                Scenario::build(ScenarioKind::Indoor),
+                NodeBehavior::Honest,
+                sky.clone(),
+            ),
+            LinkFaults {
+                crash_after: Some(3),
+                ..LinkFaults::none()
+            },
+            22,
+        );
+        cloud.register(crasher).unwrap();
+
+        let verdicts = cloud.audit_all(604);
+        assert_eq!(verdicts.len(), 3);
+        for (name, v) in &verdicts {
+            let v = v.as_ref().expect("every node answered Describe");
+            if name == "indoor" {
+                assert!(!v.is_complete(), "crasher must be partial");
+                let failed: Vec<&str> =
+                    v.failed_steps.iter().map(|f| f.step.as_str()).collect();
+                assert_eq!(failed, vec!["cells", "tv"]);
+                assert!(v
+                    .failed_steps
+                    .iter()
+                    .all(|f| f.error == LinkError::SendFailed));
+                assert!(v
+                    .trust
+                    .flags
+                    .iter()
+                    .any(|f| f.contains("missing evidence")));
+            } else {
+                assert!(v.is_complete(), "{name} must be untouched");
+            }
+        }
+        let health = cloud.health_report();
+        let by_name = |n: &str| health.iter().find(|(name, _, _)| name == n).unwrap().1;
+        assert_eq!(by_name("indoor"), NodeHealth::Degraded);
+        assert_eq!(by_name("open-field"), NodeHealth::Healthy);
+        assert_eq!(by_name("rooftop"), NodeHealth::Healthy);
+        cloud.shutdown();
+    }
+
+    /// Repeated failures quarantine a node (and drop it from the
+    /// marketplace); a clean audit re-admits it.
+    #[test]
+    fn quarantine_and_readmission_lifecycle() {
+        let sky = sky();
+        let mut cloud = Cloud::new(sky.clone());
+        // Single attempt + tight tv budget so each hung sweep costs one
+        // second, not a full retry ladder (retries are covered by the
+        // transport tests; this test is about the lifecycle).
+        cloud.retry_policy = RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::quick()
+        };
+        cloud.retry_policy.budgets.tv = std::time::Duration::from_secs(1);
+        // Registration is request 0; audits are 4 node-side requests
+        // each (describe, survey, cells, tv). Hang the tv request of the
+        // first three audits (indices 4, 8, 12), then behave.
+        let flaky = spawn_node_with_faults(
+            NodeAgent::new(
+                Scenario::build(ScenarioKind::OpenField),
+                NodeBehavior::Honest,
+                sky.clone(),
+            ),
+            LinkFaults {
+                hang_on: vec![4, 8, 12],
+                ..LinkFaults::none()
+            },
+            30,
+        );
+        cloud.register(flaky).unwrap();
+
+        for (round, expected) in [
+            (1u64, NodeHealth::Degraded),
+            (2, NodeHealth::Degraded),
+            (3, NodeHealth::Quarantined),
+        ] {
+            let verdicts = cloud.audit_all(700 + round);
+            let v = verdicts[0].1.as_ref().expect("describe still answers");
+            assert!(!v.is_complete(), "round {round} must be partial");
+            assert_eq!(cloud.health_report()[0].1, expected, "round {round}");
+        }
+        assert!(
+            cloud.marketplace().is_empty(),
+            "quarantined nodes are not rentable"
+        );
+        // Probation: the cheap probe answers, the full audit is clean,
+        // and the node is re-admitted.
+        let verdicts = cloud.audit_all(704);
+        let v = verdicts[0].1.as_ref().expect("re-admitted");
+        assert!(v.is_complete());
+        let (_, health, failures) = cloud.health_report()[0].clone();
+        assert_eq!(health, NodeHealth::Healthy);
+        assert_eq!(failures, 0);
+        assert!(!cloud.marketplace().is_empty(), "rentable again");
         cloud.shutdown();
     }
 }

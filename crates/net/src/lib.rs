@@ -18,7 +18,10 @@
 //!   claim verification ("These deductions can be used to independently
 //!   verify claims about a node installation"), and the rentable-node
 //!   marketplace query;
-//! * [`transport`] — the duplex link, with drop/latency fault injection.
+//! * [`transport`] — the duplex link, with a seeded chaos plan
+//!   ([`transport::LinkFaults`]: drops, latency, burst outages, crashes,
+//!   hangs, corrupted replies), typed [`transport::LinkError`]s, and a
+//!   deterministic retry/backoff policy ([`transport::RetryPolicy`]).
 //!
 //! The rented *product* is also here: [`protocol::Request::MonitorBand`]
 //! makes a node capture a band through its real environment and return a
@@ -35,7 +38,12 @@ pub mod node;
 pub mod protocol;
 pub mod transport;
 
-pub use cloud::{Cloud, NodeRecord, VerificationVerdict};
+pub use cloud::{
+    Cloud, HealthPolicy, NodeHealth, NodeRecord, StepFailure, StepOutcome, VerificationVerdict,
+};
 pub use node::{NodeAgent, NodeBehavior};
 pub use protocol::{NodeClaims, Request, Response};
-pub use transport::{spawn_node, Link};
+pub use transport::{
+    spawn_node, spawn_node_with_faults, BurstOutage, Link, LinkError, LinkFaults, LinkStats,
+    RetryPolicy, TimeoutBudgets,
+};

@@ -65,6 +65,34 @@ pub enum Request {
     Shutdown,
 }
 
+impl Request {
+    /// Short tag for logs and audit-step reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Describe => "describe",
+            Request::RunSurvey { .. } => "survey",
+            Request::ScanCells { .. } => "cells",
+            Request::SweepTv { .. } => "tv",
+            Request::MonitorBand { .. } => "monitor",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// The [`Response::kind`] this request must produce. The transport
+    /// uses this to classify a mismatched reply as corrupt/wrong-kind
+    /// instead of handing it to the caller.
+    pub fn expected_response_kind(&self) -> &'static str {
+        match self {
+            Request::Describe => "description",
+            Request::RunSurvey { .. } => "survey",
+            Request::ScanCells { .. } => "cells",
+            Request::SweepTv { .. } => "tv",
+            Request::MonitorBand { .. } => "psd",
+            Request::Shutdown => "bye",
+        }
+    }
+}
+
 /// A node's response.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Response {
@@ -148,6 +176,35 @@ mod tests {
         let back: NodeClaims =
             serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn every_request_kind_pairs_with_a_response_kind() {
+        let reqs = [
+            Request::Describe,
+            Request::RunSurvey {
+                config: SurveyConfig::quick(),
+                seed: 0,
+            },
+            Request::ScanCells { seed: 0 },
+            Request::SweepTv { seed: 0 },
+            Request::MonitorBand {
+                center_hz: 5e8,
+                span_hz: 8e6,
+                seed: 0,
+            },
+            Request::Shutdown,
+        ];
+        let kinds: Vec<&str> = reqs.iter().map(|r| r.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec!["describe", "survey", "cells", "tv", "monitor", "shutdown"]
+        );
+        let expected: Vec<&str> = reqs.iter().map(|r| r.expected_response_kind()).collect();
+        assert_eq!(
+            expected,
+            vec!["description", "survey", "cells", "tv", "psd", "bye"]
+        );
     }
 
     #[test]

@@ -1,47 +1,422 @@
 //! The node ⇄ cloud transport: a duplex crossbeam-channel link plus the
-//! node service loop on its own OS thread.
+//! node service loop on its own OS thread — with a deterministic failure
+//! model and a retry layer on top.
 //!
-//! The link optionally drops requests (flaky last-mile connectivity) —
-//! the cloud treats a timeout as "node unreachable", which is itself an
-//! auditable signal.
+//! A crowd-sourced fleet runs on volunteer links: dropped messages, burst
+//! outages, crashed host daemons, wedged threads and garbled replies are
+//! the *normal* operating condition, not the exception. [`LinkFaults`]
+//! injects all of those from a seeded plan (same seed ⇒ same faults, so
+//! every chaos run is reproducible), [`RetryPolicy`] governs how the
+//! cloud retries around them, and [`LinkStats`] counts what actually
+//! happened on the wire.
 
 use crate::node::NodeAgent;
 use crate::protocol::{Request, Response};
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Why a [`Link::call`] failed. The variants matter to the caller: a dead
+/// node thread is permanent, everything else is worth a retry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkError {
+    /// The node's service thread is gone (request channel disconnected).
+    /// Retrying cannot help; the node must be respawned by its operator.
+    SendFailed,
+    /// No reply arrived within the timeout budget. The node may be hung
+    /// or the reply may still be in flight — retryable.
+    Timeout,
+    /// The message was swallowed by the (simulated) network, in either
+    /// direction — retryable.
+    Dropped,
+    /// A parseable reply arrived, but of the wrong kind for the request
+    /// (garbled frame or misbehaving node) — retryable, counted apart.
+    WrongKind {
+        /// The kind tag the node actually returned.
+        got: String,
+    },
+}
+
+impl LinkError {
+    /// Whether another attempt over the same link could plausibly succeed.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, LinkError::SendFailed)
+    }
+}
+
+impl core::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LinkError::SendFailed => write!(f, "node thread dead"),
+            LinkError::Timeout => write!(f, "timed out"),
+            LinkError::Dropped => write!(f, "dropped by the network"),
+            LinkError::WrongKind { got } => write!(f, "wrong-kind reply ({got})"),
+        }
+    }
+}
+
+/// Per-link wire counters, updated by every attempt.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Wire attempts made (every send tried, including retries).
+    pub attempts: u64,
+    /// Attempts that returned the expected reply.
+    pub ok: u64,
+    /// Re-attempts made by [`Link::call_with_retry`].
+    pub retries: u64,
+    /// Calls where [`Link::call_with_retry`] exhausted its budget.
+    pub gave_up: u64,
+    /// Replies of the wrong kind for their request.
+    pub wrong_kind: u64,
+    /// Messages swallowed by the network (either direction).
+    pub dropped: u64,
+    /// Attempts that hit the reply deadline.
+    pub timeouts: u64,
+    /// Attempts that found the node thread dead.
+    pub send_failed: u64,
+}
+
+/// A contiguous run of wire attempts during which the link is down:
+/// requests vanish before reaching the node (a last-mile outage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstOutage {
+    /// First affected wire-attempt index (0-based, per link).
+    pub start: u64,
+    /// Number of consecutive attempts affected.
+    pub len: u64,
+}
+
+impl BurstOutage {
+    fn covers(&self, idx: u64) -> bool {
+        idx >= self.start && idx < self.start.saturating_add(self.len)
+    }
+}
+
+/// Deterministic fault plan for one link.
+///
+/// Probabilistic faults draw from the link's seeded ChaCha stream (same
+/// seed ⇒ same faults); scheduled faults key off message counters, so a
+/// test can predict exactly which attempts fail. The two sides count
+/// differently: [`burst_outages`](Self::burst_outages) and
+/// [`corrupt_on`](Self::corrupt_on) index *wire attempts* (cloud side,
+/// retries included), while [`hang_on`](Self::hang_on) and
+/// [`crash_after`](Self::crash_after) index *requests the node actually
+/// received* (attempts minus anything dropped before delivery). The
+/// node-side knobs are installed at spawn time; mutating them on a live
+/// link's `faults` field has no effect.
+#[derive(Debug, Clone, Default)]
+pub struct LinkFaults {
+    /// Per-attempt probability the request vanishes before the node,
+    /// [0, 1). Values ≥ 1 are silently clamped to 0.999 at the draw — a
+    /// link that dropped *everything* would turn every call into a
+    /// guaranteed timeout and hide the code path under test.
+    pub request_drop: f64,
+    /// Per-attempt probability the reply vanishes *after* the node did
+    /// the work (answer lost, effort wasted), [0, 1); clamped like
+    /// `request_drop`.
+    pub response_drop: f64,
+    /// Extra one-way latency added to every delivered request, ms.
+    pub latency_ms: u64,
+    /// Scheduled burst outages, by wire-attempt index.
+    pub burst_outages: Vec<BurstOutage>,
+    /// The node's host daemon crashes (service thread exits) after
+    /// servicing this many requests; everything after is `SendFailed`.
+    pub crash_after: Option<u64>,
+    /// Node-received request indices swallowed mid-service: the node
+    /// wedges, never replies, and the cloud eats a timeout.
+    pub hang_on: Vec<u64>,
+    /// Wire-attempt indices whose reply is replaced with a parseable but
+    /// wrong-kind message (garbled frame).
+    pub corrupt_on: Vec<u64>,
+}
+
+impl LinkFaults {
+    /// A perfectly healthy link.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The original single-knob lossy link: requests dropped with the
+    /// given probability, nothing else.
+    pub fn lossy(request_drop: f64) -> Self {
+        Self {
+            request_drop,
+            ..Self::default()
+        }
+    }
+}
+
+/// Per-request-kind reply deadlines. A commissioned survey renders tens
+/// of seconds of virtual signal; a describe is a struct copy — a single
+/// global timeout either wedges the cloud for minutes per dead node or
+/// kills slow-but-honest sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeoutBudgets {
+    /// `Describe` deadline.
+    pub describe: Duration,
+    /// `RunSurvey` deadline.
+    pub survey: Duration,
+    /// `ScanCells` deadline.
+    pub cells: Duration,
+    /// `SweepTv` deadline.
+    pub tv: Duration,
+    /// `MonitorBand` deadline.
+    pub monitor: Duration,
+    /// `Shutdown` deadline.
+    pub shutdown: Duration,
+}
+
+impl TimeoutBudgets {
+    /// The deadline for one request.
+    pub fn for_request(&self, request: &Request) -> Duration {
+        match request {
+            Request::Describe => self.describe,
+            Request::RunSurvey { .. } => self.survey,
+            Request::ScanCells { .. } => self.cells,
+            Request::SweepTv { .. } => self.tv,
+            Request::MonitorBand { .. } => self.monitor,
+            Request::Shutdown => self.shutdown,
+        }
+    }
+}
+
+/// How the cloud calls a flaky node: bounded attempts, deterministic
+/// exponential backoff with seeded jitter, per-kind timeout budgets.
+///
+/// Budgets must sit well above honest compute time: a genuine timeout on
+/// a *slow* (rather than hung) node would leave its reply in flight, and
+/// although [`Link::call`] drains stale replies before the next send, a
+/// reply racing the drain would cost determinism.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per call (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Backoff growth factor per retry.
+    pub multiplier: f64,
+    /// Backoff cap (pre-jitter).
+    pub max_backoff: Duration,
+    /// Fraction of the capped backoff added as seeded jitter, [0, 1].
+    pub jitter: f64,
+    /// Reply deadlines by request kind.
+    pub budgets: TimeoutBudgets,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(100),
+            multiplier: 2.0,
+            max_backoff: Duration::from_secs(5),
+            jitter: 0.25,
+            budgets: TimeoutBudgets {
+                describe: Duration::from_secs(10),
+                survey: Duration::from_secs(90),
+                cells: Duration::from_secs(30),
+                tv: Duration::from_secs(30),
+                monitor: Duration::from_secs(30),
+                shutdown: Duration::from_secs(5),
+            },
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Millisecond-scale backoffs and second-scale budgets: generous
+    /// against quick-mode compute time, tiny against wall-clock test
+    /// budgets.
+    pub fn quick() -> Self {
+        Self {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(2),
+            multiplier: 2.0,
+            max_backoff: Duration::from_millis(20),
+            jitter: 0.5,
+            budgets: TimeoutBudgets {
+                describe: Duration::from_secs(5),
+                survey: Duration::from_secs(30),
+                cells: Duration::from_secs(10),
+                tv: Duration::from_secs(10),
+                monitor: Duration::from_secs(10),
+                shutdown: Duration::from_secs(2),
+            },
+        }
+    }
+
+    /// Backoff before retry number `retry` (0-based), jitter drawn from
+    /// `rng`.
+    pub fn backoff(&self, retry: u32, rng: &mut ChaCha8Rng) -> Duration {
+        let exp = self.base_backoff.as_secs_f64() * self.multiplier.powi(retry as i32);
+        let capped = exp.min(self.max_backoff.as_secs_f64());
+        let jitter = if self.jitter > 0.0 {
+            capped * self.jitter * rng.gen_range(0.0..1.0)
+        } else {
+            0.0
+        };
+        Duration::from_secs_f64(capped + jitter)
+    }
+
+    /// The full backoff schedule a call could sleep through, generated
+    /// from a seed. Deterministic: same seed ⇒ same schedule.
+    pub fn backoff_schedule(&self, seed: u64, retries: u32) -> Vec<Duration> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..retries).map(|r| self.backoff(r, &mut rng)).collect()
+    }
+}
+
 /// The cloud's handle to one node.
 pub struct Link {
-    tx: Sender<Request>,
+    /// `None` once a clean [`Link::shutdown`] has closed the channel.
+    tx: Option<Sender<Request>>,
     rx: Receiver<Response>,
-    /// Per-request drop probability, [0, 1).
-    pub drop_probability: f64,
-    /// How long the cloud waits before declaring the node unreachable.
+    /// Cloud-side fault plan (drops, bursts, latency, corruption). The
+    /// node-side knobs (`hang_on`, `crash_after`) were cloned into the
+    /// service thread at spawn time.
+    pub faults: LinkFaults,
+    /// Fallback reply deadline for bare [`Link::call`]; retry paths use
+    /// the policy's per-kind budgets instead.
     pub timeout: Duration,
     rng: ChaCha8Rng,
     handle: Option<JoinHandle<()>>,
+    sent: u64,
+    stats: LinkStats,
 }
 
 impl Link {
-    /// Send a request and wait for the reply. `None` = dropped or timed
-    /// out (the cloud cannot tell the difference, as in real life).
-    pub fn call(&mut self, request: Request) -> Option<Response> {
-        if self.drop_probability > 0.0 && self.rng.gen_range(0.0..1.0) < self.drop_probability {
-            return None; // swallowed by the network
-        }
-        self.tx.send(request).ok()?;
-        // Timeout and disconnect both read as a drop.
-        self.rx.recv_timeout(self.timeout).ok()
+    /// One wire attempt: send the request and wait for the matching
+    /// reply, using the link's default [`timeout`](Self::timeout).
+    pub fn call(&mut self, request: Request) -> Result<Response, LinkError> {
+        let timeout = self.timeout;
+        self.attempt(request, timeout)
     }
 
-    /// Shut the node down and join its thread.
+    /// One wire attempt with an explicit reply deadline.
+    pub fn call_with_timeout(
+        &mut self,
+        request: Request,
+        timeout: Duration,
+    ) -> Result<Response, LinkError> {
+        self.attempt(request, timeout)
+    }
+
+    /// Call with retries under `policy`: per-kind timeout budget,
+    /// exponential backoff with seeded jitter between attempts. A
+    /// [`LinkError::SendFailed`] is returned immediately — there is no
+    /// point retrying a dead thread.
+    pub fn call_with_retry(
+        &mut self,
+        request: Request,
+        policy: &RetryPolicy,
+    ) -> Result<Response, LinkError> {
+        let timeout = policy.budgets.for_request(&request);
+        let mut last = LinkError::Timeout;
+        for attempt in 0..policy.max_attempts.max(1) {
+            if attempt > 0 {
+                self.stats.retries += 1;
+                let pause = policy.backoff(attempt - 1, &mut self.rng);
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+            }
+            match self.attempt(request.clone(), timeout) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    let retryable = e.is_retryable();
+                    last = e;
+                    if !retryable {
+                        break;
+                    }
+                }
+            }
+        }
+        self.stats.gave_up += 1;
+        Err(last)
+    }
+
+    fn attempt(&mut self, request: Request, timeout: Duration) -> Result<Response, LinkError> {
+        let idx = self.sent;
+        self.sent += 1;
+        self.stats.attempts += 1;
+        // A previous attempt may have timed out with the reply still in
+        // flight; drain anything stale so replies stay paired with
+        // requests.
+        while self.rx.try_recv().is_ok() {}
+        let expected = request.expected_response_kind();
+
+        if self.faults.burst_outages.iter().any(|b| b.covers(idx)) {
+            self.stats.dropped += 1;
+            return Err(LinkError::Dropped);
+        }
+        let p_req = self.faults.request_drop.clamp(0.0, 0.999);
+        if p_req > 0.0 && self.rng.gen_range(0.0..1.0) < p_req {
+            self.stats.dropped += 1;
+            return Err(LinkError::Dropped);
+        }
+        if self.faults.latency_ms > 0 {
+            std::thread::sleep(Duration::from_millis(self.faults.latency_ms));
+        }
+        let tx = self.tx.as_ref().expect("link still open");
+        if tx.send(request).is_err() {
+            self.stats.send_failed += 1;
+            return Err(LinkError::SendFailed);
+        }
+        let resp = match self.rx.recv_timeout(timeout) {
+            Ok(r) => r,
+            Err(RecvTimeoutError::Timeout) => {
+                self.stats.timeouts += 1;
+                return Err(LinkError::Timeout);
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                // The node thread died between our send and its reply.
+                self.stats.send_failed += 1;
+                return Err(LinkError::SendFailed);
+            }
+        };
+        let p_resp = self.faults.response_drop.clamp(0.0, 0.999);
+        if p_resp > 0.0 && self.rng.gen_range(0.0..1.0) < p_resp {
+            self.stats.dropped += 1;
+            return Err(LinkError::Dropped);
+        }
+        let resp = if self.faults.corrupt_on.contains(&idx) {
+            garble(resp)
+        } else {
+            resp
+        };
+        if resp.kind() != expected {
+            self.stats.wrong_kind += 1;
+            return Err(LinkError::WrongKind {
+                got: resp.kind().to_string(),
+            });
+        }
+        self.stats.ok += 1;
+        Ok(resp)
+    }
+
+    /// Snapshot of the wire counters.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Shut the node down cleanly and join its thread. After this, the
+    /// `Drop` impl has nothing left to do (the request channel is closed
+    /// and the thread joined here).
     pub fn shutdown(mut self) {
-        let _ = self.tx.send(Request::Shutdown);
-        // Drain the Bye (or give up after the timeout).
-        let _ = self.rx.recv_timeout(self.timeout);
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(Request::Shutdown);
+        }
+        // Drain the Bye; capped so a node that swallowed the Shutdown (a
+        // hang fault) cannot wedge us for the full call timeout.
+        let _ = self
+            .rx
+            .recv_timeout(self.timeout.min(Duration::from_secs(2)));
+        // Close the request channel: a node that never saw the Shutdown
+        // still observes the disconnect and exits its service loop.
+        self.tx = None;
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -50,21 +425,47 @@ impl Link {
 
 impl Drop for Link {
     fn drop(&mut self) {
-        let _ = self.tx.send(Request::Shutdown);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
+        // After a clean `shutdown()` both the handle and the sender are
+        // gone and this is a no-op.
+        let Some(h) = self.handle.take() else { return };
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(Request::Shutdown);
+            // Dropping `tx` disconnects the channel, so the node exits
+            // even if a fault swallowed the Shutdown request.
         }
+        let _ = h.join();
     }
 }
 
-/// Start a node agent on its own thread and return the cloud-side link.
-pub fn spawn_node(agent: NodeAgent, drop_probability: f64, link_seed: u64) -> Link {
+/// Replace a reply with a parseable message of the wrong kind — the
+/// in-process stand-in for a garbled frame that still deserializes.
+fn garble(resp: Response) -> Response {
+    match resp {
+        Response::Bye => Response::Cells(Vec::new()),
+        _ => Response::Bye,
+    }
+}
+
+/// Start a node agent on its own thread under a fault plan and return
+/// the cloud-side link.
+pub fn spawn_node_with_faults(agent: NodeAgent, faults: LinkFaults, link_seed: u64) -> Link {
     let (req_tx, req_rx) = bounded::<Request>(4);
     let (resp_tx, resp_rx) = bounded::<Response>(4);
+    let crash_after = faults.crash_after;
+    let hang_on = faults.hang_on.clone();
     let handle = std::thread::Builder::new()
         .name(format!("node-{}", agent.claims.name))
         .spawn(move || {
+            let mut served: u64 = 0;
             while let Ok(req) = req_rx.recv() {
+                if crash_after.is_some_and(|n| served >= n) {
+                    break; // host daemon crash: exit without replying
+                }
+                let idx = served;
+                served += 1;
+                if hang_on.contains(&idx) {
+                    continue; // wedged mid-request: swallow, never reply
+                }
                 let shutdown = matches!(req, Request::Shutdown);
                 let resp = agent.handle(&req);
                 if resp_tx.send(resp).is_err() || shutdown {
@@ -74,13 +475,21 @@ pub fn spawn_node(agent: NodeAgent, drop_probability: f64, link_seed: u64) -> Li
         })
         .expect("spawn node thread");
     Link {
-        tx: req_tx,
+        tx: Some(req_tx),
         rx: resp_rx,
-        drop_probability: drop_probability.clamp(0.0, 0.999),
+        faults,
         timeout: Duration::from_secs(120),
         rng: ChaCha8Rng::seed_from_u64(link_seed),
         handle: Some(handle),
+        sent: 0,
+        stats: LinkStats::default(),
     }
+}
+
+/// Start a node over a request-drop-only link (the original single-knob
+/// fault model).
+pub fn spawn_node(agent: NodeAgent, drop_probability: f64, link_seed: u64) -> Link {
+    spawn_node_with_faults(agent, LinkFaults::lossy(drop_probability), link_seed)
 }
 
 #[cfg(test)]
@@ -108,6 +517,7 @@ mod tests {
         let mut link = spawn_node(agent(ScenarioKind::OpenField), 0.0, 1);
         let resp = link.call(Request::Describe).expect("reply");
         assert_eq!(resp.kind(), "description");
+        assert_eq!(link.stats().ok, 1);
         link.shutdown();
     }
 
@@ -116,12 +526,15 @@ mod tests {
         let mut link = spawn_node(agent(ScenarioKind::OpenField), 0.7, 2);
         let mut answered = 0;
         for _ in 0..30 {
-            if link.call(Request::Describe).is_some() {
+            if link.call(Request::Describe).is_ok() {
                 answered += 1;
             }
         }
         assert!(answered > 0, "some requests should get through");
         assert!(answered < 30, "a 70% lossy link cannot answer everything");
+        let stats = link.stats();
+        assert_eq!(stats.attempts, 30);
+        assert_eq!(stats.ok + stats.dropped, 30);
         link.shutdown();
     }
 
@@ -138,7 +551,7 @@ mod tests {
         .collect();
         let mut names = Vec::new();
         for link in &mut links {
-            if let Some(Response::Description(c)) = link.call(Request::Describe) {
+            if let Ok(Response::Description(c)) = link.call(Request::Describe) {
                 names.push(c.name);
             }
         }
@@ -153,5 +566,136 @@ mod tests {
     fn drop_is_graceful_without_shutdown_call() {
         let link = spawn_node(agent(ScenarioKind::OpenField), 0.0, 3);
         drop(link); // Drop impl must join without hanging.
+    }
+
+    #[test]
+    fn retry_recovers_from_burst_outage() {
+        let faults = LinkFaults {
+            burst_outages: vec![BurstOutage { start: 0, len: 2 }],
+            ..LinkFaults::none()
+        };
+        let mut link = spawn_node_with_faults(agent(ScenarioKind::OpenField), faults, 4);
+        let policy = RetryPolicy::quick();
+        let resp = link
+            .call_with_retry(Request::Describe, &policy)
+            .expect("third attempt clears the outage");
+        assert_eq!(resp.kind(), "description");
+        let stats = link.stats();
+        assert_eq!(stats.attempts, 3);
+        assert_eq!(stats.dropped, 2);
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.ok, 1);
+        assert_eq!(stats.gave_up, 0);
+        link.shutdown();
+    }
+
+    #[test]
+    fn wrong_kind_reply_detected_and_retried() {
+        let faults = LinkFaults {
+            corrupt_on: vec![0],
+            ..LinkFaults::none()
+        };
+        let mut link = spawn_node_with_faults(agent(ScenarioKind::OpenField), faults, 5);
+        let policy = RetryPolicy::quick();
+        let resp = link
+            .call_with_retry(Request::Describe, &policy)
+            .expect("retry passes the garbled frame");
+        assert_eq!(resp.kind(), "description");
+        let stats = link.stats();
+        assert_eq!(stats.wrong_kind, 1);
+        assert_eq!(stats.ok, 1);
+        link.shutdown();
+    }
+
+    #[test]
+    fn dead_thread_not_retried() {
+        let faults = LinkFaults {
+            crash_after: Some(0),
+            ..LinkFaults::none()
+        };
+        let mut link = spawn_node_with_faults(agent(ScenarioKind::OpenField), faults, 6);
+        let policy = RetryPolicy::quick();
+        let err = link
+            .call_with_retry(Request::Describe, &policy)
+            .expect_err("node daemon is dead");
+        assert_eq!(err, LinkError::SendFailed);
+        assert!(!err.is_retryable());
+        let stats = link.stats();
+        assert_eq!(stats.attempts, 1, "SendFailed must not be retried");
+        assert_eq!(stats.gave_up, 1);
+        link.shutdown();
+    }
+
+    #[test]
+    fn hung_node_times_out_then_recovers() {
+        let faults = LinkFaults {
+            hang_on: vec![0],
+            ..LinkFaults::none()
+        };
+        let mut link = spawn_node_with_faults(agent(ScenarioKind::OpenField), faults, 7);
+        link.timeout = Duration::from_millis(200);
+        let err = link.call(Request::Describe).expect_err("swallowed");
+        assert_eq!(err, LinkError::Timeout);
+        let resp = link.call(Request::Describe).expect("node recovered");
+        assert_eq!(resp.kind(), "description");
+        let stats = link.stats();
+        assert_eq!(stats.timeouts, 1);
+        assert_eq!(stats.ok, 1);
+        link.shutdown();
+    }
+
+    #[test]
+    fn response_drop_loses_the_answer() {
+        let faults = LinkFaults {
+            response_drop: 2.0, // documents the silent clamp to 0.999
+            ..LinkFaults::none()
+        };
+        let mut link = spawn_node_with_faults(agent(ScenarioKind::OpenField), faults, 8);
+        for _ in 0..5 {
+            let err = link.call(Request::Describe).expect_err("reply swallowed");
+            assert_eq!(err, LinkError::Dropped);
+        }
+        assert_eq!(link.stats().dropped, 5);
+        link.shutdown();
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic() {
+        let policy = RetryPolicy::default();
+        let a = policy.backoff_schedule(42, 6);
+        let b = policy.backoff_schedule(42, 6);
+        assert_eq!(a, b, "same seed must give the same schedule");
+        let c = policy.backoff_schedule(43, 6);
+        assert_ne!(a, c, "different seeds must jitter differently");
+        // Pre-jitter growth is exponential up to the cap; jitter adds at
+        // most `jitter` of the capped value.
+        for (i, d) in a.iter().enumerate() {
+            let base = policy.base_backoff.as_secs_f64() * policy.multiplier.powi(i as i32);
+            let capped = base.min(policy.max_backoff.as_secs_f64());
+            let secs = d.as_secs_f64();
+            assert!(secs >= capped && secs <= capped * (1.0 + policy.jitter));
+        }
+    }
+
+    #[test]
+    fn backoff_without_jitter_is_pure_exponential() {
+        let policy = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let sched = policy.backoff_schedule(1, 4);
+        assert_eq!(sched[0], Duration::from_millis(100));
+        assert_eq!(sched[1], Duration::from_millis(200));
+        assert_eq!(sched[2], Duration::from_millis(400));
+        assert_eq!(sched[3], Duration::from_millis(800));
+    }
+
+    #[test]
+    fn clean_shutdown_leaves_nothing_for_drop() {
+        let link = spawn_node(agent(ScenarioKind::OpenField), 0.0, 9);
+        // shutdown() joins the thread and closes the channel; the Drop
+        // impl that runs as `link` leaves scope must be a no-op (this
+        // would deadlock or double-send otherwise).
+        link.shutdown();
     }
 }

@@ -2,18 +2,26 @@
 //! installation problems the paper lists — "the efficiency of the antenna
 //! and the sensitivity of the SDR in the desired spectrum bands, potential
 //! obstruction of the antenna …, installation issues such as damaged
-//! antenna cables" — and fabricated data.
+//! antenna cables" — and fabricated data. Then repeat the exercise one
+//! layer down: the *network* fails (burst outages, crashed daemons,
+//! wedged threads, garbled frames) and the audit degrades instead of
+//! aborting.
 //!
 //! ```sh
 //! cargo run --release --example fault_injection [seed]
 //! ```
 
+use aircal::net::{
+    spawn_node_with_faults, BurstOutage, Cloud, LinkFaults, NodeAgent, NodeBehavior, RetryPolicy,
+};
 use aircal::prelude::*;
 use aircal_aircraft::{TrafficConfig, TrafficSim};
 use aircal_core::trust::{fabricate_survey, TrustAuditor};
 use aircal_core::freqprofile::FrequencyProfiler;
 use aircal_core::fov::FovEstimator;
 use aircal_sdr::FrontendFault;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn main() {
     let seed: u64 = std::env::args()
@@ -75,6 +83,104 @@ fn main() {
     let fov = FovEstimator::default().estimate(&fake.points);
     let trust = TrustAuditor::default().audit(&fake, &profile, &traffic, fov.open_fraction());
     print_row("fabricated data", &fake, trust.score, &trust.flags);
+
+    network_chaos(seed);
+}
+
+/// The same story one layer down: faults in the node⇄cloud link instead
+/// of the RF front end. Audits degrade to partial verdicts, repeated
+/// failures quarantine a node, and a clean audit re-admits it.
+fn network_chaos(seed: u64) {
+    println!("\n── network chaos: same fleet, faulty links ──\n");
+    let sky = Arc::new(TrafficSim::generate(
+        TrafficConfig {
+            count: 40,
+            ..TrafficConfig::paper_default(aircal_env::scenarios::testbed_origin())
+        },
+        seed,
+    ));
+    let mut cloud = Cloud::new(sky.clone());
+    cloud.retry_policy = RetryPolicy::quick();
+    cloud.retry_policy.budgets.tv = Duration::from_secs(1);
+
+    // Registration is node-side request 0 and wire attempt 0; each audit
+    // is 4 more of each (plus retries on the wire side).
+    let roster: [(&str, LinkFaults); 4] = [
+        ("clean-link", LinkFaults::none()),
+        (
+            // Wire attempts 2–3 (the first audit's survey) are swallowed
+            // by an outage; the retries ride it out.
+            "burst-outage",
+            LinkFaults {
+                burst_outages: vec![BurstOutage { start: 2, len: 2 }],
+                ..LinkFaults::none()
+            },
+        ),
+        (
+            // The host daemon dies mid-audit and stays dead: partial
+            // verdict in round 1, unreachable after, quarantined.
+            "crashed-daemon",
+            LinkFaults {
+                crash_after: Some(3),
+                ..LinkFaults::none()
+            },
+        ),
+        (
+            // Wedges on every tv attempt of audit 1 (node-side requests
+            // 4–6), then behaves: degraded, then re-admitted.
+            "wedged-then-ok",
+            LinkFaults {
+                hang_on: vec![4, 5, 6],
+                ..LinkFaults::none()
+            },
+        ),
+    ];
+    for (i, (name, faults)) in roster.into_iter().enumerate() {
+        let mut agent = NodeAgent::new(
+            Scenario::build(ScenarioKind::OpenField),
+            NodeBehavior::Honest,
+            sky.clone(),
+        );
+        agent.claims.name = name.to_string();
+        cloud
+            .register(spawn_node_with_faults(agent, faults, seed + i as u64))
+            .expect("all daemons alive at registration");
+    }
+
+    for round in 1u64..=3 {
+        let verdicts = cloud.audit_all(seed ^ (0xC0A5 + round));
+        println!("audit round {round}:");
+        let health = cloud.health_report();
+        for ((name, verdict), (_, state, fails)) in verdicts.iter().zip(&health) {
+            let outcome = match verdict {
+                None => "unreachable".to_string(),
+                Some(v) if v.is_complete() => format!("complete, trust {:.0}", v.trust.score),
+                Some(v) => format!(
+                    "partial (lost: {}), trust {:.0}",
+                    v.failed_steps
+                        .iter()
+                        .map(|f| f.step.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    v.trust.score
+                ),
+            };
+            println!("  {name:16} {outcome:36} → {state} ({fails} consecutive)");
+        }
+    }
+
+    println!("\nwire counters:");
+    println!(
+        "  {:16} {:>8} {:>4} {:>7} {:>8} {:>8} {:>9} {:>7}",
+        "node", "attempts", "ok", "retries", "dropped", "timeout", "sendfail", "gaveup"
+    );
+    for (name, s) in cloud.link_stats() {
+        println!(
+            "  {:16} {:>8} {:>4} {:>7} {:>8} {:>8} {:>9} {:>7}",
+            name, s.attempts, s.ok, s.retries, s.dropped, s.timeouts, s.send_failed, s.gave_up
+        );
+    }
+    cloud.shutdown();
 }
 
 fn print_row(label: &str, survey: &SurveyResult, trust: f64, flags: &[String]) {

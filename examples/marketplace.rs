@@ -6,7 +6,7 @@
 //! cargo run --release --example marketplace [seed]
 //! ```
 
-use aircal::net::{Cloud, NodeAgent, NodeBehavior};
+use aircal::net::{spawn_node_with_faults, Cloud, LinkFaults, NodeAgent, NodeBehavior};
 use aircal_aircraft::{TrafficConfig, TrafficSim};
 use aircal_env::{scenarios::testbed_origin, Scenario, ScenarioKind};
 use std::sync::Arc;
@@ -38,7 +38,7 @@ fn main() {
         (ScenarioKind::BehindWindow, NodeBehavior::FalseClaims),
         (ScenarioKind::UrbanCanyon, NodeBehavior::Fabricator { ghosts: 100 }),
     ];
-    println!("registering {} nodes…", roster.len());
+    println!("registering {} nodes…", roster.len() + 1);
     for (i, (kind, behavior)) in roster.into_iter().enumerate() {
         let agent = NodeAgent::new(Scenario::build(kind), behavior, sky.clone());
         let name = cloud
@@ -46,23 +46,44 @@ fn main() {
             .expect("registration");
         println!("  + {name}");
     }
+    // A sixth operator with a good install but a dying host daemon: it
+    // answers the survey, then drops off mid-audit. The audit degrades
+    // to a partial verdict instead of aborting.
+    let mut flaky = NodeAgent::new(
+        Scenario::build(ScenarioKind::OpenField),
+        NodeBehavior::Honest,
+        sky.clone(),
+    );
+    flaky.claims.name = "open-field-flaky".into();
+    let name = cloud
+        .register(spawn_node_with_faults(
+            flaky,
+            LinkFaults {
+                crash_after: Some(3),
+                ..LinkFaults::none()
+            },
+            seed + 100,
+        ))
+        .expect("registration");
+    println!("  + {name} (daemon will crash mid-audit)");
 
     println!("\nauditing (commissioned surveys + cross-band sweeps)…\n");
     let verdicts = cloud.audit_all(seed ^ 0xA0D17);
 
     println!(
-        "{:16} {:>8} {:>9} {:>10} {:>7} {:>9}  flags",
-        "node", "claims", "measured", "claim OK?", "trust", "approved"
+        "{:16} {:>8} {:>9} {:>10} {:>7} {:>8} {:>9}  flags",
+        "node", "claims", "measured", "claim OK?", "trust", "audit", "approved"
     );
     for (name, verdict) in &verdicts {
         match verdict {
             Some(v) => println!(
-                "{:16} {:>8} {:>9} {:>10} {:>7.0} {:>9}  {}",
+                "{:16} {:>8} {:>9} {:>10} {:>7.0} {:>8} {:>9}  {}",
                 name,
                 if v.claims.outdoor { "outdoor" } else { "indoor" },
                 if v.install.outdoor { "outdoor" } else { "indoor" },
                 if v.outdoor_claim_verified { "yes" } else { "NO" },
                 v.trust.score,
+                if v.is_complete() { "full" } else { "partial" },
                 if v.approved { "yes" } else { "NO" },
                 if v.trust.flags.is_empty() {
                     "-".to_string()
@@ -72,6 +93,19 @@ fn main() {
             ),
             None => println!("{name:16} UNREACHABLE"),
         }
+    }
+
+    println!("\nnode health:");
+    for (name, health, failures) in cloud.health_report() {
+        println!("  {name:16} {health} ({failures} consecutive failed audits)");
+    }
+
+    println!("\nwire traffic (attempts / ok / retries / gave up):");
+    for (name, s) in cloud.link_stats() {
+        println!(
+            "  {name:16} {:>3} / {:>3} / {:>3} / {:>3}",
+            s.attempts, s.ok, s.retries, s.gave_up
+        );
     }
 
     println!("\nmarketplace (approved nodes, cheapest first):");

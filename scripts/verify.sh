@@ -17,6 +17,12 @@ cargo test --workspace --release -q
 echo "== clippy (-D warnings) =="
 cargo clippy --workspace --all-targets --release -- -D warnings
 
+echo "== chaos (deterministic network fault injection) =="
+cargo test --release -q --test chaos_network
+
+echo "== fault injection demo (front-end + network chaos) =="
+cargo run --release --example fault_injection
+
 echo "== perfreport (--quick) =="
 cargo run --release -p aircal-bench --bin perfreport -- --quick
 

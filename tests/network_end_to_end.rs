@@ -91,7 +91,7 @@ fn rented_psd_matches_calibration_promise() {
             kind as u64,
         );
         match link.call(request.clone()) {
-            Some(Response::Psd { bins, span_hz, .. }) => {
+            Ok(Response::Psd { bins, span_hz, .. }) => {
                 let p = band_power_from_psd(&bins, span_hz, -2.7e6, 2.7e6);
                 in_band.push(aircal_dsp::power::lin_to_db(p));
             }
@@ -106,19 +106,14 @@ fn rented_psd_matches_calibration_promise() {
     );
 }
 
-/// A flaky node is reported unreachable by the audit rather than wedging
-/// the cloud.
+/// A flaky node is degraded or reported unreachable by the audit rather
+/// than wedging the cloud.
 #[test]
 fn flaky_node_survives_audit_loop() {
     let sky = sky(9003);
     let cloud = Cloud::new(sky.clone());
-    let agent = NodeAgent::new(
-        Scenario::build(ScenarioKind::OpenField),
-        NodeBehavior::Honest,
-        sky.clone(),
-    );
-    // 60% request loss: registration may need the retry the cloud doesn't
-    // do — so try until it lands, then audit.
+    // 60% request loss: the cloud's own retry policy (3 attempts per
+    // call) usually lands registration; spawn fresh links until it does.
     let mut registered = false;
     for attempt in 0..20 {
         let link = spawn_node(
@@ -136,10 +131,15 @@ fn flaky_node_survives_audit_loop() {
         }
     }
     assert!(registered, "20 attempts over a 60% lossy link");
-    // The audit needs 4 consecutive successful calls; over a 60% lossy
-    // link it will usually fail — either outcome must be clean.
+    // Each audit step gets 3 attempts at 40% per-attempt success; a step
+    // can still fail. Whatever happens must be clean: a verdict entry is
+    // produced either way, partial if steps were lost.
     let verdicts = cloud.audit_all(555);
     assert_eq!(verdicts.len(), 1);
+    if let Some(v) = &verdicts[0].1 {
+        for f in &v.failed_steps {
+            assert!(f.attempts > 1, "retryable losses must have been retried");
+        }
+    }
     cloud.shutdown();
-    drop(agent);
 }
