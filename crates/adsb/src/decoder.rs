@@ -117,6 +117,7 @@ impl Decoder {
     /// Scan a capture (complex baseband at 2 Msps) starting at absolute
     /// time `capture_start_s`, returning every frame that passes parity.
     pub fn scan(&self, iq: &[Cplx], capture_start_s: f64) -> Vec<DecodedMessage> {
+        let _span = aircal_obs::span!("preamble_scan");
         if iq.len() < SHORT_FRAME_SAMPLES {
             return Vec::new();
         }

@@ -14,7 +14,10 @@
 //! * **fir** — overlap-save [`FastFirFilter`] vs direct [`FirFilter`]
 //!   at 63/255/1023 taps (the TV bandpass shapes);
 //! * **survey / tv_sweep / calibrator** — wall clock at 1/2/4/8 worker
-//!   threads (bit-identical outputs; the knob trades time only).
+//!   threads (bit-identical outputs; the knob trades time only);
+//! * **stage_latency / span_summary** — one traced calibration run:
+//!   per-stage latency histograms (fixed `aircal-obs` bucket bounds)
+//!   and aggregated span wall times for the instrumented kernels.
 //!
 //! All numbers are wall-clock on whatever host runs this; `host_cores`
 //! records how much hardware parallelism was actually available.
@@ -67,6 +70,12 @@ struct CorrTiming {
 }
 
 #[derive(Serialize)]
+struct StageLatency {
+    stage: String,
+    histogram: aircal_obs::Histogram,
+}
+
+#[derive(Serialize)]
 struct PipelineReport {
     quick: bool,
     host_cores: usize,
@@ -76,6 +85,28 @@ struct PipelineReport {
     survey: Vec<ThreadTiming>,
     tv_sweep: Vec<ThreadTiming>,
     calibrator: Vec<ThreadTiming>,
+    stage_latency: Vec<StageLatency>,
+    span_summary: Vec<aircal_obs::SpanSummary>,
+}
+
+/// One fully observed calibration run: stage timers feed fixed-bucket
+/// histograms, the global tracer records kernel spans. Runs after all
+/// timed sections so tracing overhead cannot touch their numbers.
+fn traced_calibration(quick: bool, s: &Scenario, seed: u64) -> (Vec<StageLatency>, Vec<aircal_obs::SpanSummary>) {
+    let obs = aircal_obs::Obs::recording();
+    aircal_obs::trace::enable();
+    let cal = if quick { Calibrator::quick() } else { Calibrator::default() }
+        .with_obs(obs.clone());
+    std::hint::black_box(cal.calibrate(&s.world, &s.site, seed));
+    aircal_obs::trace::disable();
+    let spans = aircal_obs::trace::drain();
+    let stage_latency = obs
+        .snapshot()
+        .histograms
+        .into_iter()
+        .map(|(stage, histogram)| StageLatency { stage, histogram })
+        .collect();
+    (stage_latency, aircal_obs::trace::summarize(&spans))
 }
 
 /// Best-of-`reps` wall clock, seconds.
@@ -242,6 +273,14 @@ fn main() {
     });
     eprintln!("# calibrator: {:.3}s serial", calibrator[0].seconds);
 
+    // --- Per-stage latency histograms (traced run) ------------------------
+    let (stage_latency, span_summary) = traced_calibration(quick, &s, seed);
+    eprintln!(
+        "# stage_latency: {} stages, {} distinct spans",
+        stage_latency.len(),
+        span_summary.len()
+    );
+
     let report = PipelineReport {
         quick,
         host_cores,
@@ -251,6 +290,8 @@ fn main() {
         survey,
         tv_sweep,
         calibrator,
+        stage_latency,
+        span_summary,
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PIPELINE.json");
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

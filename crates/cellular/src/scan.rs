@@ -121,6 +121,7 @@ impl CellScanner {
         db: &TowerDatabase,
         seed: u64,
     ) -> Vec<CellMeasurement> {
+        let _span = aircal_obs::span!("cell_scan");
         db.all()
             .iter()
             .map(|t| self.measure(world, site, t, seed))

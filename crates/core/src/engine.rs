@@ -9,6 +9,7 @@ use crate::trust::TrustAuditor;
 use aircal_aircraft::{TrafficConfig, TrafficSim};
 use aircal_cellular::paper_towers;
 use aircal_env::{SensorSite, World};
+use aircal_obs::Obs;
 use aircal_tv::paper_tv_towers;
 
 /// Orchestrates survey → FoV estimate → frequency profile → classification
@@ -27,6 +28,9 @@ pub struct Calibrator {
     pub auditor: TrustAuditor,
     /// Aircraft to simulate in the survey disc.
     pub traffic_count: usize,
+    /// Observability handle: counters, gauges and per-stage latency
+    /// histograms. Disabled (free) by default; see [`Calibrator::with_obs`].
+    pub obs: Obs,
 }
 
 impl Default for Calibrator {
@@ -38,6 +42,7 @@ impl Default for Calibrator {
             classifier: IndoorOutdoorClassifier::default(),
             auditor: TrustAuditor::default(),
             traffic_count: 60,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -70,34 +75,62 @@ impl Calibrator {
         self
     }
 
+    /// Publish metrics into `obs`: pipeline counters (`survey.*`,
+    /// `profile.*`), a `trust.score` gauge, and per-stage latency
+    /// histograms (`stage.*`). Observing never changes the report —
+    /// results stay bit-identical to an unobserved run.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Calibrate a node. The world's origin anchors the opportunistic
     /// sources (paper tower layouts); `seed` fixes traffic and channel
     /// randomness.
     pub fn calibrate(&self, world: &World, site: &SensorSite, seed: u64) -> CalibrationReport {
+        let _span = aircal_obs::span!("calibrate");
         // Traffic + directional survey (§3.1).
-        let traffic = TrafficSim::generate(
-            TrafficConfig {
-                count: self.traffic_count,
-                ..TrafficConfig::paper_default(site.position)
-            },
-            seed,
-        );
-        let survey = run_survey(world, site, &traffic, &self.survey, seed);
+        let traffic = self.obs.time("stage.traffic", || {
+            TrafficSim::generate(
+                TrafficConfig {
+                    count: self.traffic_count,
+                    ..TrafficConfig::paper_default(site.position)
+                },
+                seed,
+            )
+        });
+        let survey = self
+            .obs
+            .time("stage.survey", || run_survey(world, site, &traffic, &self.survey, seed));
+        publish_survey_metrics(&self.obs, &survey);
 
         // Field of view.
-        let fov = FovEstimator::new(self.fov_method).estimate(&survey.points);
+        let fov = self
+            .obs
+            .time("stage.fov", || FovEstimator::new(self.fov_method).estimate(&survey.points));
 
         // Frequency response (§3.2).
         let cells = paper_towers(&world.origin);
         let tv = paper_tv_towers(&world.origin);
-        let frequency = self.profiler.profile(world, site, &cells, &tv, seed ^ 0xF00D);
+        let frequency = self.obs.time("stage.profile", || {
+            self.profiler.profile(world, site, &cells, &tv, seed ^ 0xF00D)
+        });
+        publish_profile_metrics(&self.obs, &frequency);
 
         // Derived inferences.
         let features = InstallFeatures::extract(&survey, &fov, &frequency);
-        let install = self.classifier.classify(&features);
-        let trust = self
-            .auditor
-            .audit(&survey, &frequency, &traffic, fov.open_fraction());
+        let install = self
+            .obs
+            .time("stage.classify", || self.classifier.classify(&features));
+        let trust = self.obs.time("stage.trust", || {
+            self.auditor
+                .audit(&survey, &frequency, &traffic, fov.open_fraction())
+        });
+        self.obs
+            .incr("calibrate.runs", 1);
+        self.obs
+            .incr("classify.outdoor", u64::from(install.outdoor));
+        self.obs.set_gauge("trust.score", trust.score);
 
         CalibrationReport {
             site_name: site.name.clone(),
@@ -114,6 +147,37 @@ impl Calibrator {
             trust,
         }
     }
+}
+
+/// Publish the paper's survey telemetry (decode counts, SNR-gate skips,
+/// observation coverage) into `obs`. Also used by the cloud when it
+/// judges a commissioned survey reported over the wire.
+pub fn publish_survey_metrics(obs: &Obs, survey: &crate::survey::SurveyResult) {
+    obs.incr("survey.messages", survey.total_messages as u64);
+    obs.incr("survey.unmatched_messages", survey.unmatched_messages as u64);
+    obs.incr("survey.skipped_low_snr", survey.skipped_low_snr as u64);
+    obs.incr("survey.positions_decoded", survey.decoded_positions.len() as u64);
+    obs.incr("survey.aircraft_total", survey.points.len() as u64);
+    obs.incr(
+        "survey.aircraft_observed",
+        survey.points.iter().filter(|p| p.observed).count() as u64,
+    );
+}
+
+/// Publish frequency-profile telemetry (per-source band counts) into `obs`.
+pub fn publish_profile_metrics(obs: &Obs, profile: &crate::freqprofile::FrequencyProfile) {
+    use crate::freqprofile::SourceKind;
+    obs.incr("profile.bands", profile.bands.len() as u64);
+    for (name, kind) in [
+        ("profile.cell_bands", SourceKind::Cellular),
+        ("profile.tv_bands", SourceKind::BroadcastTv),
+    ] {
+        obs.incr(
+            name,
+            profile.bands.iter().filter(|b| b.source == kind).count() as u64,
+        );
+    }
+    obs.incr("profile.missing_sources", profile.missing_sources.len() as u64);
 }
 
 #[cfg(test)]

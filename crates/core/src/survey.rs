@@ -145,6 +145,7 @@ pub fn run_survey(
     config: &SurveyConfig,
     seed: u64,
 ) -> SurveyResult {
+    let _span = aircal_obs::span!("survey");
     let threads = resolve_parallelism(config.parallelism);
 
     // 1. The sky transmits. (Aircraft slightly beyond the query radius
@@ -187,6 +188,7 @@ pub fn run_survey(
     // Each burst derives its own RNG stream from (seed, burst index), so
     // the fade and carrier-phase draws never depend on scheduling order
     // and the result is bit-identical for every thread count.
+    let plan_span = aircal_obs::span!("burst_planning");
     let planned: Vec<Option<BurstPlan>> = par_map(&emissions, threads, |i, e| {
         let path = world.path_profile(site, &e.position, ADSB_FREQ_HZ);
         let bearing = site.position.bearing_deg(&e.position);
@@ -217,6 +219,7 @@ pub fn run_survey(
             phase0: brng.gen_range(0.0..core::f64::consts::TAU),
         })
     });
+    drop(plan_span);
     let skipped_low_snr = planned.iter().filter(|p| p.is_none()).count();
     let plans: Vec<BurstPlan> = planned.into_iter().flatten().collect();
 
@@ -224,12 +227,14 @@ pub fn run_survey(
     //    stream per cluster; decoding fans out per window; the merge is
     //    in window (time) order, exactly as a serial pass would produce.
     let windows = renderer.render_seeded(&plans, seed ^ 0xC0DE, threads);
+    let decode_span = aircal_obs::span!("decode_windows");
     let decoder = Decoder::default();
     let decoded: Vec<DecodedMessage> =
         par_map(&windows, threads, |_, w| decoder.scan(&w.samples, w.start_s))
             .into_iter()
             .flatten()
             .collect();
+    drop(decode_span);
 
     // 4. Ground truth at the mid-capture query time.
     let gts = GroundTruthService::new(config.ground_truth_latency_s);
@@ -288,6 +293,7 @@ fn decode_positions(
     decoded: &[DecodedMessage],
     sensor: &LatLon,
 ) -> Vec<(IcaoAddress, LatLon)> {
+    let _span = aircal_obs::span!("cpr_decode");
     let mut latest: HashMap<IcaoAddress, (Option<cpr::CprPosition>, Option<cpr::CprPosition>, f64)> =
         HashMap::new();
     let mut out: HashMap<IcaoAddress, LatLon> = HashMap::new();

@@ -178,6 +178,7 @@ impl BandPowerMeter {
     /// to full scale (dBFS). Returns `None` if the capture is shorter than
     /// the filter warm-up.
     pub fn measure_dbfs(&mut self, iq: &[Cplx]) -> Option<f64> {
+        let _span = aircal_obs::span!("band_power");
         self.process(iq).map(lin_to_db)
     }
 

@@ -21,12 +21,14 @@ use crate::transport::{Link, LinkError, LinkStats, RetryPolicy};
 use aircal_aircraft::TrafficSim;
 use aircal_cellular::{paper_towers, CellMeasurement, CellScanner};
 use aircal_core::classifier::{IndoorOutdoorClassifier, InstallFeatures, InstallVerdict};
+use aircal_core::engine::{publish_profile_metrics, publish_survey_metrics};
 use aircal_core::fov::{FovEstimate, FovEstimator};
 use aircal_core::freqprofile::{BandMeasurement, FrequencyProfile, SourceKind};
 use aircal_core::survey::{SurveyConfig, SurveyResult};
 use aircal_core::trust::{TrustAuditor, TrustScore};
 use aircal_env::{SensorSite, World};
 use aircal_geo::LatLon;
+use aircal_obs::{AuditEventKind, Obs};
 use aircal_tv::{paper_tv_towers, TvMeasurement, TvPowerProbe};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -163,21 +165,73 @@ pub struct Cloud {
     pub retry_policy: RetryPolicy,
     /// Health lifecycle thresholds.
     pub health_policy: HealthPolicy,
+    /// Observability: wire/audit counters and the structured
+    /// [`AuditEvent`](aircal_obs::AuditEvent) log. Disabled by default;
+    /// set to [`Obs::recording`] before auditing to collect telemetry.
+    /// Everything published here comes from the sequential audit path,
+    /// so for a fixed seed the event stream and counters are identical
+    /// at any `survey_config.parallelism`.
+    pub obs: Obs,
     /// Registered nodes, by name.
     registry: parking_lot::Mutex<std::collections::BTreeMap<String, NodeRecord>>,
 }
 
+/// Per-kind wire-counter deltas between two [`LinkStats`] snapshots, in a
+/// fixed publication order.
+fn wire_delta(before: &LinkStats, after: &LinkStats) -> [(&'static str, u64); 8] {
+    [
+        ("attempts", after.attempts - before.attempts),
+        ("ok", after.ok - before.ok),
+        ("retries", after.retries - before.retries),
+        ("gave_up", after.gave_up - before.gave_up),
+        ("wrong_kind", after.wrong_kind - before.wrong_kind),
+        ("dropped", after.dropped - before.dropped),
+        ("timeouts", after.timeouts - before.timeouts),
+        ("send_failed", after.send_failed - before.send_failed),
+    ]
+}
+
+/// Publish a step's wire-counter deltas as `wire.*` metrics, and emit a
+/// [`AuditEventKind::FaultObserved`] for each fault kind the link
+/// absorbed during the step (whether or not retries recovered it).
+fn publish_wire(obs: &Obs, node: &str, step: &str, before: &LinkStats, after: &LinkStats) {
+    for (kind, n) in wire_delta(before, after) {
+        obs.incr(&format!("wire.{kind}"), n);
+        let is_fault = matches!(kind, "wrong_kind" | "dropped" | "timeouts" | "send_failed");
+        if is_fault && n > 0 {
+            obs.emit(
+                node,
+                AuditEventKind::FaultObserved {
+                    step: step.to_string(),
+                    fault: kind.to_string(),
+                    count: n,
+                },
+            );
+        }
+    }
+}
+
 /// Run one audit step with retries and turn its result into a
-/// [`StepOutcome`].
+/// [`StepOutcome`], publishing wire metrics and step events into `obs`
+/// (tagged with the node's registry `node` name).
 fn step<T>(
     link: &mut Link,
     policy: &RetryPolicy,
+    obs: &Obs,
+    node: &str,
     name: &str,
     request: Request,
     extract: impl FnOnce(Response) -> Option<T>,
 ) -> StepOutcome<T> {
-    let before = link.stats().attempts;
-    match link.call_with_retry(request, policy) {
+    obs.emit(
+        node,
+        AuditEventKind::StepStarted {
+            step: name.to_string(),
+        },
+    );
+    obs.incr("audit.steps_total", 1);
+    let before = link.stats();
+    let outcome = match link.call_with_retry(request, policy) {
         Ok(resp) => {
             let got = resp.kind();
             match extract(resp) {
@@ -189,16 +243,40 @@ fn step<T>(
                     error: LinkError::WrongKind {
                         got: got.to_string(),
                     },
-                    attempts: (link.stats().attempts - before) as u32,
+                    attempts: (link.stats().attempts - before.attempts) as u32,
                 }),
             }
         }
         Err(error) => StepOutcome::Failed(StepFailure {
             step: name.to_string(),
             error,
-            attempts: (link.stats().attempts - before) as u32,
+            attempts: (link.stats().attempts - before.attempts) as u32,
         }),
+    };
+    let after = link.stats();
+    publish_wire(obs, node, name, &before, &after);
+    let wire_attempts = after.attempts - before.attempts;
+    match &outcome {
+        StepOutcome::Complete(_) => obs.emit(
+            node,
+            AuditEventKind::StepCompleted {
+                step: name.to_string(),
+                wire_attempts,
+            },
+        ),
+        StepOutcome::Failed(f) => {
+            obs.incr("audit.steps_failed", 1);
+            obs.emit(
+                node,
+                AuditEventKind::StepFailed {
+                    step: name.to_string(),
+                    error: f.error.to_string(),
+                    wire_attempts,
+                },
+            );
+        }
     }
+    outcome
 }
 
 impl Cloud {
@@ -211,6 +289,7 @@ impl Cloud {
             auditor: TrustAuditor::default(),
             retry_policy: RetryPolicy::default(),
             health_policy: HealthPolicy::default(),
+            obs: Obs::disabled(),
             registry: parking_lot::Mutex::new(std::collections::BTreeMap::new()),
         }
     }
@@ -218,15 +297,19 @@ impl Cloud {
     /// Register a node by asking it to describe itself (with retries).
     /// Returns the claimed name, or `None` if unreachable.
     pub fn register(&self, mut link: Link) -> Option<String> {
+        let before = link.stats();
         let claims = match link.call_with_retry(Request::Describe, &self.retry_policy) {
             Ok(Response::Description(c)) => c,
             _ => {
                 // Unreachable at registration: dropping the link joins
                 // the node thread; the operator can be chased offline.
+                self.obs.incr("cloud.registrations_failed", 1);
                 return None;
             }
         };
         let name = claims.name.clone();
+        publish_wire(&self.obs, &name, "register", &before, &link.stats());
+        self.obs.incr("cloud.nodes_registered", 1);
         self.registry.lock().insert(
             name.clone(),
             NodeRecord {
@@ -249,27 +332,55 @@ impl Cloud {
     /// updating each node's health state. Returns verdicts sorted by
     /// name (`None` = identity could not even be established).
     pub fn audit_all(&self, base_seed: u64) -> Vec<(String, Option<VerificationVerdict>)> {
+        let _span = aircal_obs::span!("audit_all");
+        self.obs.incr("audit.rounds", 1);
         let mut registry = self.registry.lock();
         let mut out = Vec::new();
         for (i, (name, record)) in registry.iter_mut().enumerate() {
             let seed = base_seed.wrapping_add(i as u64 * 0x9E37_79B9);
+            self.obs
+                .emit(name, AuditEventKind::AuditStarted { seed });
+            self.obs.incr("audit.nodes_audited", 1);
             // Quarantined nodes get a cheap probe first: no full audit
             // budget until they at least answer a Describe.
             if record.health == NodeHealth::Quarantined
-                && record
-                    .link
-                    .call_with_retry(Request::Describe, &self.retry_policy)
-                    .is_err()
+                && matches!(
+                    step(
+                        &mut record.link,
+                        &self.retry_policy,
+                        &self.obs,
+                        name,
+                        "probe",
+                        Request::Describe,
+                        |r| match r {
+                            Response::Description(c) => Some(c),
+                            _ => None,
+                        },
+                    ),
+                    StepOutcome::Failed(_)
+                )
             {
                 record.reachable = false;
                 record.consecutive_failures = record.consecutive_failures.saturating_add(1);
                 record.verdict = None;
+                self.obs.incr("audit.unreachable", 1);
+                self.obs.emit(
+                    name,
+                    AuditEventKind::AuditCompleted {
+                        complete: false,
+                        approved: false,
+                    },
+                );
                 out.push((name.clone(), None));
                 continue;
             }
-            let verdict = self.audit_one(&mut record.link, seed);
+            let verdict = self.audit_one_named(name, &mut record.link, seed);
             record.reachable = verdict.is_some();
+            if verdict.is_none() {
+                self.obs.incr("audit.unreachable", 1);
+            }
             let clean = verdict.as_ref().is_some_and(|v| v.is_complete());
+            let previous = record.health;
             if clean {
                 // Re-admission: one clean audit returns the node to full
                 // standing regardless of history.
@@ -283,6 +394,24 @@ impl Cloud {
                     record.health = NodeHealth::Degraded;
                 }
             }
+            if record.health != previous {
+                self.obs.incr("health.transitions", 1);
+                self.obs.emit(
+                    name,
+                    AuditEventKind::HealthTransition {
+                        from: previous.to_string(),
+                        to: record.health.to_string(),
+                        consecutive_failures: record.consecutive_failures,
+                    },
+                );
+            }
+            self.obs.emit(
+                name,
+                AuditEventKind::AuditCompleted {
+                    complete: clean,
+                    approved: verdict.as_ref().is_some_and(|v| v.approved),
+                },
+            );
             record.verdict = verdict.clone();
             out.push((name.clone(), verdict));
         }
@@ -294,17 +423,39 @@ impl Cloud {
     /// with retries); any later step failure degrades to a partial
     /// verdict instead of aborting the audit.
     pub fn audit_one(&self, link: &mut Link, seed: u64) -> Option<VerificationVerdict> {
+        self.audit_one_named("", link, seed)
+    }
+
+    /// [`Cloud::audit_one`] with a registry name so the audit's telemetry
+    /// (step events, trust deltas, wire counters) is tagged per node.
+    pub fn audit_one_named(
+        &self,
+        name: &str,
+        link: &mut Link,
+        seed: u64,
+    ) -> Option<VerificationVerdict> {
         let policy = &self.retry_policy;
-        let claims = match step(link, policy, "describe", Request::Describe, |r| match r {
-            Response::Description(c) => Some(c),
-            _ => None,
-        }) {
+        let obs = &self.obs;
+        let claims = match step(
+            link,
+            policy,
+            obs,
+            name,
+            "describe",
+            Request::Describe,
+            |r| match r {
+                Response::Description(c) => Some(c),
+                _ => None,
+            },
+        ) {
             StepOutcome::Complete(c) => c,
             StepOutcome::Failed(_) => return None,
         };
         let survey = step(
             link,
             policy,
+            obs,
+            name,
             "survey",
             Request::RunSurvey {
                 config: self.survey_config,
@@ -318,6 +469,8 @@ impl Cloud {
         let cells = step(
             link,
             policy,
+            obs,
+            name,
             "cells",
             Request::ScanCells { seed: seed ^ 0xCE11 },
             |r| match r {
@@ -328,6 +481,8 @@ impl Cloud {
         let tv = step(
             link,
             policy,
+            obs,
+            name,
             "tv",
             Request::SweepTv { seed: seed ^ 0x7E1E },
             |r| match r {
@@ -335,7 +490,7 @@ impl Cloud {
                 _ => None,
             },
         );
-        Some(self.judge_partial(claims, survey, cells, tv, seed))
+        Some(self.judge_partial_named(name, claims, survey, cells, tv, seed))
     }
 
     /// Verification when some evidence may be missing: judge whatever
@@ -343,6 +498,20 @@ impl Cloud {
     /// the trust score once per missing evidence source.
     pub fn judge_partial(
         &self,
+        claims: NodeClaims,
+        survey: StepOutcome<SurveyResult>,
+        cells: StepOutcome<Vec<CellMeasurement>>,
+        tv: StepOutcome<Vec<TvMeasurement>>,
+        seed: u64,
+    ) -> VerificationVerdict {
+        self.judge_partial_named("", claims, survey, cells, tv, seed)
+    }
+
+    /// [`Cloud::judge_partial`] with a registry name so the round's
+    /// [`AuditEventKind::TrustDelta`] is tagged per node.
+    pub fn judge_partial_named(
+        &self,
+        name: &str,
         claims: NodeClaims,
         survey: StepOutcome<SurveyResult>,
         cells: StepOutcome<Vec<CellMeasurement>>,
@@ -381,6 +550,7 @@ impl Cloud {
             }
         };
 
+        publish_survey_metrics(&self.obs, &survey);
         let mut verdict = self.judge(claims, survey, cells, tv, seed);
         if cells_missing {
             verdict.profile.missing_sources.push(SourceKind::Cellular);
@@ -391,11 +561,21 @@ impl Cloud {
                 .missing_sources
                 .push(SourceKind::BroadcastTv);
         }
+        publish_profile_metrics(&self.obs, &verdict.profile);
+        let unpenalized = verdict.trust.score;
         for f in &failures {
             verdict.trust.penalize_missing_evidence(&f.step);
         }
         // Approval must reflect the penalized trust score.
         verdict.approved = verdict.trust.is_trustworthy() && verdict.outdoor_claim_verified;
+        self.obs.emit(
+            name,
+            AuditEventKind::TrustDelta {
+                score: verdict.trust.score,
+                delta: verdict.trust.score - unpenalized,
+                reasons: failures.iter().map(|f| f.step.clone()).collect(),
+            },
+        );
         verdict.failed_steps = failures;
         verdict
     }

@@ -313,6 +313,7 @@ impl Link {
         request: Request,
         policy: &RetryPolicy,
     ) -> Result<Response, LinkError> {
+        let _span = aircal_obs::span!("link_call");
         let timeout = policy.budgets.for_request(&request);
         let mut last = LinkError::Timeout;
         for attempt in 0..policy.max_attempts.max(1) {

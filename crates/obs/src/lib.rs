@@ -1,0 +1,50 @@
+//! # aircal-obs — deterministic observability for the calibration stack
+//!
+//! Three coordinated facilities, all zero-dependency (std + the vendored
+//! serde shims) and all designed around one invariant: **observing a run
+//! never changes its results**.
+//!
+//! * [`trace`] — a global span facade. `let _g = span!("preamble_scan");`
+//!   records a [`trace::SpanRecord`] with *monotonic virtual timestamps*
+//!   (an atomic tick counter, not wall clock) plus wall nanos for humans.
+//!   When tracing is disabled (the default) a span guard is a single
+//!   relaxed atomic load and no allocation, so benchmarks and bit-exact
+//!   pipelines are unaffected.
+//! * [`metrics`] — an [`Obs`] handle holding counters, gauges and
+//!   fixed-bucket histograms. A disabled handle (`Obs::default()`) is a
+//!   `None` and every call on it is a no-op. Counter and gauge snapshots
+//!   are `BTreeMap`s, so serialization order is deterministic.
+//! * [`events`] — the structured audit log: every fleet audit emits an
+//!   ordered [`events::AuditEvent`] stream (step started/outcome, fault
+//!   observed, health transition, trust delta) that serializes to JSON
+//!   lines and replays *why* a node was quarantined.
+//!
+//! Determinism contract: with a fixed seed, counters, gauges and the
+//! event stream are byte-identical across runs and across `parallelism`
+//! settings, because everything that feeds them is published from the
+//! sequential audit/report path, never from worker threads. Histogram
+//! *wall-time* sums are the one intentionally non-deterministic quantity
+//! (they measure the host), and the test-suite never asserts on them.
+
+pub mod events;
+pub mod fmt;
+pub mod metrics;
+pub mod trace;
+
+pub use events::{AuditEvent, AuditEventKind};
+pub use metrics::{Histogram, MetricsSnapshot, Obs};
+pub use trace::{SpanRecord, SpanSummary};
+
+/// Open a trace span for the enclosing scope.
+///
+/// ```
+/// let _g = aircal_obs::span!("preamble_scan");
+/// // ... work ...
+/// // span closes when `_g` drops
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::trace::SpanGuard::begin($name)
+    };
+}

@@ -1,0 +1,251 @@
+//! Counters, gauges and fixed-bucket histograms behind a cloneable
+//! [`Obs`] handle.
+//!
+//! A default handle is *disabled*: it holds no storage and every method
+//! is a branch-and-return, so instrumented code pays nothing when nobody
+//! is watching. [`Obs::recording`] allocates shared storage; clones all
+//! publish into it. Snapshots come back as `BTreeMap`s, so iteration and
+//! serialization order are deterministic.
+
+use crate::events::{AuditEvent, AuditEventKind, EventLog};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Fixed histogram bucket upper bounds for stage latencies, in seconds.
+/// Log-spaced from 1 µs to 10 s; an implicit +∞ bucket catches the rest.
+pub const LATENCY_BUCKETS_S: [f64; 12] = [
+    1e-6, 1e-5, 1e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0,
+];
+
+/// A histogram with fixed bucket boundaries (no rebinning, ever — two
+/// runs of the same workload always bucket identically).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Upper bounds, ascending. `counts` has one extra overflow slot.
+    pub bounds: Vec<f64>,
+    pub counts: Vec<u64>,
+    pub count: u64,
+    pub sum: f64,
+}
+
+impl Histogram {
+    pub fn with_bounds(bounds: &[f64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    pub fn latency() -> Self {
+        Self::with_bounds(&LATENCY_BUCKETS_S)
+    }
+
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::latency()
+    }
+}
+
+/// Point-in-time copy of every metric, with deterministic ordering.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+#[derive(Default)]
+struct ObsInner {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    events: Mutex<EventLog>,
+}
+
+/// Cloneable observability handle. `Obs::default()` is disabled and
+/// free; [`Obs::recording`] collects metrics and audit events.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+impl Obs {
+    /// A handle that records nothing; every call is a no-op.
+    pub fn disabled() -> Self {
+        Obs { inner: None }
+    }
+
+    /// A handle with live storage shared by all of its clones.
+    pub fn recording() -> Self {
+        Obs {
+            inner: Some(Arc::new(ObsInner::default())),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Add `by` to a named counter.
+    pub fn incr(&self, name: &str, by: u64) {
+        if let Some(inner) = &self.inner {
+            *lock(&inner.counters).entry(name.to_string()).or_insert(0) += by;
+        }
+    }
+
+    /// Current value of a counter (0 if never incremented or disabled).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner
+            .as_ref()
+            .and_then(|i| lock(&i.counters).get(name).copied())
+            .unwrap_or(0)
+    }
+
+    /// Set a gauge to an absolute value (last write wins).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.gauges).insert(name.to_string(), value);
+        }
+    }
+
+    /// Record one observation into a named latency histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.histograms)
+                .entry(name.to_string())
+                .or_default()
+                .observe(value);
+        }
+    }
+
+    /// Run `f`, recording its wall time into the `name` histogram.
+    /// When disabled this is exactly `f()`.
+    pub fn time<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        if self.inner.is_none() {
+            return f();
+        }
+        let started = Instant::now();
+        let out = f();
+        self.observe(name, started.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Append an audit event (no-op when disabled).
+    pub fn emit(&self, node: &str, kind: AuditEventKind) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.events).emit(node, kind);
+        }
+    }
+
+    /// All audit events so far, in emission order.
+    pub fn events(&self) -> Vec<AuditEvent> {
+        self.inner
+            .as_ref()
+            .map(|i| lock(&i.events).events())
+            .unwrap_or_default()
+    }
+
+    /// The audit log as JSON lines (one event per line).
+    pub fn events_jsonl(&self) -> String {
+        self.inner
+            .as_ref()
+            .map(|i| lock(&i.events).jsonl())
+            .unwrap_or_default()
+    }
+
+    /// Deterministically-ordered copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match &self.inner {
+            None => MetricsSnapshot::default(),
+            Some(inner) => MetricsSnapshot {
+                counters: lock(&inner.counters).clone(),
+                gauges: lock(&inner.gauges).clone(),
+                histograms: lock(&inner.histograms).clone(),
+            },
+        }
+    }
+}
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::default();
+        obs.incr("x", 3);
+        obs.set_gauge("g", 1.5);
+        obs.observe("h", 0.01);
+        obs.emit("n", AuditEventKind::AuditStarted { seed: 1 });
+        assert!(!obs.is_enabled());
+        assert_eq!(obs.counter("x"), 0);
+        assert_eq!(obs.snapshot(), MetricsSnapshot::default());
+        assert!(obs.events().is_empty());
+        assert!(obs.events_jsonl().is_empty());
+    }
+
+    #[test]
+    fn clones_share_storage_and_snapshots_sort() {
+        let obs = Obs::recording();
+        let clone = obs.clone();
+        clone.incr("zeta", 2);
+        obs.incr("alpha", 1);
+        obs.incr("zeta", 1);
+        clone.set_gauge("trust", 87.5);
+        let snap = obs.snapshot();
+        let names: Vec<&String> = snap.counters.keys().collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+        assert_eq!(snap.counters["zeta"], 3);
+        assert_eq!(snap.gauges["trust"], 87.5);
+    }
+
+    #[test]
+    fn histogram_buckets_are_fixed_and_exhaustive() {
+        let mut h = Histogram::latency();
+        h.observe(5e-7); // first bucket
+        h.observe(2e-3); // 3e-3 bucket
+        h.observe(99.0); // overflow
+        assert_eq!(h.count, 3);
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts.last().copied(), Some(1));
+        assert_eq!(h.counts.iter().sum::<u64>(), h.count);
+        assert_eq!(h.counts.len(), LATENCY_BUCKETS_S.len() + 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! Global span tracing with monotonic virtual timestamps.
+//!
+//! The tracer is a process-wide singleton so instrumentation points deep
+//! in the DSP crates need no handle threading. It is **off by default**;
+//! [`SpanGuard::begin`] then costs one relaxed atomic load and returns an
+//! inert guard. When enabled, span open/close each take a tick from a
+//! global atomic counter — virtual time that is monotonic and totally
+//! ordered even across threads — and the closed span also records wall
+//! nanoseconds for human consumption.
+
+use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static CLOCK: AtomicU64 = AtomicU64::new(0);
+static SPANS: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// One closed span: virtual open/close ticks plus wall time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    pub name: String,
+    /// Nesting depth on the opening thread (0 = top level).
+    pub depth: u32,
+    /// Virtual tick taken when the span opened.
+    pub start_tick: u64,
+    /// Virtual tick taken when the span closed.
+    pub end_tick: u64,
+    /// Wall-clock duration; informational only, never asserted on.
+    pub wall_nanos: u64,
+}
+
+impl SpanRecord {
+    pub fn wall_secs(&self) -> f64 {
+        self.wall_nanos as f64 * 1e-9
+    }
+}
+
+/// RAII guard returned by [`crate::span!`]; records a [`SpanRecord`] on
+/// drop when tracing is enabled, does nothing otherwise.
+pub struct SpanGuard(Option<ActiveSpan>);
+
+struct ActiveSpan {
+    name: String,
+    depth: u32,
+    start_tick: u64,
+    started: Instant,
+}
+
+impl SpanGuard {
+    pub fn begin(name: &str) -> Self {
+        if !ENABLED.load(Ordering::Relaxed) {
+            return SpanGuard(None);
+        }
+        let start_tick = CLOCK.fetch_add(1, Ordering::Relaxed);
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        SpanGuard(Some(ActiveSpan {
+            name: name.to_string(),
+            depth,
+            start_tick,
+            started: Instant::now(),
+        }))
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(span) = self.0.take() {
+            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            let end_tick = CLOCK.fetch_add(1, Ordering::Relaxed);
+            lock_spans().push(SpanRecord {
+                name: span.name,
+                depth: span.depth,
+                start_tick: span.start_tick,
+                end_tick,
+                wall_nanos: span.started.elapsed().as_nanos() as u64,
+            });
+        }
+    }
+}
+
+fn lock_spans() -> std::sync::MutexGuard<'static, Vec<SpanRecord>> {
+    SPANS.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Turn the tracer on. Spans opened after this call are recorded.
+pub fn enable() {
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turn the tracer off. Already-open spans still record on close.
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Take every recorded span, leaving the buffer empty.
+pub fn drain() -> Vec<SpanRecord> {
+    std::mem::take(&mut *lock_spans())
+}
+
+/// Aggregate of all closed spans sharing a name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanSummary {
+    pub name: String,
+    pub count: u64,
+    pub total_s: f64,
+    pub mean_s: f64,
+    pub max_s: f64,
+}
+
+/// Group records by span name (sorted) and aggregate wall times.
+pub fn summarize(records: &[SpanRecord]) -> Vec<SpanSummary> {
+    let mut by_name: BTreeMap<&str, (u64, f64, f64)> = BTreeMap::new();
+    for r in records {
+        let e = by_name.entry(&r.name).or_insert((0, 0.0, 0.0));
+        e.0 += 1;
+        e.1 += r.wall_secs();
+        e.2 = e.2.max(r.wall_secs());
+    }
+    by_name
+        .into_iter()
+        .map(|(name, (count, total_s, max_s))| SpanSummary {
+            name: name.to_string(),
+            count,
+            total_s,
+            mean_s: total_s / count as f64,
+            max_s,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global tracer is process-wide, so everything that toggles it
+    // lives in this single test.
+    #[test]
+    fn spans_record_only_when_enabled_and_ticks_are_ordered() {
+        {
+            let _g = crate::span!("off");
+        }
+        assert!(drain().is_empty(), "disabled tracer must record nothing");
+
+        enable();
+        {
+            let _outer = crate::span!("outer");
+            let _inner = crate::span!("inner");
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let _g = crate::span!(if i % 2 == 0 { "even" } else { "odd" });
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        disable();
+
+        let spans = drain();
+        assert_eq!(spans.len(), 6);
+        for s in &spans {
+            assert!(s.start_tick < s.end_tick, "virtual time must be monotonic");
+        }
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert!(outer.start_tick < inner.start_tick);
+        assert!(inner.end_tick < outer.end_tick, "inner closes before outer");
+
+        let mut ticks: Vec<u64> = spans
+            .iter()
+            .flat_map(|s| [s.start_tick, s.end_tick])
+            .collect();
+        ticks.sort_unstable();
+        ticks.dedup();
+        assert_eq!(ticks.len(), 12, "every tick is unique across threads");
+
+        let summary = summarize(&spans);
+        let names: Vec<&str> = summary.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["even", "inner", "odd", "outer"]);
+        assert_eq!(summary[0].count, 2);
+    }
+}

@@ -147,6 +147,7 @@ impl CaptureRenderer {
         noise_seed: u64,
         threads: usize,
     ) -> Vec<RenderedWindow> {
+        let _span = aircal_obs::span!("render_windows");
         let clusters = self.cluster_plans(plans);
         par_map(&clusters, threads, |ci, cluster| {
             let mut rng = ChaCha8Rng::seed_from_u64(derive_stream_seed(noise_seed, ci as u64));

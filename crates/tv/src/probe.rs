@@ -91,6 +91,7 @@ impl TvPowerProbe {
         tower: &TvTower,
         seed: u64,
     ) -> TvMeasurement {
+        let _span = aircal_obs::span!("tv_channel");
         let cfg = &self.config;
         let freq = tower.channel.center_hz();
         let path = world.path_profile(site, &tower.position, freq);
@@ -148,6 +149,7 @@ impl TvPowerProbe {
         towers: &[TvTower],
         seed: u64,
     ) -> Vec<TvMeasurement> {
+        let _span = aircal_obs::span!("tv_sweep");
         let threads = aircal_dsp::resolve_parallelism(self.config.parallelism);
         aircal_dsp::par_map(towers, threads, |_, t| self.measure(world, site, t, seed))
     }

@@ -8,24 +8,32 @@
 //! aborting.
 //!
 //! ```sh
-//! cargo run --release --example fault_injection [seed]
+//! cargo run --release --example fault_injection [seed] [--trace]
 //! ```
+//!
+//! `--trace` additionally records the cloud's structured audit log and
+//! prints it as JSON lines — the replayable record of why each node
+//! ended up degraded or quarantined.
 
 use aircal::net::{
     spawn_node_with_faults, BurstOutage, Cloud, LinkFaults, NodeAgent, NodeBehavior, RetryPolicy,
 };
+use aircal::obs::{fmt, Obs};
 use aircal::prelude::*;
 use aircal_aircraft::{TrafficConfig, TrafficSim};
-use aircal_core::trust::{fabricate_survey, TrustAuditor};
-use aircal_core::freqprofile::FrequencyProfiler;
 use aircal_core::fov::FovEstimator;
+use aircal_core::freqprofile::FrequencyProfiler;
+use aircal_core::trust::{fabricate_survey, TrustAuditor};
 use aircal_sdr::FrontendFault;
 use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let traced = args.iter().any(|a| a == "--trace");
+    let seed: u64 = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
         .and_then(|s| s.parse().ok())
         .unwrap_or(9);
 
@@ -55,10 +63,8 @@ fn main() {
         ("dead front end", FrontendFault::Dead),
     ];
 
-    println!(
-        "{:20} {:>9} {:>9} {:>9} {:>7}  flags",
-        "condition", "observed", "messages", "maxrange", "trust"
-    );
+    println!("{}", fmt::section("front-end faults"));
+    let mut table = front_end_table();
     for (label, fault) in faults {
         let cfg = SurveyConfig {
             fault,
@@ -68,7 +74,7 @@ fn main() {
         let fov = FovEstimator::default().estimate(&survey.points);
         let trust =
             TrustAuditor::default().audit(&survey, &profile, &traffic, fov.open_fraction());
-        print_row(label, &survey, trust.score, &trust.flags);
+        push_row(&mut table, label, &survey, trust.score, &trust.flags);
     }
 
     // The cheater: an operator who claims to have heard everything.
@@ -82,16 +88,17 @@ fn main() {
     let fake = fabricate_survey(&honest, honest.total_messages / 12);
     let fov = FovEstimator::default().estimate(&fake.points);
     let trust = TrustAuditor::default().audit(&fake, &profile, &traffic, fov.open_fraction());
-    print_row("fabricated data", &fake, trust.score, &trust.flags);
+    push_row(&mut table, "fabricated data", &fake, trust.score, &trust.flags);
+    println!("{}", table.render());
 
-    network_chaos(seed);
+    network_chaos(seed, traced);
 }
 
 /// The same story one layer down: faults in the node⇄cloud link instead
 /// of the RF front end. Audits degrade to partial verdicts, repeated
 /// failures quarantine a node, and a clean audit re-admits it.
-fn network_chaos(seed: u64) {
-    println!("\n── network chaos: same fleet, faulty links ──\n");
+fn network_chaos(seed: u64, traced: bool) {
+    println!("\n{}\n", fmt::section("network chaos: same fleet, faulty links"));
     let sky = Arc::new(TrafficSim::generate(
         TrafficConfig {
             count: 40,
@@ -100,6 +107,9 @@ fn network_chaos(seed: u64) {
         seed,
     ));
     let mut cloud = Cloud::new(sky.clone());
+    if traced {
+        cloud.obs = Obs::recording();
+    }
     cloud.retry_policy = RetryPolicy::quick();
     cloud.retry_policy.budgets.tv = Duration::from_secs(1);
 
@@ -149,7 +159,8 @@ fn network_chaos(seed: u64) {
 
     for round in 1u64..=3 {
         let verdicts = cloud.audit_all(seed ^ (0xC0A5 + round));
-        println!("audit round {round}:");
+        println!("{}", fmt::section(&format!("audit round {round}")));
+        let mut table = fmt::Table::new(&["node", "outcome", "health"]);
         let health = cloud.health_report();
         for ((name, verdict), (_, state, fails)) in verdicts.iter().zip(&health) {
             let outcome = match verdict {
@@ -165,36 +176,59 @@ fn network_chaos(seed: u64) {
                     v.trust.score
                 ),
             };
-            println!("  {name:16} {outcome:36} → {state} ({fails} consecutive)");
+            table.row(&[
+                name.clone(),
+                outcome,
+                format!("{state} ({fails} consecutive)"),
+            ]);
         }
+        println!("{}", table.render());
     }
 
-    println!("\nwire counters:");
-    println!(
-        "  {:16} {:>8} {:>4} {:>7} {:>8} {:>8} {:>9} {:>7}",
-        "node", "attempts", "ok", "retries", "dropped", "timeout", "sendfail", "gaveup"
-    );
+    println!("\n{}", fmt::section("wire counters"));
+    let mut table = fmt::Table::new(&[
+        "node", "attempts", "ok", "retries", "dropped", "timeout", "sendfail", "gaveup",
+    ]);
     for (name, s) in cloud.link_stats() {
-        println!(
-            "  {:16} {:>8} {:>4} {:>7} {:>8} {:>8} {:>9} {:>7}",
-            name, s.attempts, s.ok, s.retries, s.dropped, s.timeouts, s.send_failed, s.gave_up
-        );
+        table.row(&[
+            name,
+            s.attempts.to_string(),
+            s.ok.to_string(),
+            s.retries.to_string(),
+            s.dropped.to_string(),
+            s.timeouts.to_string(),
+            s.send_failed.to_string(),
+            s.gave_up.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    if traced {
+        println!("\n{}", fmt::section("audit event log (JSON lines)"));
+        print!("{}", cloud.obs.events_jsonl());
+        println!("\n{}", fmt::section("metrics"));
+        for line in fmt::counter_lines(&cloud.obs.snapshot()) {
+            println!("{line}");
+        }
     }
     cloud.shutdown();
 }
 
-fn print_row(label: &str, survey: &SurveyResult, trust: f64, flags: &[String]) {
-    println!(
-        "{:20} {:>8.0}% {:>9} {:>6.0} km {:>7.0}  {}",
-        label,
-        survey.observation_rate() * 100.0,
-        survey.total_messages,
-        survey.max_observed_range_m() / 1_000.0,
-        trust,
+fn front_end_table() -> fmt::Table {
+    fmt::Table::new(&["condition", "observed", "messages", "maxrange", "trust", "flags"])
+}
+
+fn push_row(table: &mut fmt::Table, label: &str, survey: &SurveyResult, trust: f64, flags: &[String]) {
+    table.row(&[
+        label.to_string(),
+        format!("{:.0}%", survey.observation_rate() * 100.0),
+        survey.total_messages.to_string(),
+        format!("{:.0} km", survey.max_observed_range_m() / 1_000.0),
+        format!("{trust:.0}"),
         if flags.is_empty() {
             "-".to_string()
         } else {
             flags.join("; ")
-        }
-    );
+        },
+    ]);
 }

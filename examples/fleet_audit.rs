@@ -3,43 +3,53 @@
 //! sensing as a service and users pay to rent these services").
 //!
 //! ```sh
-//! cargo run --release --example fleet_audit [seed]
+//! cargo run --release --example fleet_audit [seed] [--trace]
 //! ```
 
+use aircal::obs::fmt;
+use aircal::obs::{trace, Obs};
 use aircal::prelude::*;
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let traced = args.iter().any(|a| a == "--trace");
+    let seed: u64 = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
         .and_then(|s| s.parse().ok())
         .unwrap_or(5);
 
+    let obs = if traced { Obs::recording() } else { Obs::disabled() };
+    if traced {
+        trace::enable();
+    }
     let fleet = all_scenarios();
     println!("auditing {} nodes…\n", fleet.len());
-    let report = FleetAuditor::new(Calibrator::quick()).audit(&fleet, seed);
+    let report = FleetAuditor::new(Calibrator::quick().with_obs(obs.clone())).audit(&fleet, seed);
+    trace::disable();
 
-    println!(
-        "{:>4}  {:14} {:>6}  {:>9}  {:>7}  {:>8}  {:8}  flags",
-        "rank", "node", "trust", "fov", "bands", "maxrange", "install"
-    );
+    println!("{}", fmt::section("fleet ranking"));
+    let mut table = fmt::Table::new(&[
+        "rank", "node", "trust", "fov", "bands", "maxrange", "install", "flags",
+    ]);
     for n in &report.nodes {
         let r = &n.report;
-        println!(
-            "{:>4}  {:14} {:>6.0}  {:>7.0}°  {:>6.0}%  {:>5.0} km  {:8}  {}",
-            n.rank,
-            n.name,
-            r.trust.score,
-            r.fov.estimated.width_deg,
-            r.frequency.usable_fraction() * 100.0,
-            r.survey.max_observed_range_m / 1_000.0,
-            if r.install.outdoor { "outdoor" } else { "indoor" },
+        table.row(&[
+            n.rank.to_string(),
+            n.name.clone(),
+            format!("{:.0}", r.trust.score),
+            format!("{:.0}°", r.fov.estimated.width_deg),
+            format!("{:.0}%", r.frequency.usable_fraction() * 100.0),
+            format!("{:.0} km", r.survey.max_observed_range_m / 1_000.0),
+            if r.install.outdoor { "outdoor" } else { "indoor" }.to_string(),
             if r.trust.flags.is_empty() {
                 "-".to_string()
             } else {
                 r.trust.flags.join("; ")
-            }
-        );
+            },
+        ]);
     }
+    println!("{}", table.render());
 
     // A renter's query: outdoor nodes with at least 90° of sky and full
     // band coverage.
@@ -47,7 +57,19 @@ fn main() {
         r.install.outdoor && r.fov.estimated.width_deg >= 90.0 && r.frequency.usable_fraction() >= 0.99
     });
     println!(
-        "\nrentable for 'outdoor, ≥90° sky, all bands': {:?}",
-        eligible.iter().map(|n| n.name.as_str()).collect::<Vec<_>>()
+        "\n{}",
+        fmt::kv(
+            "rentable (outdoor, ≥90° sky, all bands)",
+            format!("{:?}", eligible.iter().map(|n| n.name.as_str()).collect::<Vec<_>>())
+        )
     );
+
+    if traced {
+        println!("\n{}", fmt::section("trace"));
+        println!("{}", fmt::span_table(&trace::summarize(&trace::drain())));
+        println!("\n{}", fmt::section("metrics"));
+        for line in fmt::counter_lines(&obs.snapshot()) {
+            println!("{line}");
+        }
+    }
 }

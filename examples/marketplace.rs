@@ -3,17 +3,24 @@
 //! measurements, claim verification, and the rentable-node marketplace.
 //!
 //! ```sh
-//! cargo run --release --example marketplace [seed]
+//! cargo run --release --example marketplace [seed] [--trace]
 //! ```
+//!
+//! `--trace` records the cloud's audit event log and metric counters and
+//! prints them after the marketplace listing.
 
 use aircal::net::{spawn_node_with_faults, Cloud, LinkFaults, NodeAgent, NodeBehavior};
+use aircal::obs::{fmt, Obs};
 use aircal_aircraft::{TrafficConfig, TrafficSim};
 use aircal_env::{scenarios::testbed_origin, Scenario, ScenarioKind};
 use std::sync::Arc;
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let traced = args.iter().any(|a| a == "--trace");
+    let seed: u64 = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
         .and_then(|s| s.parse().ok())
         .unwrap_or(77);
 
@@ -27,7 +34,10 @@ fn main() {
         seed,
     ));
 
-    let cloud = Cloud::new(sky.clone());
+    let mut cloud = Cloud::new(sky.clone());
+    if traced {
+        cloud.obs = Obs::recording();
+    }
 
     // Five operators sign up: three honest installs of varying quality,
     // one who lies about being outdoors, one who fabricates receptions.
@@ -70,47 +80,65 @@ fn main() {
     println!("\nauditing (commissioned surveys + cross-band sweeps)…\n");
     let verdicts = cloud.audit_all(seed ^ 0xA0D17);
 
-    println!(
-        "{:16} {:>8} {:>9} {:>10} {:>7} {:>8} {:>9}  flags",
-        "node", "claims", "measured", "claim OK?", "trust", "audit", "approved"
-    );
+    println!("{}", fmt::section("verdicts"));
+    let mut table = fmt::Table::new(&[
+        "node", "claims", "measured", "claim OK?", "trust", "audit", "approved", "flags",
+    ]);
     for (name, verdict) in &verdicts {
         match verdict {
-            Some(v) => println!(
-                "{:16} {:>8} {:>9} {:>10} {:>7.0} {:>8} {:>9}  {}",
-                name,
-                if v.claims.outdoor { "outdoor" } else { "indoor" },
-                if v.install.outdoor { "outdoor" } else { "indoor" },
-                if v.outdoor_claim_verified { "yes" } else { "NO" },
-                v.trust.score,
-                if v.is_complete() { "full" } else { "partial" },
-                if v.approved { "yes" } else { "NO" },
-                if v.trust.flags.is_empty() {
-                    "-".to_string()
-                } else {
-                    v.trust.flags.join("; ")
-                },
-            ),
-            None => println!("{name:16} UNREACHABLE"),
+            Some(v) => {
+                table.row(&[
+                    name.clone(),
+                    if v.claims.outdoor { "outdoor" } else { "indoor" }.to_string(),
+                    if v.install.outdoor { "outdoor" } else { "indoor" }.to_string(),
+                    if v.outdoor_claim_verified { "yes" } else { "NO" }.to_string(),
+                    format!("{:.0}", v.trust.score),
+                    if v.is_complete() { "full" } else { "partial" }.to_string(),
+                    if v.approved { "yes" } else { "NO" }.to_string(),
+                    if v.trust.flags.is_empty() {
+                        "-".to_string()
+                    } else {
+                        v.trust.flags.join("; ")
+                    },
+                ]);
+            }
+            None => {
+                table.row(&[name.clone(), "UNREACHABLE".to_string()]);
+            }
         }
     }
+    println!("{}", table.render());
 
-    println!("\nnode health:");
+    println!("\n{}", fmt::section("node health"));
     for (name, health, failures) in cloud.health_report() {
-        println!("  {name:16} {health} ({failures} consecutive failed audits)");
+        println!("{}", fmt::kv(&name, format!("{health} ({failures} consecutive failed audits)")));
     }
 
-    println!("\nwire traffic (attempts / ok / retries / gave up):");
+    println!("\n{}", fmt::section("wire traffic"));
+    let mut wire = fmt::Table::new(&["node", "attempts", "ok", "retries", "gave up"]);
     for (name, s) in cloud.link_stats() {
-        println!(
-            "  {name:16} {:>3} / {:>3} / {:>3} / {:>3}",
-            s.attempts, s.ok, s.retries, s.gave_up
-        );
+        wire.row(&[
+            name,
+            s.attempts.to_string(),
+            s.ok.to_string(),
+            s.retries.to_string(),
+            s.gave_up.to_string(),
+        ]);
+    }
+    println!("{}", wire.render());
+
+    println!("\n{}", fmt::section("marketplace (approved nodes, cheapest first)"));
+    for (name, price, trust) in cloud.marketplace() {
+        println!("{}", fmt::kv(&name, format!("{price:.2}/h  trust {trust:.0}")));
     }
 
-    println!("\nmarketplace (approved nodes, cheapest first):");
-    for (name, price, trust) in cloud.marketplace() {
-        println!("  {name:16} {price:>5.2}/h  trust {trust:.0}");
+    if traced {
+        println!("\n{}", fmt::section("audit event log (JSON lines)"));
+        print!("{}", cloud.obs.events_jsonl());
+        println!("\n{}", fmt::section("metrics"));
+        for line in fmt::counter_lines(&cloud.obs.snapshot()) {
+            println!("{line}");
+        }
     }
     cloud.shutdown();
 }

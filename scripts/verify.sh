@@ -20,6 +20,15 @@ cargo clippy --workspace --all-targets --release -- -D warnings
 echo "== chaos (deterministic network fault injection) =="
 cargo test --release -q --test chaos_network
 
+echo "== observability (telemetry determinism + quarantine replay) =="
+cargo test --release -q --test observability
+
+echo "== properties (CPR roundtrip, CRC-24 distance, FIR equivalence) =="
+cargo test --release -q --test properties
+
+echo "== golden vectors (bit-exact fixtures) =="
+cargo test --release -q --test golden_vectors
+
 echo "== fault injection demo (front-end + network chaos) =="
 cargo run --release --example fault_injection
 

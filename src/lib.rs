@@ -36,6 +36,7 @@ pub use aircal_dsp as dsp;
 pub use aircal_env as env;
 pub use aircal_geo as geo;
 pub use aircal_net as net;
+pub use aircal_obs as obs;
 pub use aircal_rfprop as rfprop;
 pub use aircal_sdr as sdr;
 pub use aircal_tv as tv;
@@ -50,4 +51,5 @@ pub mod prelude {
     pub use aircal_core::trust::TrustAuditor;
     pub use aircal_env::{all_scenarios, paper_scenarios, Scenario, ScenarioKind};
     pub use aircal_geo::{LatLon, Sector};
+    pub use aircal_obs::Obs;
 }

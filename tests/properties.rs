@@ -1,0 +1,159 @@
+//! Property tests (vendored `proptest` shim, 256 deterministic cases per
+//! suite): invariants the paper's pipeline silently relies on.
+//!
+//! * CPR airborne encode→decode round-trips to within its quantisation
+//!   resolution (~5.1 m) anywhere a global decode is defined;
+//! * the Mode S CRC-24 detects every 1- and 2-bit corruption of a
+//!   112-bit frame (minimum distance ≥ 6 on the (112, 88) code);
+//! * the overlap-save [`FastFirFilter`] is the direct-form [`FirFilter`]
+//!   to within 1e-9 for arbitrary taps, inputs, and chunking.
+
+use aircal::adsb::cpr::{self, CprFormat, CprPair};
+use aircal::adsb::crc::{apply_parity, crc24, verify_frame};
+use aircal::dsp::{Cplx, FastFirFilter, FirFilter};
+use aircal::geo::LatLon;
+use proptest::prelude::*;
+
+/// The worst-case airborne CPR quantisation error: half a bin of
+/// 360° / 2^17 / 15 latitude (~2.5 m) plus the matching longitude bin
+/// at the equator, with margin. The paper's audits localise aircraft
+/// to tens of metres, so 5.1 m of codec error is in the noise.
+const CPR_RESOLUTION_M: f64 = 5.1;
+
+proptest! {
+    /// Encode a position as an even/odd pair and globally decode it:
+    /// the result is within CPR resolution of the input. Pairs that
+    /// straddle an NL zone boundary may legitimately fail to decode
+    /// (the two messages disagree on zone count); everything that
+    /// decodes must be accurate.
+    #[test]
+    fn cpr_global_roundtrip_within_resolution(
+        lat in -85.0f64..85.0,
+        lon in -179.99f64..179.99,
+        latest_even in proptest::any::<bool>(),
+    ) {
+        let pair = CprPair {
+            even: cpr::encode(lat, lon, CprFormat::Even),
+            odd: cpr::encode(lat, lon, CprFormat::Odd),
+            latest: if latest_even { CprFormat::Even } else { CprFormat::Odd },
+        };
+        if let Ok((dlat, dlon)) = cpr::decode_global(&pair) {
+            let truth = LatLon::new(lat, lon, 0.0);
+            let decoded = LatLon::new(dlat, dlon, 0.0);
+            let err_m = truth.distance_m(&decoded);
+            prop_assert!(
+                err_m <= CPR_RESOLUTION_M,
+                "CPR round-trip error {err_m:.3} m at ({lat}, {lon})"
+            );
+        }
+    }
+
+    /// A locally-anchored decode (reference within one zone) never
+    /// fails and has the same resolution bound.
+    #[test]
+    fn cpr_local_roundtrip_within_resolution(
+        lat in -85.0f64..85.0,
+        lon in -179.99f64..179.99,
+        use_even in proptest::any::<bool>(),
+        // Reference offset inside the guaranteed-unambiguous half-zone.
+        dlat_deg in -0.2f64..0.2,
+        dlon_deg in -0.2f64..0.2,
+    ) {
+        let format = if use_even { CprFormat::Even } else { CprFormat::Odd };
+        let pos = cpr::encode(lat, lon, format);
+        let (dlat, dlon) = cpr::decode_local(&pos, lat + dlat_deg, lon + dlon_deg)
+            .expect("in-range reference always decodes");
+        let err_m = LatLon::new(lat, lon, 0.0).distance_m(&LatLon::new(dlat, dlon, 0.0));
+        prop_assert!(
+            err_m <= CPR_RESOLUTION_M,
+            "CPR local decode error {err_m:.3} m at ({lat}, {lon})"
+        );
+    }
+
+    /// CRC-24 detects every single-bit flip anywhere in a 112-bit frame.
+    #[test]
+    fn crc24_detects_all_single_bit_flips(
+        payload in proptest::collection::vec(proptest::any::<u8>(), 11),
+        flip in 0usize..112,
+    ) {
+        let mut frame = [0u8; 14];
+        frame[..11].copy_from_slice(&payload);
+        apply_parity(&mut frame);
+        prop_assert!(verify_frame(&frame));
+
+        let mut corrupted = frame;
+        corrupted[flip / 8] ^= 0x80 >> (flip % 8);
+        prop_assert!(
+            !verify_frame(&corrupted),
+            "undetected single-bit flip at bit {flip}"
+        );
+    }
+
+    /// CRC-24 detects every double-bit flip: the (112, 88) Mode S code
+    /// has minimum distance ≥ 6, so any 2-bit error pattern changes the
+    /// syndrome.
+    #[test]
+    fn crc24_detects_all_double_bit_flips(
+        payload in proptest::collection::vec(proptest::any::<u8>(), 11),
+        a in 0usize..112,
+        b in 0usize..112,
+    ) {
+        prop_assume!(a != b);
+        let mut frame = [0u8; 14];
+        frame[..11].copy_from_slice(&payload);
+        apply_parity(&mut frame);
+
+        let mut corrupted = frame;
+        corrupted[a / 8] ^= 0x80 >> (a % 8);
+        corrupted[b / 8] ^= 0x80 >> (b % 8);
+        prop_assert!(
+            !verify_frame(&corrupted),
+            "undetected double-bit flip at bits {a}, {b}"
+        );
+    }
+
+    /// The syndrome is linear: flipping data bits changes the CRC by
+    /// the XOR of the per-bit contributions, so crc(data) over the
+    /// payload region is a group homomorphism. Checked indirectly:
+    /// crc(x ^ y ^ x) == crc(y).
+    #[test]
+    fn crc24_is_involutive_under_double_xor(
+        x in proptest::collection::vec(proptest::any::<u8>(), 11),
+        y in proptest::collection::vec(proptest::any::<u8>(), 11),
+    ) {
+        let mixed: Vec<u8> = x.iter().zip(&y).map(|(a, b)| a ^ b).collect();
+        let back: Vec<u8> = mixed.iter().zip(&x).map(|(a, b)| a ^ b).collect();
+        prop_assert_eq!(crc24(&back), crc24(&y));
+    }
+
+    /// Overlap-save FIR ≡ direct FIR for arbitrary complex taps, input,
+    /// and chunk boundaries (streaming state must carry across calls).
+    #[test]
+    fn fast_fir_matches_direct_fir(
+        taps in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..96),
+        xs in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 1..512),
+        split in 1usize..97,
+    ) {
+        let taps: Vec<Cplx> = taps.into_iter().map(|(re, im)| Cplx::new(re, im)).collect();
+        let xs: Vec<Cplx> = xs.into_iter().map(|(re, im)| Cplx::new(re, im)).collect();
+        let mut direct = FirFilter::new(taps.clone()).unwrap();
+        let mut fast = FastFirFilter::new(taps).unwrap();
+
+        // Direct filter in one shot; fast filter in two chunks split at
+        // an arbitrary point — outputs must still agree sample-for-sample.
+        let want = direct.process(&xs);
+        let cut = split.min(xs.len());
+        let mut got = fast.process(&xs[..cut]);
+        got.extend(fast.process(&xs[cut..]));
+
+        prop_assert_eq!(want.len(), got.len());
+        let scale = 1.0 + xs.iter().map(|x| x.abs()).fold(0.0, f64::max);
+        for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+            let err = (*w - *g).abs();
+            prop_assert!(
+                err <= 1e-9 * scale,
+                "FIR divergence {err:.3e} at sample {i}"
+            );
+        }
+    }
+}
