@@ -4,7 +4,7 @@
 use crate::frame::{AdsbFrame, ModeSFrame, ShortSquitter, DF_ALL_CALL, DF_EXTENDED_SQUITTER};
 use crate::ppm::{self, FRAME_SAMPLES, SHORT_FRAME_SAMPLES};
 use crate::{AdsbError, SAMPLE_RATE_HZ};
-use aircal_dsp::corr::find_peaks;
+use aircal_dsp::corr::find_peaks_into;
 use aircal_dsp::Cplx;
 use serde::{Deserialize, Serialize};
 
@@ -26,15 +26,31 @@ use serde::{Deserialize, Serialize};
 /// it, the resulting peak list is **identical** to the ungated scan —
 /// the gate changes throughput, not decodes.
 pub fn gated_preamble_correlation(iq: &[Cplx], threshold: f64) -> Vec<f64> {
+    let mut mags = Vec::new();
+    let mut out = Vec::new();
+    gated_preamble_correlation_into(iq, threshold, &mut mags, &mut out);
+    out
+}
+
+/// [`gated_preamble_correlation`] into caller-owned buffers: `mags` holds
+/// the per-sample magnitudes, `out` the gated correlation. Both are
+/// cleared and refilled; reusing them keeps the scan loop allocation-free.
+pub fn gated_preamble_correlation_into(
+    iq: &[Cplx],
+    threshold: f64,
+    mags: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
     let m = ppm::PREAMBLE_CHIPS;
     if iq.len() < m {
-        return Vec::new();
+        return;
     }
-    let mags: Vec<f64> = iq.iter().map(|s| s.norm_sq()).collect();
+    mags.clear();
+    mags.extend(iq.iter().map(|s| s.norm_sq()));
     let t_energy = ppm::PREAMBLE_PULSES.len() as f64;
     let thr_sq = threshold * threshold;
     let n = iq.len() - m + 1;
-    let mut out = Vec::with_capacity(n);
     let mut w_energy: f64 = mags[..m].iter().sum();
     for i in 0..n {
         let pulse_sum: f64 = ppm::PREAMBLE_PULSES.iter().map(|&k| mags[i + k]).sum();
@@ -55,7 +71,6 @@ pub fn gated_preamble_correlation(iq: &[Cplx], threshold: f64) -> Vec<f64> {
             }
         }
     }
-    out
 }
 
 /// Decoder tuning knobs.
@@ -102,6 +117,25 @@ pub struct DecodedMessage {
     pub repaired_bits: u8,
 }
 
+/// Reusable working memory for [`Decoder::scan_with`]. One instance per
+/// worker thread; every buffer is cleared and refilled on use, so a warm
+/// scratch makes repeated scans allocation-free.
+#[derive(Debug, Default)]
+pub struct DecodeScratch {
+    /// Per-sample magnitudes for the gated correlation.
+    mags: Vec<f64>,
+    /// Gated preamble correlation at each lag.
+    corr: Vec<f64>,
+    /// Candidate preamble peak indices.
+    peaks: Vec<usize>,
+    /// Demodulated bits/confidences for the frame under test.
+    demod: ppm::Demodulated,
+    /// Bit positions ranked by decision confidence (repair ordering).
+    order: Vec<usize>,
+    /// Candidate byte string the CRC-guided repair mutates.
+    bytes: Vec<u8>,
+}
+
 /// The scanning decoder. Stateless between captures; cheap to construct.
 #[derive(Debug, Clone, Default)]
 pub struct Decoder {
@@ -116,25 +150,54 @@ impl Decoder {
 
     /// Scan a capture (complex baseband at 2 Msps) starting at absolute
     /// time `capture_start_s`, returning every frame that passes parity.
+    /// Thin allocating wrapper over [`Decoder::scan_with`].
     pub fn scan(&self, iq: &[Cplx], capture_start_s: f64) -> Vec<DecodedMessage> {
+        let mut scratch = DecodeScratch::default();
+        let mut out = Vec::new();
+        self.scan_with(iq, capture_start_s, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`Decoder::scan`] with caller-owned working memory: intermediate
+    /// buffers live in `scratch` and decoded messages land in `out`
+    /// (cleared first). Reusing both across captures keeps the steady-state
+    /// scan loop allocation-free. Output is identical to [`Decoder::scan`].
+    pub fn scan_with(
+        &self,
+        iq: &[Cplx],
+        capture_start_s: f64,
+        scratch: &mut DecodeScratch,
+        out: &mut Vec<DecodedMessage>,
+    ) {
         let _span = aircal_obs::span!("preamble_scan");
+        out.clear();
         if iq.len() < SHORT_FRAME_SAMPLES {
-            return Vec::new();
+            return;
         }
-        let corr = gated_preamble_correlation(iq, self.config.preamble_threshold);
+        gated_preamble_correlation_into(
+            iq,
+            self.config.preamble_threshold,
+            &mut scratch.mags,
+            &mut scratch.corr,
+        );
         // Candidate preambles: peaks far enough apart that two hits can't
         // be the same burst (half a short frame).
-        let peaks = find_peaks(&corr, self.config.preamble_threshold, SHORT_FRAME_SAMPLES / 2);
-        let mut out = Vec::new();
+        find_peaks_into(
+            &scratch.corr,
+            self.config.preamble_threshold,
+            SHORT_FRAME_SAMPLES / 2,
+            &mut scratch.peaks,
+        );
+        let peaks = std::mem::take(&mut scratch.peaks);
         for &idx in &peaks {
             if idx + SHORT_FRAME_SAMPLES > iq.len() {
                 continue;
             }
-            if let Ok(msg) = self.try_decode_at(iq, idx, capture_start_s) {
+            if let Ok(msg) = self.try_decode_at_with(iq, idx, capture_start_s, scratch) {
                 out.push(msg);
             }
         }
-        out
+        scratch.peaks = peaks;
     }
 
     /// Attempt to decode a frame whose preamble starts at `idx`: slice the
@@ -147,13 +210,27 @@ impl Decoder {
         idx: usize,
         capture_start_s: f64,
     ) -> Result<DecodedMessage, AdsbError> {
+        let mut scratch = DecodeScratch::default();
+        self.try_decode_at_with(iq, idx, capture_start_s, &mut scratch)
+    }
+
+    /// [`Decoder::try_decode_at`] using caller-owned working memory; the
+    /// allocation-free core the scan loop runs on.
+    pub fn try_decode_at_with(
+        &self,
+        iq: &[Cplx],
+        idx: usize,
+        capture_start_s: f64,
+        scratch: &mut DecodeScratch,
+    ) -> Result<DecodedMessage, AdsbError> {
         let head = iq
             .get(idx..)
             .filter(|s| s.len() >= SHORT_FRAME_SAMPLES)
             .ok_or(AdsbError::InvalidField("capture too short for frame"))?;
-        let df_peek = ppm::demodulate_bits(head, 5)
-            .ok_or(AdsbError::InvalidField("demod failed"))?;
-        let df = df_peek.bytes[0] >> 3;
+        if !ppm::demodulate_bits_into(head, 5, &mut scratch.demod) {
+            return Err(AdsbError::InvalidField("demod failed"));
+        }
+        let df = scratch.demod.bytes[0] >> 3;
 
         let (n_bits, want) = match df {
             DF_ALL_CALL => (56usize, SHORT_FRAME_SAMPLES),
@@ -163,18 +240,20 @@ impl Decoder {
         let slice = iq
             .get(idx..idx + want)
             .ok_or(AdsbError::InvalidField("capture too short for frame"))?;
-        let demod =
-            ppm::demodulate_bits(slice, n_bits).ok_or(AdsbError::InvalidField("demod failed"))?;
-        let (bytes, repaired_bits) = self.repair(&demod)?;
+        if !ppm::demodulate_bits_into(slice, n_bits, &mut scratch.demod) {
+            return Err(AdsbError::InvalidField("demod failed"));
+        }
+        let repaired_bits =
+            self.repair_into(&scratch.demod, &mut scratch.order, &mut scratch.bytes)?;
         let frame = match df {
             DF_ALL_CALL => {
                 let mut b = [0u8; 7];
-                b.copy_from_slice(&bytes);
+                b.copy_from_slice(&scratch.bytes);
                 ModeSFrame::Short(ShortSquitter::decode(&b)?)
             }
             _ => {
                 let mut b = [0u8; 14];
-                b.copy_from_slice(&bytes);
+                b.copy_from_slice(&scratch.bytes);
                 ModeSFrame::Extended(AdsbFrame::decode(&b)?)
             }
         };
@@ -182,8 +261,8 @@ impl Decoder {
             frame,
             sample_index: idx,
             time_s: capture_start_s + idx as f64 / SAMPLE_RATE_HZ,
-            rssi_dbfs: demod.rssi_dbfs(),
-            min_confidence: demod.min_confidence(),
+            rssi_dbfs: scratch.demod.rssi_dbfs(),
+            min_confidence: scratch.demod.min_confidence(),
             repaired_bits,
         })
     }
@@ -192,7 +271,12 @@ impl Decoder {
     /// of) lowest-confidence bit decisions and re-check. Only the weakest
     /// few candidates are tried, keeping the extra false-accept
     /// probability negligible against CRC-24.
-    fn repair(&self, demod: &ppm::Demodulated) -> Result<(Vec<u8>, u8), AdsbError> {
+    fn repair_into(
+        &self,
+        demod: &ppm::Demodulated,
+        order: &mut Vec<usize>,
+        bytes: &mut Vec<u8>,
+    ) -> Result<u8, AdsbError> {
         let verify = |bytes: &[u8]| -> bool {
             match bytes.len() {
                 7 => {
@@ -208,15 +292,21 @@ impl Decoder {
                 _ => false,
             }
         };
-        if verify(&demod.bytes) {
-            return Ok((demod.bytes.clone(), 0));
+        let reset = |bytes: &mut Vec<u8>| {
+            bytes.clear();
+            bytes.extend_from_slice(&demod.bytes);
+        };
+        reset(bytes);
+        if verify(bytes) {
+            return Ok(0);
         }
         let budget = self.config.max_repaired_bits.min(2);
         if budget == 0 {
             return Err(AdsbError::BadParity);
         }
         // Rank bit positions by ascending decision confidence.
-        let mut order: Vec<usize> = (0..demod.confidences.len()).collect();
+        order.clear();
+        order.extend(0..demod.confidences.len());
         order.sort_by(|&a, &b| {
             demod.confidences[a]
                 .partial_cmp(&demod.confidences[b])
@@ -225,24 +315,24 @@ impl Decoder {
         let flip = |bytes: &mut [u8], bit: usize| bytes[bit / 8] ^= 1 << (7 - bit % 8);
 
         // Single-bit repair over the 8 weakest decisions.
-        let singles = &order[..order.len().min(8)];
-        for &b in singles {
-            let mut bytes = demod.bytes.clone();
-            flip(&mut bytes, b);
-            if verify(&bytes) {
-                return Ok((bytes, 1));
+        for &b in order.iter().take(8) {
+            reset(bytes);
+            flip(bytes, b);
+            if verify(bytes) {
+                return Ok(1);
             }
         }
         if budget >= 2 {
             // Two-bit repair over the 6 weakest decisions (15 pairs).
-            let pairs = &order[..order.len().min(6)];
-            for (i, &b1) in pairs.iter().enumerate() {
-                for &b2 in &pairs[i + 1..] {
-                    let mut bytes = demod.bytes.clone();
-                    flip(&mut bytes, b1);
-                    flip(&mut bytes, b2);
-                    if verify(&bytes) {
-                        return Ok((bytes, 2));
+            let pl = order.len().min(6);
+            for i in 0..pl {
+                for j in i + 1..pl {
+                    let (b1, b2) = (order[i], order[j]);
+                    reset(bytes);
+                    flip(bytes, b1);
+                    flip(bytes, b2);
+                    if verify(bytes) {
+                        return Ok(2);
                     }
                 }
             }
@@ -257,6 +347,7 @@ mod tests {
     use crate::cpr::{self, CprFormat};
     use crate::icao::IcaoAddress;
     use crate::me::MePayload;
+    use aircal_dsp::corr::find_peaks;
     use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
 

@@ -80,7 +80,7 @@ pub fn modulate(frame: &[u8; FRAME_BYTES], amplitude: f64, phase_rad: f64) -> Ve
 }
 
 /// Result of demodulating one frame's worth of samples.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Demodulated {
     /// The recovered bytes (7 or 14; parity not yet checked).
     pub bytes: Vec<u8>,
@@ -105,11 +105,21 @@ impl Demodulated {
 /// Demodulate `n_bits` (starting at the preamble) into bytes and per-bit
 /// confidences. Returns `None` if the slice is too short.
 pub fn demodulate_bits(samples: &[Cplx], n_bits: usize) -> Option<Demodulated> {
+    let mut out = Demodulated::default();
+    demodulate_bits_into(samples, n_bits, &mut out).then_some(out)
+}
+
+/// [`demodulate_bits`] into a caller-owned [`Demodulated`] whose buffers
+/// are reused across calls, keeping the decode loop allocation-free.
+/// Returns `false` (leaving `out` cleared) if the slice is too short.
+pub fn demodulate_bits_into(samples: &[Cplx], n_bits: usize, out: &mut Demodulated) -> bool {
+    out.bytes.clear();
+    out.confidences.clear();
+    out.signal_power = 0.0;
     if samples.len() < PREAMBLE_CHIPS + 2 * n_bits {
-        return None;
+        return false;
     }
-    let mut bytes = vec![0u8; n_bits.div_ceil(8)];
-    let mut confidences = Vec::with_capacity(n_bits);
+    out.bytes.resize(n_bits.div_ceil(8), 0u8);
     let mut pulse_power = 0.0;
     for bit_idx in 0..n_bits {
         let base = PREAMBLE_CHIPS + 2 * bit_idx;
@@ -117,21 +127,18 @@ pub fn demodulate_bits(samples: &[Cplx], n_bits: usize) -> Option<Demodulated> {
         let second = samples[base + 1].norm_sq();
         let bit = first > second;
         if bit {
-            bytes[bit_idx / 8] |= 1 << (7 - bit_idx % 8);
+            out.bytes[bit_idx / 8] |= 1 << (7 - bit_idx % 8);
         }
         let total = first + second;
-        confidences.push(if total > 0.0 {
+        out.confidences.push(if total > 0.0 {
             (first - second).abs() / total
         } else {
             0.0
         });
         pulse_power += first.max(second);
     }
-    Some(Demodulated {
-        bytes,
-        confidences,
-        signal_power: pulse_power / n_bits as f64,
-    })
+    out.signal_power = pulse_power / n_bits as f64;
+    true
 }
 
 /// Demodulate 240 samples (starting at the preamble) as a 112-bit frame.

@@ -14,7 +14,13 @@
 //! * **fir** — overlap-save [`FastFirFilter`] vs direct [`FirFilter`]
 //!   at 63/255/1023 taps (the TV bandpass shapes);
 //! * **survey / tv_sweep / calibrator** — wall clock at 1/2/4/8 worker
-//!   threads (bit-identical outputs; the knob trades time only);
+//!   threads, clamped to what the host actually has (bit-identical
+//!   outputs; the knob trades time only);
+//! * **allocations** — steady-state allocator round-trips per burst on
+//!   the survey, TV-channel, and cellular hot paths: the old allocating
+//!   entry points vs the scratch (`*_with` / `*_into`) pipeline, counted
+//!   by a wrapping global allocator. `--check-allocs` enforces the
+//!   budgets in `scripts/alloc_budget.json` (non-zero exit on regression);
 //! * **stage_latency / span_summary** — one traced calibration run:
 //!   per-stage latency histograms (fixed `aircal-obs` bucket bounds)
 //!   and aggregated span wall times for the instrumented kernels.
@@ -23,23 +29,30 @@
 //! records how much hardware parallelism was actually available.
 
 use aircal_adsb::decoder::gated_preamble_correlation;
-use aircal_adsb::{cpr, me::MePayload, AdsbFrame, Decoder, IcaoAddress};
-use aircal_bench::{parse_args, paper_traffic};
+use aircal_adsb::{cpr, me::MePayload, AdsbFrame, DecodeScratch, Decoder, IcaoAddress};
+use aircal_bench::{parse_args, paper_traffic, AllocSnapshot, CountingAllocator};
+use aircal_cellular::{paper_towers, CellScanner};
 use aircal_core::engine::Calibrator;
 use aircal_core::survey::{run_survey, SurveyConfig};
 use aircal_dsp::corr::{find_peaks, normalized_correlation};
 use aircal_dsp::fir::design_bandpass;
 use aircal_dsp::window::Window;
-use aircal_dsp::{Cplx, FastFirFilter, FirFilter};
+use aircal_dsp::{derive_stream_seed, Cplx, DspScratch, FastFirFilter, FirFilter};
 use aircal_env::{Scenario, ScenarioKind};
 use aircal_sdr::{BurstPlan, CaptureRenderer, Frontend, FrontendConfig};
-use aircal_tv::{paper_tv_towers, TvPowerProbe, TvProbeConfig};
-use serde::Serialize;
+use aircal_tv::{paper_tv_towers, TvPowerProbe, TvProbeConfig, TvScratch};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
 
 #[derive(Serialize)]
 struct ThreadTiming {
     threads: usize,
+    host_cores: usize,
     seconds: f64,
     speedup_vs_serial: f64,
 }
@@ -76,6 +89,33 @@ struct StageLatency {
 }
 
 #[derive(Serialize)]
+struct AllocStats {
+    bursts: usize,
+    allocs_per_burst: f64,
+    bytes_per_burst: f64,
+}
+
+#[derive(Serialize)]
+struct AllocComparison {
+    path: &'static str,
+    allocating: AllocStats,
+    scratch: AllocStats,
+    /// Allocating/scratch allocation ratio. When the scratch path made
+    /// zero allocations this is the allocating per-burst count itself —
+    /// a finite "at least ×N" lower bound instead of infinity.
+    reduction: f64,
+}
+
+/// Per-path ceilings on `scratch.allocs_per_burst`, from
+/// `scripts/alloc_budget.json`.
+#[derive(Deserialize)]
+struct AllocBudget {
+    survey_burst: f64,
+    tv_channel: f64,
+    cellular_tower: f64,
+}
+
+#[derive(Serialize)]
 struct PipelineReport {
     quick: bool,
     host_cores: usize,
@@ -85,6 +125,7 @@ struct PipelineReport {
     survey: Vec<ThreadTiming>,
     tv_sweep: Vec<ThreadTiming>,
     calibrator: Vec<ThreadTiming>,
+    allocations: Vec<AllocComparison>,
     stage_latency: Vec<StageLatency>,
     span_summary: Vec<aircal_obs::SpanSummary>,
 }
@@ -120,18 +161,208 @@ fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
     best
 }
 
-fn thread_sweep(reps: usize, mut run: impl FnMut(usize)) -> Vec<ThreadTiming> {
+/// Time `run` at 1/2/4/8 worker threads, skipping counts beyond what the
+/// host can actually run in parallel — an oversubscribed row measures
+/// scheduler noise, not scaling. The serial row always survives the clamp.
+fn thread_sweep(reps: usize, host_cores: usize, mut run: impl FnMut(usize)) -> Vec<ThreadTiming> {
     let mut out: Vec<ThreadTiming> = Vec::new();
     for threads in [1usize, 2, 4, 8] {
+        if threads > host_cores.max(1) {
+            continue;
+        }
         let seconds = time_best(reps, || run(threads));
         let serial = out.first().map(|t| t.seconds).unwrap_or(seconds);
         out.push(ThreadTiming {
             threads,
+            host_cores,
             seconds,
             speedup_vs_serial: serial / seconds,
         });
     }
     out
+}
+
+/// Run `f` once to warm pools/plans, then `rounds` more times with the
+/// allocator counters bracketed around them.
+fn measure_allocs(bursts_per_round: usize, rounds: usize, mut f: impl FnMut()) -> AllocStats {
+    f();
+    let before = AllocSnapshot::now();
+    for _ in 0..rounds.max(1) {
+        f();
+    }
+    let delta = AllocSnapshot::now() - before;
+    let bursts = bursts_per_round * rounds.max(1);
+    AllocStats {
+        bursts,
+        allocs_per_burst: delta.allocs as f64 / bursts.max(1) as f64,
+        bytes_per_burst: delta.bytes as f64 / bursts.max(1) as f64,
+    }
+}
+
+fn alloc_reduction(allocating: &AllocStats, scratch: &AllocStats) -> f64 {
+    if scratch.allocs_per_burst == 0.0 {
+        allocating.allocs_per_burst
+    } else {
+        allocating.allocs_per_burst / scratch.allocs_per_burst
+    }
+}
+
+/// Steady-state ADS-B burst loop: render one cluster, scan it, recycle
+/// the window buffer. The allocating baseline uses the pre-scratch entry
+/// points (`render_seeded` + `scan`); the scratch path must hit zero.
+fn survey_burst_allocs(seed: u64) -> AllocComparison {
+    let fe = Frontend::new(FrontendConfig::bladerf_xa9(1.09e9, 2e6));
+    let renderer = CaptureRenderer::new(fe.clone());
+    let floor = fe.noise_floor_dbm();
+    let plans: Vec<BurstPlan> = (0..32)
+        .map(|i| {
+            let frame = AdsbFrame::new(
+                IcaoAddress::new(0xA00000 + (i as u32 % 16)),
+                MePayload::AirbornePosition {
+                    altitude_ft: 30_000.0,
+                    cpr: cpr::encode(37.9, -122.2, cpr::CprFormat::Even),
+                },
+            );
+            BurstPlan {
+                start_s: i as f64 * 2e-3,
+                waveform: aircal_adsb::ppm::modulate(&frame.encode(), 1.0, 0.0),
+                rx_power_dbm: floor + 8.0 + (i % 10) as f64,
+                phase0: i as f64 * 0.37,
+            }
+        })
+        .collect();
+    let clusters = renderer.cluster_plans(&plans);
+    let decoder = Decoder::default();
+
+    let allocating = measure_allocs(clusters.len(), 4, || {
+        let windows = renderer.render_seeded(&plans, seed, 1);
+        let msgs: usize = windows
+            .iter()
+            .map(|w| decoder.scan(&w.samples, w.start_s).len())
+            .sum();
+        std::hint::black_box(msgs);
+    });
+
+    let mut scratch = DspScratch::new();
+    let mut dscratch = DecodeScratch::default();
+    let mut msgs = Vec::new();
+    let scratch_stats = measure_allocs(clusters.len(), 4, || {
+        let mut total = 0usize;
+        for (ci, cluster) in clusters.iter().enumerate() {
+            let mut rng = ChaCha8Rng::seed_from_u64(derive_stream_seed(seed, ci as u64));
+            let w = renderer.render_cluster_with(&plans, cluster, &mut rng, &mut scratch);
+            decoder.scan_with(&w.samples, w.start_s, &mut dscratch, &mut msgs);
+            total += msgs.len();
+            w.recycle(&mut scratch);
+        }
+        std::hint::black_box(total);
+    });
+
+    AllocComparison {
+        path: "survey_burst",
+        reduction: alloc_reduction(&allocating, &scratch_stats),
+        allocating,
+        scratch: scratch_stats,
+    }
+}
+
+/// Steady-state TV channel loop: the allocating baseline re-synthesizes
+/// the 8VSB reference and rebuilds the band-power meter per channel; the
+/// scratch path shares one waveform and resets one warm meter. The result
+/// `station: String` keeps the scratch path at ~1 alloc per channel.
+fn tv_channel_allocs(seed: u64) -> AllocComparison {
+    let s = Scenario::build(ScenarioKind::Rooftop);
+    let towers = paper_tv_towers(&s.world.origin);
+    let probe = TvPowerProbe::new(TvProbeConfig {
+        parallelism: 1,
+        ..TvProbeConfig::default()
+    });
+
+    let allocating = measure_allocs(towers.len(), 2, || {
+        let acc: f64 = towers
+            .iter()
+            .map(|t| probe.measure(&s.world, &s.site, t, seed).power_dbfs)
+            .sum();
+        std::hint::black_box(acc);
+    });
+
+    let waveform = probe.reference_waveform();
+    let mut scratch = TvScratch::default();
+    let scratch_stats = measure_allocs(towers.len(), 2, || {
+        let acc: f64 = towers
+            .iter()
+            .map(|t| {
+                probe
+                    .measure_with(&s.world, &s.site, t, seed, &waveform, &mut scratch)
+                    .power_dbfs
+            })
+            .sum();
+        std::hint::black_box(acc);
+    });
+
+    AllocComparison {
+        path: "tv_channel",
+        reduction: alloc_reduction(&allocating, &scratch_stats),
+        allocating,
+        scratch: scratch_stats,
+    }
+}
+
+/// Steady-state cellular sweep: `scan_into` reuses the measurement vector;
+/// the per-tower `tower_name: String` in the result is inherent, so the
+/// floor is ~1 alloc per tower rather than zero.
+fn cellular_tower_allocs(seed: u64) -> AllocComparison {
+    let s = Scenario::build(ScenarioKind::Rooftop);
+    let db = paper_towers(&s.world.origin);
+    let scanner = CellScanner::default();
+    let n = db.all().len();
+
+    let allocating = measure_allocs(n, 8, || {
+        std::hint::black_box(scanner.scan(&s.world, &s.site, &db, seed).len());
+    });
+
+    let mut out = Vec::new();
+    let scratch_stats = measure_allocs(n, 8, || {
+        scanner.scan_into(&s.world, &s.site, &db, seed, &mut out);
+        std::hint::black_box(out.len());
+    });
+
+    AllocComparison {
+        path: "cellular_tower",
+        reduction: alloc_reduction(&allocating, &scratch_stats),
+        allocating,
+        scratch: scratch_stats,
+    }
+}
+
+/// Enforce `scripts/alloc_budget.json`: every scratch path must stay at
+/// or under its checked-in allocs-per-burst ceiling.
+fn check_alloc_budget(allocations: &[AllocComparison]) -> bool {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scripts/alloc_budget.json");
+    let text = std::fs::read_to_string(path).expect("read scripts/alloc_budget.json");
+    let budget: AllocBudget = serde_json::from_str(&text).expect("parse alloc budget");
+    let mut ok = true;
+    for a in allocations {
+        let limit = match a.path {
+            "survey_burst" => budget.survey_burst,
+            "tv_channel" => budget.tv_channel,
+            "cellular_tower" => budget.cellular_tower,
+            other => panic!("no budget entry for path {other}"),
+        };
+        if a.scratch.allocs_per_burst > limit {
+            eprintln!(
+                "# ALLOC BUDGET EXCEEDED: {} at {:.2} allocs/burst (budget {:.2})",
+                a.path, a.scratch.allocs_per_burst, limit
+            );
+            ok = false;
+        } else {
+            eprintln!(
+                "# alloc budget ok: {} at {:.2} allocs/burst (budget {:.2})",
+                a.path, a.scratch.allocs_per_burst, limit
+            );
+        }
+    }
+    ok
 }
 
 fn decode_capture(seed: u64, frames: usize) -> (Vec<aircal_sdr::RenderedWindow>, usize) {
@@ -163,6 +394,7 @@ fn decode_capture(seed: u64, frames: usize) -> (Vec<aircal_sdr::RenderedWindow>,
 fn main() {
     let (positional, seed) = parse_args();
     let quick = positional.iter().any(|a| a == "--quick");
+    let check_allocs = positional.iter().any(|a| a == "--check-allocs");
     let reps = if quick { 1 } else { 3 };
     let host_cores = aircal_dsp::resolve_parallelism(0);
     eprintln!("# perfreport: quick={quick} seed={seed} host_cores={host_cores}");
@@ -242,21 +474,22 @@ fn main() {
     let s = Scenario::build(ScenarioKind::Rooftop);
     let traffic = paper_traffic(&s, seed);
     let survey_cfg = if quick { SurveyConfig::quick() } else { SurveyConfig::default() };
-    let survey = thread_sweep(reps, |threads| {
+    let survey = thread_sweep(reps, host_cores, |threads| {
         let cfg = SurveyConfig {
             parallelism: threads,
             ..survey_cfg
         };
         std::hint::black_box(run_survey(&s.world, &s.site, &traffic, &cfg, seed));
     });
+    let widest = survey.last().expect("sweep includes serial row");
     eprintln!(
-        "# survey: {:.3}s serial, {:.2}x at 4 threads",
-        survey[0].seconds, survey[2].speedup_vs_serial
+        "# survey: {:.3}s serial, {:.2}x at {} threads",
+        survey[0].seconds, widest.speedup_vs_serial, widest.threads
     );
 
     // --- TV sweep vs threads ---------------------------------------------
     let towers = paper_tv_towers(&s.world.origin);
-    let tv_sweep = thread_sweep(reps, |threads| {
+    let tv_sweep = thread_sweep(reps, host_cores, |threads| {
         let probe = TvPowerProbe::new(TvProbeConfig {
             parallelism: threads,
             ..TvProbeConfig::default()
@@ -266,12 +499,27 @@ fn main() {
     eprintln!("# tv_sweep: {:.3}s serial", tv_sweep[0].seconds);
 
     // --- Full calibrator vs threads --------------------------------------
-    let calibrator = thread_sweep(if quick { 1 } else { 2 }, |threads| {
+    let calibrator = thread_sweep(if quick { 1 } else { 2 }, host_cores, |threads| {
         let cal = if quick { Calibrator::quick() } else { Calibrator::default() }
             .with_parallelism(threads);
         std::hint::black_box(cal.calibrate(&s.world, &s.site, seed));
     });
     eprintln!("# calibrator: {:.3}s serial", calibrator[0].seconds);
+
+    // --- Steady-state allocation accounting -------------------------------
+    // Runs before the traced calibration so span recording (which does
+    // allocate) cannot leak into the per-burst counts.
+    let allocations = vec![
+        survey_burst_allocs(seed),
+        tv_channel_allocs(seed),
+        cellular_tower_allocs(seed),
+    ];
+    for a in &allocations {
+        eprintln!(
+            "# allocs {}: {:.2}/burst allocating vs {:.2}/burst scratch ({:.0}x)",
+            a.path, a.allocating.allocs_per_burst, a.scratch.allocs_per_burst, a.reduction
+        );
+    }
 
     // --- Per-stage latency histograms (traced run) ------------------------
     let (stage_latency, span_summary) = traced_calibration(quick, &s, seed);
@@ -290,6 +538,7 @@ fn main() {
         survey,
         tv_sweep,
         calibrator,
+        allocations,
         stage_latency,
         span_summary,
     };
@@ -297,4 +546,10 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(path, json + "\n").expect("write BENCH_PIPELINE.json");
     println!("wrote {path}");
+
+    // Budget check runs last so the report is on disk (and uploadable as
+    // a CI artifact) even when the gate trips.
+    if check_allocs && !check_alloc_budget(&report.allocations) {
+        std::process::exit(1);
+    }
 }

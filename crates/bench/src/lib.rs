@@ -15,6 +15,9 @@ use aircal_aircraft::{TrafficConfig, TrafficSim};
 use aircal_core::survey::{run_survey, SurveyConfig, SurveyResult};
 use aircal_env::Scenario;
 
+pub mod alloc_counter;
+pub use alloc_counter::{AllocSnapshot, CountingAllocator};
+
 /// Standard survey used by the figure harness: the paper's 30 s procedure
 /// with 70 aircraft in the disc.
 pub fn paper_survey(scenario: &Scenario, seed: u64) -> SurveyResult {

@@ -114,6 +114,7 @@ impl CellScanner {
     }
 
     /// Scan every tower in the database (the srsUE "cell search sweep").
+    /// Thin allocating wrapper over [`CellScanner::scan_into`].
     pub fn scan(
         &self,
         world: &World,
@@ -121,11 +122,25 @@ impl CellScanner {
         db: &TowerDatabase,
         seed: u64,
     ) -> Vec<CellMeasurement> {
+        let mut out = Vec::new();
+        self.scan_into(world, site, db, seed, &mut out);
+        out
+    }
+
+    /// [`CellScanner::scan`] into a caller-owned buffer (cleared first).
+    /// Reusing `out` keeps repeated sweeps allocation-free apart from the
+    /// per-tower name strings in the results.
+    pub fn scan_into(
+        &self,
+        world: &World,
+        site: &SensorSite,
+        db: &TowerDatabase,
+        seed: u64,
+        out: &mut Vec<CellMeasurement>,
+    ) {
         let _span = aircal_obs::span!("cell_scan");
-        db.all()
-            .iter()
-            .map(|t| self.measure(world, site, t, seed))
-            .collect()
+        out.clear();
+        out.extend(db.all().iter().map(|t| self.measure(world, site, t, seed)));
     }
 }
 

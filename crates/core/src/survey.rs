@@ -15,13 +15,13 @@
 
 use aircal_adsb::cpr::{self, CprPair};
 use aircal_adsb::me::MePayload;
-use aircal_adsb::{DecodedMessage, Decoder, IcaoAddress, ADSB_FREQ_HZ};
+use aircal_adsb::{DecodeScratch, DecodedMessage, Decoder, IcaoAddress, ADSB_FREQ_HZ};
 use aircal_aircraft::{GroundTruthService, TrafficSim, TransponderSchedule};
 use aircal_env::{SensorSite, World};
 use aircal_geo::LatLon;
 use aircal_rfprop::fading::RicianFading;
 use aircal_rfprop::LinkBudget;
-use aircal_dsp::{derive_stream_seed, par_map, resolve_parallelism};
+use aircal_dsp::{derive_stream_seed, par_map, par_map_with, resolve_parallelism};
 use aircal_sdr::{BurstPlan, CaptureRenderer, Frontend, FrontendConfig, FrontendFault};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -229,11 +229,23 @@ pub fn run_survey(
     let windows = renderer.render_seeded(&plans, seed ^ 0xC0DE, threads);
     let decode_span = aircal_obs::span!("decode_windows");
     let decoder = Decoder::default();
-    let decoded: Vec<DecodedMessage> =
-        par_map(&windows, threads, |_, w| decoder.scan(&w.samples, w.start_s))
-            .into_iter()
-            .flatten()
-            .collect();
+    // Per-worker decode scratch: each worker's correlation/demod buffers
+    // warm up once and are reused across every window it scans.
+    let mut decode_scratches: Vec<(DecodeScratch, Vec<DecodedMessage>)> =
+        (0..threads.max(1)).map(|_| Default::default()).collect();
+    let (mut slots, mut per_window) = (Vec::new(), Vec::new());
+    par_map_with(
+        &windows,
+        threads,
+        &mut decode_scratches,
+        &mut slots,
+        &mut per_window,
+        |_, w, (scratch, msgs)| {
+            decoder.scan_with(&w.samples, w.start_s, scratch, msgs);
+            std::mem::take(msgs)
+        },
+    );
+    let decoded: Vec<DecodedMessage> = per_window.into_iter().flatten().collect();
     drop(decode_span);
 
     // 4. Ground truth at the mid-capture query time.

@@ -12,34 +12,50 @@ use crate::Cplx;
 /// Output length is `signal.len() - template.len() + 1`; empty if the
 /// template is longer than the signal.
 pub fn cross_correlate(signal: &[Cplx], template: &[Cplx]) -> Vec<Cplx> {
+    let mut out = Vec::new();
+    cross_correlate_into(signal, template, &mut out);
+    out
+}
+
+/// [`cross_correlate`] into a caller-owned buffer (cleared first); reusing
+/// `out` across calls keeps the scan loop allocation-free.
+pub fn cross_correlate_into(signal: &[Cplx], template: &[Cplx], out: &mut Vec<Cplx>) {
+    out.clear();
     if template.is_empty() || signal.len() < template.len() {
-        return Vec::new();
+        return;
     }
     let n = signal.len() - template.len() + 1;
-    (0..n)
-        .map(|i| {
-            let mut acc = Cplx::ZERO;
-            for (k, t) in template.iter().enumerate() {
-                acc += signal[i + k] * t.conj();
-            }
-            acc
-        })
-        .collect()
+    out.extend((0..n).map(|i| {
+        let mut acc = Cplx::ZERO;
+        for (k, t) in template.iter().enumerate() {
+            acc += signal[i + k] * t.conj();
+        }
+        acc
+    }));
 }
 
 /// Normalized correlation magnitude in `[0, 1]` at each lag: the cosine
 /// similarity between the template and each signal window. Windows with
 /// (near-)zero energy report 0.
 pub fn normalized_correlation(signal: &[Cplx], template: &[Cplx]) -> Vec<f64> {
+    let mut out = Vec::new();
+    normalized_correlation_into(signal, template, &mut out);
+    out
+}
+
+/// [`normalized_correlation`] into a caller-owned buffer (cleared first);
+/// reusing `out` across calls keeps the scan loop allocation-free.
+pub fn normalized_correlation_into(signal: &[Cplx], template: &[Cplx], out: &mut Vec<f64>) {
+    out.clear();
     if template.is_empty() || signal.len() < template.len() {
-        return Vec::new();
+        return;
     }
     let t_energy: f64 = template.iter().map(|t| t.norm_sq()).sum();
     if t_energy < 1e-30 {
-        return vec![0.0; signal.len() - template.len() + 1];
+        out.resize(signal.len() - template.len() + 1, 0.0);
+        return;
     }
     let n = signal.len() - template.len() + 1;
-    let mut out = Vec::with_capacity(n);
     // Running window energy for O(N) instead of O(N·M) energy computation.
     let mut w_energy: f64 = signal[..template.len()].iter().map(|s| s.norm_sq()).sum();
     for i in 0..n {
@@ -56,33 +72,48 @@ pub fn normalized_correlation(signal: &[Cplx], template: &[Cplx]) -> Vec<f64> {
             }
         }
     }
-    out
 }
 
 /// Indices of local maxima in `values` that exceed `threshold`, with at
 /// least `min_separation` samples between accepted peaks (the larger peak
 /// wins inside a separation window).
 pub fn find_peaks(values: &[f64], threshold: f64, min_separation: usize) -> Vec<usize> {
-    let mut candidates: Vec<usize> = (0..values.len())
-        .filter(|&i| {
-            values[i] >= threshold
-                && (i == 0 || values[i] >= values[i - 1])
-                && (i + 1 == values.len() || values[i] > values[i + 1])
-        })
-        .collect();
-    // Greedy non-maximum suppression by descending height.
-    candidates.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).unwrap());
-    let mut accepted: Vec<usize> = Vec::new();
-    for c in candidates {
-        if accepted
+    let mut out = Vec::new();
+    find_peaks_into(values, threshold, min_separation, &mut out);
+    out
+}
+
+/// [`find_peaks`] into a caller-owned buffer (cleared first); reusing
+/// `out` across calls keeps the scan loop allocation-free. The suppression
+/// pass runs in place by compacting accepted peaks to the buffer's front.
+pub fn find_peaks_into(
+    values: &[f64],
+    threshold: f64,
+    min_separation: usize,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
+    out.extend((0..values.len()).filter(|&i| {
+        values[i] >= threshold
+            && (i == 0 || values[i] >= values[i - 1])
+            && (i + 1 == values.len() || values[i] > values[i + 1])
+    }));
+    // Greedy non-maximum suppression by descending height: candidates are
+    // visited tallest-first and compacted into an accepted prefix.
+    out.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).unwrap());
+    let mut accepted = 0;
+    for i in 0..out.len() {
+        let c = out[i];
+        if out[..accepted]
             .iter()
             .all(|&a| a.abs_diff(c) >= min_separation.max(1))
         {
-            accepted.push(c);
+            out[accepted] = c;
+            accepted += 1;
         }
     }
-    accepted.sort_unstable();
-    accepted
+    out.truncate(accepted);
+    out.sort_unstable();
 }
 
 #[cfg(test)]

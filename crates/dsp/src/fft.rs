@@ -172,41 +172,92 @@ impl FftPlanner {
         Ok(())
     }
 
-    /// Out-of-place forward transform.
+    /// Slice-out forward transform into a caller-owned buffer: `out` is
+    /// cleared, filled with `input`, and transformed in place. Reusing
+    /// `out` across calls makes repeated transforms allocation-free.
+    pub fn forward_into(&self, input: &[Cplx], out: &mut Vec<Cplx>) -> Result<(), DspError> {
+        out.clear();
+        out.extend_from_slice(input);
+        self.process(out, Direction::Forward)
+    }
+
+    /// Slice-out inverse transform (normalized by `1/N`) into a
+    /// caller-owned buffer; see [`FftPlanner::forward_into`].
+    pub fn inverse_into(&self, input: &[Cplx], out: &mut Vec<Cplx>) -> Result<(), DspError> {
+        out.clear();
+        out.extend_from_slice(input);
+        self.process(out, Direction::Inverse)
+    }
+
+    /// Out-of-place forward transform. Thin allocating wrapper over
+    /// [`FftPlanner::forward_into`].
     pub fn forward(&self, input: &[Cplx]) -> Result<Vec<Cplx>, DspError> {
-        let mut buf = input.to_vec();
-        self.process(&mut buf, Direction::Forward)?;
+        let mut buf = Vec::with_capacity(input.len());
+        self.forward_into(input, &mut buf)?;
         Ok(buf)
     }
 
-    /// Out-of-place inverse transform (normalized by `1/N`).
+    /// Out-of-place inverse transform (normalized by `1/N`). Thin
+    /// allocating wrapper over [`FftPlanner::inverse_into`].
     pub fn inverse(&self, input: &[Cplx]) -> Result<Vec<Cplx>, DspError> {
-        let mut buf = input.to_vec();
-        self.process(&mut buf, Direction::Inverse)?;
+        let mut buf = Vec::with_capacity(input.len());
+        self.inverse_into(input, &mut buf)?;
         Ok(buf)
     }
 }
 
-/// Out-of-place forward FFT.
+/// Forward FFT into a caller-owned buffer (cleared and refilled).
+pub fn fft_into(input: &[Cplx], out: &mut Vec<Cplx>) -> Result<(), DspError> {
+    out.clear();
+    out.extend_from_slice(input);
+    fft_in_place(out, Direction::Forward)
+}
+
+/// Inverse FFT (normalized by `1/N`) into a caller-owned buffer.
+pub fn ifft_into(input: &[Cplx], out: &mut Vec<Cplx>) -> Result<(), DspError> {
+    out.clear();
+    out.extend_from_slice(input);
+    fft_in_place(out, Direction::Inverse)
+}
+
+/// Out-of-place forward FFT. Thin allocating wrapper over [`fft_into`].
 pub fn fft(input: &[Cplx]) -> Result<Vec<Cplx>, DspError> {
-    let mut buf = input.to_vec();
-    fft_in_place(&mut buf, Direction::Forward)?;
+    let mut buf = Vec::with_capacity(input.len());
+    fft_into(input, &mut buf)?;
     Ok(buf)
 }
 
-/// Out-of-place inverse FFT (normalized by `1/N`).
+/// Out-of-place inverse FFT (normalized by `1/N`). Thin allocating
+/// wrapper over [`ifft_into`].
 pub fn ifft(input: &[Cplx]) -> Result<Vec<Cplx>, DspError> {
-    let mut buf = input.to_vec();
-    fft_in_place(&mut buf, Direction::Inverse)?;
+    let mut buf = Vec::with_capacity(input.len());
+    ifft_into(input, &mut buf)?;
     Ok(buf)
+}
+
+/// [`power_spectrum`] into caller-owned buffers: `spec` holds the
+/// intermediate transform, `out` the per-bin power. Both are cleared and
+/// refilled; reusing them across calls makes the PSD loop allocation-free.
+pub fn power_spectrum_into(
+    input: &[Cplx],
+    spec: &mut Vec<Cplx>,
+    out: &mut Vec<f64>,
+) -> Result<(), DspError> {
+    let n = input.len();
+    fft_into(input, spec)?;
+    out.clear();
+    out.extend(spec.iter().map(|b| b.norm_sq() / n as f64));
+    Ok(())
 }
 
 /// Power spectral density estimate of a block: `|FFT|²/N` per bin, with the
 /// DC bin at index 0. No windowing — callers window first if they need it.
+/// Thin allocating wrapper over [`power_spectrum_into`].
 pub fn power_spectrum(input: &[Cplx]) -> Result<Vec<f64>, DspError> {
-    let n = input.len();
-    let spec = fft(input)?;
-    Ok(spec.iter().map(|b| b.norm_sq() / n as f64).collect())
+    let mut spec = Vec::with_capacity(input.len());
+    let mut out = Vec::with_capacity(input.len());
+    power_spectrum_into(input, &mut spec, &mut out)?;
+    Ok(out)
 }
 
 /// Map an FFT bin index to its frequency in Hz for a given sample rate,

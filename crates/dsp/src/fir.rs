@@ -122,9 +122,20 @@ impl FirFilter {
         acc
     }
 
-    /// Filter a whole block, producing one output per input.
+    /// Filter a whole block into a caller-owned buffer (cleared first),
+    /// producing one output per input. Reusing `out` across calls keeps
+    /// the block loop allocation-free.
+    pub fn process_into(&mut self, input: &[Cplx], out: &mut Vec<Cplx>) {
+        out.clear();
+        out.extend(input.iter().map(|&x| self.push(x)));
+    }
+
+    /// Filter a whole block, producing one output per input. Thin
+    /// allocating wrapper over [`FirFilter::process_into`].
     pub fn process(&mut self, input: &[Cplx]) -> Vec<Cplx> {
-        input.iter().map(|&x| self.push(x)).collect()
+        let mut out = Vec::with_capacity(input.len());
+        self.process_into(input, &mut out);
+        out
     }
 
     /// Reset the delay line to zeros.
@@ -226,10 +237,12 @@ impl FastFirFilter {
         self.process(&[x])[0]
     }
 
-    /// Filter a whole block, producing one output per input.
-    pub fn process(&mut self, input: &[Cplx]) -> Vec<Cplx> {
+    /// Filter a whole block into a caller-owned buffer (cleared first),
+    /// producing one output per input. Reusing `out` across calls keeps
+    /// the block loop allocation-free.
+    pub fn process_into(&mut self, input: &[Cplx], out: &mut Vec<Cplx>) {
         let t = self.taps.len();
-        let mut out = Vec::with_capacity(input.len());
+        out.clear();
         let mut i = 0;
         while i < input.len() {
             let take = (self.block - self.pending).min(input.len() - i);
@@ -262,6 +275,13 @@ impl FastFirFilter {
                 self.pending = 0;
             }
         }
+    }
+
+    /// Filter a whole block, producing one output per input. Thin
+    /// allocating wrapper over [`FastFirFilter::process_into`].
+    pub fn process(&mut self, input: &[Cplx]) -> Vec<Cplx> {
+        let mut out = Vec::with_capacity(input.len());
+        self.process_into(input, &mut out);
         out
     }
 

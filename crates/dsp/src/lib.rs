@@ -24,12 +24,14 @@ pub mod power;
 pub mod prbs;
 pub mod psd;
 pub mod resample;
+pub mod scratch;
 pub mod window;
 
 pub use cplx::Cplx;
 pub use fft::{fft, fft_in_place, ifft, Direction, FftPlanner};
 pub use fir::{FastFirFilter, FirFilter};
-pub use par::{derive_stream_seed, par_map, resolve_parallelism};
+pub use par::{derive_stream_seed, par_map, par_map_with, resolve_parallelism};
+pub use scratch::DspScratch;
 pub use power::{db_to_lin, lin_to_db, BandPowerMeter, MovingAverage};
 pub use prbs::Lfsr;
 

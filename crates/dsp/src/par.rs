@@ -48,42 +48,101 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let threads = threads.max(1).min(items.len());
+    let workers = threads.max(1).min(items.len()).max(1);
+    let mut scratches = vec![(); workers];
+    let mut slots = Vec::new();
+    let mut out = Vec::with_capacity(items.len());
+    par_map_with(items, threads, &mut scratches, &mut slots, &mut out, |i, t, ()| f(i, t));
+    out
+}
+
+/// A raw pointer into the result-slot buffer that workers write through.
+/// Each slot index is claimed by exactly one worker (the atomic queue
+/// hands out each index once), so the writes are disjoint; the thread
+/// scope's join provides the happens-before edge back to the caller.
+struct SlotWriter<R>(*mut Option<R>);
+
+unsafe impl<R: Send> Send for SlotWriter<R> {}
+unsafe impl<R: Send> Sync for SlotWriter<R> {}
+
+/// [`par_map`] with per-worker scratch state and caller-owned result
+/// buffers — the zero-allocation variant the burst pipelines run on.
+///
+/// * `scratches` — one scratch value per worker (at least one, and at
+///   least as many as the effective thread count). Worker `w` gets
+///   exclusive `&mut` access to `scratches[w]` for the whole call; with
+///   `threads <= 1` every item runs inline on `scratches[0]`.
+/// * `slots` — reusable staging buffer; its capacity is retained across
+///   calls so steady-state calls never grow it.
+/// * `out` — cleared and filled with the results in item order.
+///
+/// Ordering and panic behavior are identical to [`par_map`]; the only
+/// difference is where results and intermediate state live. Once
+/// `slots`/`out` capacities and every scratch are warm, a call performs
+/// no heap allocation beyond what `f` itself does (and the fixed
+/// per-call cost of spawning workers when `threads > 1`).
+pub fn par_map_with<T, R, S, F>(
+    items: &[T],
+    threads: usize,
+    scratches: &mut [S],
+    slots: &mut Vec<Option<R>>,
+    out: &mut Vec<R>,
+    f: F,
+) where
+    T: Sync,
+    R: Send,
+    S: Send,
+    F: Fn(usize, &T, &mut S) -> R + Sync,
+{
+    out.clear();
+    if items.is_empty() {
+        return;
+    }
+    assert!(!scratches.is_empty(), "par_map_with needs at least one scratch");
+    let threads = threads.max(1).min(items.len()).min(scratches.len());
     if threads <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let scratch = &mut scratches[0];
+        out.extend(items.iter().enumerate().map(|(i, t)| f(i, t, scratch)));
+        return;
     }
 
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    slots.clear();
+    slots.resize_with(items.len(), || None);
+    let writer = SlotWriter(slots.as_mut_ptr());
+    let f = &f;
     std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut produced = Vec::new();
+        let handles: Vec<_> = scratches
+            .iter_mut()
+            .take(threads)
+            .map(|scratch| {
+                let next = &next;
+                let writer = &writer;
+                s.spawn(move || {
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
-                        produced.push((i, f(i, item)));
+                        let r = f(i, item, scratch);
+                        // SAFETY: `i < items.len() == slots.len()`, and the
+                        // atomic queue yields each index to exactly one
+                        // worker, so this write is in bounds and disjoint
+                        // from every other worker's writes.
+                        unsafe { *writer.0.add(i) = Some(r) };
                     }
-                    produced
                 })
             })
             .collect();
         for h in handles {
-            match h.join() {
-                Ok(produced) => {
-                    for (i, r) in produced {
-                        slots[i] = Some(r);
-                    }
-                }
-                Err(payload) => std::panic::resume_unwind(payload),
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
             }
         }
     });
-    slots
-        .into_iter()
-        .map(|r| r.expect("every index was computed"))
-        .collect()
+    out.extend(
+        slots
+            .drain(..)
+            .map(|r| r.expect("every index was computed")),
+    );
 }
 
 #[cfg(test)]
@@ -145,6 +204,64 @@ mod tests {
     fn resolve_parallelism_zero_is_auto() {
         assert!(resolve_parallelism(0) >= 1);
         assert_eq!(resolve_parallelism(3), 3);
+    }
+
+    #[test]
+    fn par_map_with_matches_par_map_and_reuses_buffers() {
+        let items: Vec<u64> = (0..500).collect();
+        let expect = par_map(&items, 4, |i, &x| x * 3 + i as u64);
+        let mut scratches = vec![0u64; 8];
+        let mut slots = Vec::new();
+        let mut out = Vec::new();
+        for threads in [1usize, 2, 8] {
+            par_map_with(&items, threads, &mut scratches, &mut slots, &mut out, |i, &x, s| {
+                *s += 1; // scratch is usable per-worker state
+                x * 3 + i as u64
+            });
+            assert_eq!(out, expect, "threads {threads}");
+        }
+        // Scratch state accumulated across calls: total work = 3 × items.
+        assert_eq!(scratches.iter().sum::<u64>(), 3 * items.len() as u64);
+    }
+
+    #[test]
+    fn par_map_with_serial_uses_first_scratch_only() {
+        let items = [1u32, 2, 3];
+        let mut scratches = vec![Vec::<u32>::new(), Vec::new()];
+        let (mut slots, mut out) = (Vec::new(), Vec::new());
+        par_map_with(&items, 1, &mut scratches, &mut slots, &mut out, |_, &x, s| {
+            s.push(x);
+            x
+        });
+        assert_eq!(scratches[0], vec![1, 2, 3]);
+        assert!(scratches[1].is_empty());
+    }
+
+    #[test]
+    fn par_map_with_empty_items() {
+        let items: Vec<u32> = vec![];
+        let mut scratches = vec![(); 1];
+        let (mut slots, mut out) = (Vec::new(), Vec::<u32>::new());
+        out.push(9); // must be cleared
+        par_map_with(&items, 4, &mut scratches, &mut slots, &mut out, |_, &x, ()| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_map_with_worker_panic_propagates() {
+        let items: Vec<u32> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            let mut scratches = vec![(); 4];
+            let (mut slots, mut out) = (Vec::new(), Vec::new());
+            par_map_with(&items, 4, &mut scratches, &mut slots, &mut out, |_, &x, ()| {
+                if x == 33 {
+                    panic!("boom");
+                }
+                x
+            });
+            out
+        });
+        assert!(result.is_err());
     }
 
     #[test]

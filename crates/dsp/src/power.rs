@@ -112,6 +112,8 @@ pub struct BandPowerMeter {
     avg: MovingAverage,
     /// Samples to discard while the filter's delay line fills.
     warmup_remaining: usize,
+    /// Reused filter-output buffer so steady-state blocks don't allocate.
+    scratch: Vec<Cplx>,
 }
 
 impl BandPowerMeter {
@@ -154,6 +156,7 @@ impl BandPowerMeter {
             filter,
             avg: MovingAverage::new(average_len)?,
             warmup_remaining: warmup,
+            scratch: Vec::new(),
         })
     }
 
@@ -163,14 +166,17 @@ impl BandPowerMeter {
     /// The whole block runs through the overlap-save filter in one pass,
     /// so long captures cost O(N log N) rather than O(N·taps).
     pub fn process(&mut self, iq: &[Cplx]) -> Option<f64> {
+        let mut buf = std::mem::take(&mut self.scratch);
+        self.filter.process_into(iq, &mut buf);
         let mut latest = None;
-        for y in self.filter.process(iq) {
+        for y in &buf {
             if self.warmup_remaining > 0 {
                 self.warmup_remaining -= 1;
                 continue;
             }
             latest = Some(self.avg.push(y.norm_sq()));
         }
+        self.scratch = buf;
         latest.or_else(|| self.avg.mean())
     }
 

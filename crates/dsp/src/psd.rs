@@ -8,6 +8,7 @@
 //! actually reports.
 
 use crate::fft::fft_in_place;
+use crate::scratch::DspScratch;
 use crate::window::Window;
 use crate::{Cplx, Direction, DspError};
 
@@ -25,6 +26,23 @@ pub fn welch_psd(
     overlap: f64,
     window: Window,
 ) -> Result<Vec<f64>, DspError> {
+    let mut scratch = DspScratch::new();
+    let mut out = Vec::new();
+    welch_psd_into(samples, segment_len, overlap, window, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// [`welch_psd`] with caller-owned working memory: intermediate buffers
+/// come from `scratch` and the bins land in `out` (cleared first). A loop
+/// that reuses both runs allocation-free once the pool is warm.
+pub fn welch_psd_into(
+    samples: &[Cplx],
+    segment_len: usize,
+    overlap: f64,
+    window: Window,
+    scratch: &mut DspScratch,
+    out: &mut Vec<f64>,
+) -> Result<(), DspError> {
     if segment_len == 0 || segment_len & (segment_len - 1) != 0 {
         return Err(DspError::NotPowerOfTwo(segment_len));
     }
@@ -35,32 +53,41 @@ pub fn welch_psd(
     }
     let overlap = overlap.clamp(0.0, 0.95);
     let hop = ((segment_len as f64) * (1.0 - overlap)).max(1.0) as usize;
-    let taps = window.taps(segment_len);
+    let mut taps = scratch.take_real(0);
+    window.taps_into(segment_len, &mut taps);
     let win_power: f64 = taps.iter().map(|t| t * t).sum::<f64>() / segment_len as f64;
 
-    let mut acc = vec![0.0f64; segment_len];
+    out.clear();
+    out.resize(segment_len, 0.0);
     let mut segments = 0usize;
     let mut start = 0usize;
-    let mut buf = vec![Cplx::ZERO; segment_len];
+    let mut buf = scratch.take_cplx(segment_len);
+    let mut result = Ok(());
     while start + segment_len <= samples.len() {
         for (i, b) in buf.iter_mut().enumerate() {
             *b = samples[start + i].scale(taps[i]);
         }
-        fft_in_place(&mut buf, Direction::Forward)?;
-        for (a, b) in acc.iter_mut().zip(&buf) {
+        if let Err(e) = fft_in_place(&mut buf, Direction::Forward) {
+            result = Err(e);
+            break;
+        }
+        for (a, b) in out.iter_mut().zip(&buf) {
             *a += b.norm_sq();
         }
         segments += 1;
         start += hop;
     }
+    scratch.put_real(taps);
+    scratch.put_cplx(buf);
+    result?;
     // Parseval: Σ_k |X[k]|² = N² · mean_power · mean(w²), so dividing by
     // N²·mean(w²) makes the PSD bins sum to the capture's mean power.
     let norm =
         1.0 / (segments as f64 * (segment_len * segment_len) as f64 * win_power.max(1e-30));
-    for a in &mut acc {
+    for a in out.iter_mut() {
         *a *= norm;
     }
-    Ok(acc)
+    Ok(())
 }
 
 /// A spectrogram: one Welch-normalized FFT row per hop.

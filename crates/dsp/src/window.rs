@@ -37,9 +37,19 @@ impl Window {
         }
     }
 
-    /// Materialize the window as a coefficient vector.
+    /// Materialize the window as a coefficient vector. Thin allocating
+    /// wrapper over [`Window::taps_into`].
     pub fn taps(&self, n: usize) -> Vec<f64> {
-        (0..n).map(|i| self.coeff(i, n)).collect()
+        let mut out = Vec::with_capacity(n);
+        self.taps_into(n, &mut out);
+        out
+    }
+
+    /// Materialize the window into a caller-owned buffer (cleared first);
+    /// reusing `out` across calls keeps repeated designs allocation-free.
+    pub fn taps_into(&self, n: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..n).map(|i| self.coeff(i, n)));
     }
 }
 

@@ -8,7 +8,7 @@
 //! real channel; disjoint bursts never cost more than their own window.
 
 use crate::frontend::Frontend;
-use aircal_dsp::{derive_stream_seed, par_map, Cplx};
+use aircal_dsp::{derive_stream_seed, par_map_with, Cplx, DspScratch};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -32,6 +32,15 @@ pub struct RenderedWindow {
     pub start_s: f64,
     /// The IQ samples.
     pub samples: Vec<Cplx>,
+}
+
+impl RenderedWindow {
+    /// Return this window's sample buffer to a scratch pool so the next
+    /// render reuses it — the step that closes the zero-allocation loop
+    /// (render → decode → recycle) in steady state.
+    pub fn recycle(self, scratch: &mut DspScratch) {
+        scratch.put_cplx(self.samples);
+    }
 }
 
 /// Renders burst plans into capture windows through a [`Frontend`].
@@ -86,12 +95,16 @@ impl CaptureRenderer {
     }
 
     /// Render one cluster (indices into `plans`) into its window, using
-    /// `rng` for the front end's noise.
-    fn render_cluster(
+    /// `rng` for the front end's noise. Working buffers come from
+    /// `scratch`; the window's sample buffer is taken from the pool too,
+    /// so recycling decoded windows ([`RenderedWindow::recycle`]) makes
+    /// the steady-state render loop allocation-free.
+    pub fn render_cluster_with(
         &self,
         plans: &[BurstPlan],
         cluster: &[usize],
         rng: &mut ChaCha8Rng,
+        scratch: &mut DspScratch,
     ) -> RenderedWindow {
         let fs = self.frontend.config.sample_rate_hz;
         let start_s = plans[cluster[0]].start_s - self.guard_samples as f64 / fs;
@@ -101,24 +114,37 @@ impl CaptureRenderer {
             .fold(f64::NEG_INFINITY, f64::max)
             + self.guard_samples as f64 / fs;
         let len = ((end_s - start_s) * fs).ceil() as usize;
-        let mut buf = vec![Cplx::ZERO; len];
+        let mut buf = scratch.take_cplx(len);
+        let mut sig = scratch.take_cplx(0);
         for &i in cluster {
             let p = &plans[i];
             let offset = ((p.start_s - start_s) * fs).round() as usize;
-            let sig = self
-                .frontend
-                .scale_and_impair(&p.waveform, p.rx_power_dbm, p.phase0, offset);
+            self.frontend
+                .scale_and_impair_into(&p.waveform, p.rx_power_dbm, p.phase0, offset, &mut sig);
             for (k, s) in sig.iter().enumerate() {
                 if offset + k < buf.len() {
                     buf[offset + k] += *s;
                 }
             }
         }
+        scratch.put_cplx(sig);
         self.frontend.finalize(&mut buf, rng);
         RenderedWindow {
             start_s,
             samples: buf,
         }
+    }
+
+    /// Render one cluster with throwaway scratch (allocating wrapper over
+    /// [`CaptureRenderer::render_cluster_with`]).
+    fn render_cluster(
+        &self,
+        plans: &[BurstPlan],
+        cluster: &[usize],
+        rng: &mut ChaCha8Rng,
+    ) -> RenderedWindow {
+        let mut scratch = DspScratch::new();
+        self.render_cluster_with(plans, cluster, rng, &mut scratch)
     }
 
     /// Render all plans into windows. Plans need not be sorted. Returns
@@ -147,11 +173,33 @@ impl CaptureRenderer {
         noise_seed: u64,
         threads: usize,
     ) -> Vec<RenderedWindow> {
+        let mut scratches: Vec<DspScratch> =
+            (0..threads.max(1)).map(|_| DspScratch::new()).collect();
+        let (mut slots, mut out) = (Vec::new(), Vec::new());
+        self.render_seeded_with(plans, noise_seed, threads, &mut scratches, &mut slots, &mut out);
+        out
+    }
+
+    /// [`CaptureRenderer::render_seeded`] with caller-owned per-worker
+    /// scratch pools and result buffers (see
+    /// [`aircal_dsp::par_map_with`] for the `scratches`/`slots`/`out`
+    /// contract). Reusing them across surveys keeps the render fan-out
+    /// allocation-free per burst in steady state; output is bit-identical
+    /// to [`CaptureRenderer::render_seeded`] at any thread count.
+    pub fn render_seeded_with(
+        &self,
+        plans: &[BurstPlan],
+        noise_seed: u64,
+        threads: usize,
+        scratches: &mut [DspScratch],
+        slots: &mut Vec<Option<RenderedWindow>>,
+        out: &mut Vec<RenderedWindow>,
+    ) {
         let _span = aircal_obs::span!("render_windows");
         let clusters = self.cluster_plans(plans);
-        par_map(&clusters, threads, |ci, cluster| {
+        par_map_with(&clusters, threads, scratches, slots, out, |ci, cluster, scratch| {
             let mut rng = ChaCha8Rng::seed_from_u64(derive_stream_seed(noise_seed, ci as u64));
-            self.render_cluster(plans, cluster, &mut rng)
+            self.render_cluster_with(plans, cluster, &mut rng, scratch)
         })
     }
 

@@ -113,20 +113,32 @@ impl Frontend {
         phase0: f64,
         sample_offset: usize,
     ) -> Vec<Cplx> {
+        let mut out = Vec::with_capacity(waveform.len());
+        self.scale_and_impair_into(waveform, rx_power_dbm, phase0, sample_offset, &mut out);
+        out
+    }
+
+    /// [`Frontend::scale_and_impair`] into a caller-owned buffer (cleared
+    /// first); reusing `out` keeps the per-burst render loop allocation-free.
+    pub fn scale_and_impair_into(
+        &self,
+        waveform: &[Cplx],
+        rx_power_dbm: f64,
+        phase0: f64,
+        sample_offset: usize,
+        out: &mut Vec<Cplx>,
+    ) {
         let amp = self.amplitude_fs(rx_power_dbm);
         let dphi = core::f64::consts::TAU * self.config.cfo_hz / self.config.sample_rate_hz;
         let q_gain = 10f64.powf(self.config.iq_imbalance_db / 20.0);
         let rot0 = Cplx::phasor(phase0);
-        waveform
-            .iter()
-            .enumerate()
-            .map(|(n, &s)| {
-                let rotated = s * rot0 * Cplx::phasor(dphi * (sample_offset + n) as f64);
-                let mut x = rotated.scale(amp);
-                x.im *= q_gain;
-                x
-            })
-            .collect()
+        out.clear();
+        out.extend(waveform.iter().enumerate().map(|(n, &s)| {
+            let rotated = s * rot0 * Cplx::phasor(dphi * (sample_offset + n) as f64);
+            let mut x = rotated.scale(amp);
+            x.im *= q_gain;
+            x
+        }));
     }
 
     /// Add thermal noise + DC offset to a signal buffer and quantize it to

@@ -20,7 +20,7 @@ pub mod synth;
 pub mod towers;
 
 pub use channels::AtscChannel;
-pub use probe::{TvMeasurement, TvPowerProbe, TvProbeConfig};
+pub use probe::{TvMeasurement, TvPowerProbe, TvProbeConfig, TvScratch};
 pub use towers::{paper_tv_towers, TvTower};
 
 /// ATSC channel bandwidth, Hz.

@@ -9,7 +9,7 @@
 use crate::synth::synthesize_8vsb;
 use crate::towers::TvTower;
 use crate::OCCUPIED_BANDWIDTH_HZ;
-use aircal_dsp::BandPowerMeter;
+use aircal_dsp::{BandPowerMeter, Cplx};
 use aircal_env::{SensorSite, World};
 use aircal_rfprop::LinkBudget;
 use aircal_sdr::{Frontend, FrontendConfig};
@@ -70,6 +70,16 @@ pub struct TvMeasurement {
     pub obstruction_db: f64,
 }
 
+/// Reusable working memory for [`TvPowerProbe::measure_with`]: the
+/// band-power meter (filter design + FFT plan, reset bit-identically
+/// between channels) and the rendered IQ buffer. One instance per worker;
+/// a scratch is tied to the probe config that first used it.
+#[derive(Debug, Default)]
+pub struct TvScratch {
+    meter: Option<BandPowerMeter>,
+    iq: Vec<Cplx>,
+}
+
 /// The probe.
 #[derive(Debug, Clone, Default)]
 pub struct TvPowerProbe {
@@ -83,13 +93,40 @@ impl TvPowerProbe {
         Self { config }
     }
 
-    /// Measure one station from `site` within `world`.
+    /// Synthesize the unit-power 8VSB capture waveform the probe measures
+    /// against. It is deterministic and channel-independent, so a sweep
+    /// synthesizes it once and shares it read-only across workers.
+    pub fn reference_waveform(&self) -> Vec<Cplx> {
+        synthesize_8vsb(self.config.capture_len, self.config.sample_rate_hz)
+    }
+
+    /// Measure one station from `site` within `world`. Thin allocating
+    /// wrapper over [`TvPowerProbe::measure_with`].
     pub fn measure(
         &self,
         world: &World,
         site: &SensorSite,
         tower: &TvTower,
         seed: u64,
+    ) -> TvMeasurement {
+        let waveform = self.reference_waveform();
+        let mut scratch = TvScratch::default();
+        self.measure_with(world, site, tower, seed, &waveform, &mut scratch)
+    }
+
+    /// [`TvPowerProbe::measure`] with a shared pre-synthesized waveform
+    /// (see [`TvPowerProbe::reference_waveform`]) and caller-owned working
+    /// memory. Once the scratch's meter and IQ buffer are warm, repeated
+    /// measurements are allocation-free apart from the station-name string
+    /// in the result. Output is identical to [`TvPowerProbe::measure`].
+    pub fn measure_with(
+        &self,
+        world: &World,
+        site: &SensorSite,
+        tower: &TvTower,
+        seed: u64,
+        waveform: &[Cplx],
+        scratch: &mut TvScratch,
     ) -> TvMeasurement {
         let _span = aircal_obs::span!("tv_channel");
         let cfg = &self.config;
@@ -112,20 +149,25 @@ impl TvPowerProbe {
         fe_cfg.fault = cfg.fault;
         let fe = Frontend::new(fe_cfg);
 
-        let waveform = synthesize_8vsb(cfg.capture_len, cfg.sample_rate_hz);
-        let iq = fe.render_burst(&waveform, rx_dbm, 0.4, &mut rng);
+        // Same math as `Frontend::render_burst`, into the reused buffer.
+        fe.scale_and_impair_into(waveform, rx_dbm, 0.4, 0, &mut scratch.iq);
+        fe.finalize(&mut scratch.iq, &mut rng);
 
-        // The paper's measurement chain.
-        let mut meter = BandPowerMeter::new(
-            0.0,
-            OCCUPIED_BANDWIDTH_HZ,
-            cfg.sample_rate_hz,
-            cfg.filter_taps,
-            cfg.average_len,
-        )
-        .expect("probe configuration valid");
+        // The paper's measurement chain; the meter (filter design + FFT
+        // plan) is built once per scratch and reset bit-identically.
+        let meter = scratch.meter.get_or_insert_with(|| {
+            BandPowerMeter::new(
+                0.0,
+                OCCUPIED_BANDWIDTH_HZ,
+                cfg.sample_rate_hz,
+                cfg.filter_taps,
+                cfg.average_len,
+            )
+            .expect("probe configuration valid")
+        });
+        meter.reset();
         let power_dbfs = meter
-            .measure_dbfs(&iq)
+            .measure_dbfs(&scratch.iq)
             .expect("capture longer than filter warm-up");
 
         TvMeasurement {
@@ -151,7 +193,21 @@ impl TvPowerProbe {
     ) -> Vec<TvMeasurement> {
         let _span = aircal_obs::span!("tv_sweep");
         let threads = aircal_dsp::resolve_parallelism(self.config.parallelism);
-        aircal_dsp::par_map(towers, threads, |_, t| self.measure(world, site, t, seed))
+        // The 8VSB reference is channel-independent: synthesize once and
+        // share it read-only; each worker reuses its own meter + IQ buffer.
+        let waveform = self.reference_waveform();
+        let mut scratches: Vec<TvScratch> =
+            (0..threads.max(1)).map(|_| TvScratch::default()).collect();
+        let (mut slots, mut out) = (Vec::new(), Vec::new());
+        aircal_dsp::par_map_with(
+            towers,
+            threads,
+            &mut scratches,
+            &mut slots,
+            &mut out,
+            |_, t, scratch| self.measure_with(world, site, t, seed, &waveform, scratch),
+        );
+        out
     }
 }
 

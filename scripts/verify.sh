@@ -32,7 +32,10 @@ cargo test --release -q --test golden_vectors
 echo "== fault injection demo (front-end + network chaos) =="
 cargo run --release --example fault_injection
 
-echo "== perfreport (--quick) =="
-cargo run --release -p aircal-bench --bin perfreport -- --quick
+echo "== allocation gate (zero steady-state allocs + bit-identity) =="
+cargo test --release -q -p aircal-bench --test allocations
+
+echo "== perfreport (--quick, alloc budget enforced) =="
+cargo run --release -p aircal-bench --bin perfreport -- --quick --check-allocs
 
 echo "== verify: all gates passed =="
