@@ -1,0 +1,85 @@
+//! Criterion bench for the geometry acceleration layer: brute-force
+//! `path_profile` vs the uniform-grid spatial index vs the index plus
+//! the exact-key path memo, on a dense synthetic downtown where the
+//! world→PHY hot path actually spends its time.
+
+use aircal_env::scenarios::dense_city;
+use aircal_env::{GeoScratch, PathCache};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_geometry(c: &mut Criterion) {
+    let dense = dense_city(12);
+    let rays = 72usize;
+    let (freq, elev, range) = (1.09e9, 2.0, 50_000.0);
+    let index = dense.world.index();
+
+    let mut group = c.benchmark_group(&format!(
+        "geometry/obstruction_{}b_{}rays",
+        dense.world.buildings.len(),
+        rays
+    ));
+    group.throughput(Throughput::Elements(rays as u64));
+    group.sample_size(10);
+
+    group.bench_function("brute", |b| {
+        b.iter(|| {
+            black_box(
+                dense
+                    .world
+                    .obstruction_profile(&dense.site, freq, elev, range, rays),
+            )
+        })
+    });
+
+    let mut scratch = GeoScratch::new();
+    let mut out = Vec::new();
+    group.bench_function("indexed", |b| {
+        b.iter(|| {
+            dense.world.obstruction_profile_with(
+                &index, None, &dense.site, freq, elev, range, rays, &mut scratch, &mut out,
+            );
+            black_box(out.len())
+        })
+    });
+
+    let mut cache = PathCache::new();
+    // Warm once so the timed iterations measure the steady state: a
+    // static-emitter sweep that is entirely memo hits.
+    dense.world.obstruction_profile_with(
+        &index,
+        Some(&mut cache),
+        &dense.site,
+        freq,
+        elev,
+        range,
+        rays,
+        &mut scratch,
+        &mut out,
+    );
+    group.bench_function("indexed_cached", |b| {
+        b.iter(|| {
+            dense.world.obstruction_profile_with(
+                &index,
+                Some(&mut cache),
+                &dense.site,
+                freq,
+                elev,
+                range,
+                rays,
+                &mut scratch,
+                &mut out,
+            );
+            black_box(out.len())
+        })
+    });
+    group.finish();
+
+    // Index construction cost (amortized once per world).
+    c.bench_function("geometry/index_build_140b", |b| {
+        b.iter(|| black_box(dense.world.index()))
+    });
+}
+
+criterion_group!(benches, bench_geometry);
+criterion_main!(benches);

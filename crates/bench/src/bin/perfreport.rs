@@ -2,7 +2,8 @@
 //! writes `BENCH_PIPELINE.json` at the repo root.
 //!
 //! ```sh
-//! cargo run --release -p aircal-bench --bin perfreport [-- --quick] [--seed N]
+//! cargo run --release -p aircal-bench --bin perfreport \
+//!     [-- --quick] [--seed N] [--threads N] [--check-allocs] [--check-perf]
 //! ```
 //!
 //! Sections:
@@ -15,7 +16,12 @@
 //!   at 63/255/1023 taps (the TV bandpass shapes);
 //! * **survey / tv_sweep / calibrator** — wall clock at 1/2/4/8 worker
 //!   threads, clamped to what the host actually has (bit-identical
-//!   outputs; the knob trades time only);
+//!   outputs; the knob trades time only). `--threads N` overrides the
+//!   clamp, so a single-core CI box can still emit the full sweep;
+//! * **geometry** — dense synthetic downtown: brute-force `path_profile`
+//!   vs the spatial index vs the index + path memo, all three bit-compared.
+//!   `--check-perf` enforces the speedup/hit-rate floors in
+//!   `scripts/perf_budget.json` (non-zero exit on regression);
 //! * **allocations** — steady-state allocator round-trips per burst on
 //!   the survey, TV-channel, and cellular hot paths: the old allocating
 //!   entry points vs the scratch (`*_with` / `*_into`) pipeline, counted
@@ -38,7 +44,7 @@ use aircal_dsp::corr::{find_peaks, normalized_correlation};
 use aircal_dsp::fir::design_bandpass;
 use aircal_dsp::window::Window;
 use aircal_dsp::{derive_stream_seed, Cplx, DspScratch, FastFirFilter, FirFilter};
-use aircal_env::{Scenario, ScenarioKind};
+use aircal_env::{scenarios::dense_city, GeoScratch, PathCache, Scenario, ScenarioKind};
 use aircal_sdr::{BurstPlan, CaptureRenderer, Frontend, FrontendConfig};
 use aircal_tv::{paper_tv_towers, TvPowerProbe, TvProbeConfig, TvScratch};
 use rand::SeedableRng;
@@ -115,10 +121,40 @@ struct AllocBudget {
     cellular_tower: f64,
 }
 
+/// Dense-world geometry acceleration: one obstruction sweep timed three
+/// ways. All three must agree bit for bit — the index and memo are pure
+/// accelerators, never approximations.
+#[derive(Serialize)]
+struct GeometryTiming {
+    buildings: usize,
+    rays: usize,
+    index_build_seconds: f64,
+    brute_seconds: f64,
+    indexed_seconds: f64,
+    cached_seconds: f64,
+    indexed_speedup: f64,
+    cached_speedup: f64,
+    cache_hit_rate: f64,
+    bit_identical: bool,
+}
+
+/// Floors on the geometry section, from `scripts/perf_budget.json`.
+#[derive(Deserialize)]
+struct PerfBudget {
+    min_indexed_speedup: f64,
+    min_cached_speedup: f64,
+    min_cache_hit_rate: f64,
+    require_bit_identical: bool,
+}
+
 #[derive(Serialize)]
 struct PipelineReport {
     quick: bool,
     host_cores: usize,
+    /// `--threads N` cap used for the thread sweeps instead of
+    /// `host_cores` (`null` when the host clamp applied).
+    threads_override: Option<usize>,
+    geometry: GeometryTiming,
     adsb_decode: DecodeTiming,
     preamble_scan: CorrTiming,
     fir: Vec<FirTiming>,
@@ -161,13 +197,19 @@ fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
     best
 }
 
-/// Time `run` at 1/2/4/8 worker threads, skipping counts beyond what the
-/// host can actually run in parallel — an oversubscribed row measures
-/// scheduler noise, not scaling. The serial row always survives the clamp.
-fn thread_sweep(reps: usize, host_cores: usize, mut run: impl FnMut(usize)) -> Vec<ThreadTiming> {
+/// Time `run` at 1/2/4/8 worker threads, skipping counts beyond `cap` —
+/// an oversubscribed row measures scheduler noise, not scaling. The cap
+/// defaults to the host's core count; `--threads N` raises (or lowers)
+/// it explicitly. The serial row always survives the clamp.
+fn thread_sweep(
+    reps: usize,
+    host_cores: usize,
+    cap: usize,
+    mut run: impl FnMut(usize),
+) -> Vec<ThreadTiming> {
     let mut out: Vec<ThreadTiming> = Vec::new();
     for threads in [1usize, 2, 4, 8] {
-        if threads > host_cores.max(1) {
+        if threads > cap.max(1) {
             continue;
         }
         let seconds = time_best(reps, || run(threads));
@@ -335,6 +377,112 @@ fn cellular_tower_allocs(seed: u64) -> AllocComparison {
     }
 }
 
+/// Time one dense-world obstruction sweep three ways: brute force over
+/// every building, through the spatial index, and through index + path
+/// memo (warmed, so the timed passes are pure lookups). The three output
+/// vectors are compared bit for bit.
+fn geometry_timings(quick: bool, reps: usize) -> GeometryTiming {
+    let dense = dense_city(if quick { 10 } else { 16 });
+    let rays = if quick { 120 } else { 240 };
+    let (freq, elev, range) = (1.09e9, 2.0, 50_000.0);
+
+    let t0 = Instant::now();
+    let index = dense.world.index();
+    let index_build_seconds = t0.elapsed().as_secs_f64();
+
+    let brute = dense
+        .world
+        .obstruction_profile(&dense.site, freq, elev, range, rays);
+    let brute_seconds = time_best(reps, || {
+        dense
+            .world
+            .obstruction_profile(&dense.site, freq, elev, range, rays)
+            .len()
+    });
+
+    let mut scratch = GeoScratch::new();
+    let mut out = Vec::new();
+    let indexed_seconds = time_best(reps, || {
+        dense.world.obstruction_profile_with(
+            &index, None, &dense.site, freq, elev, range, rays, &mut scratch, &mut out,
+        );
+        out.len()
+    });
+    let indexed = out.clone();
+
+    let mut cache = PathCache::new();
+    dense.world.obstruction_profile_with(
+        &index,
+        Some(&mut cache),
+        &dense.site,
+        freq,
+        elev,
+        range,
+        rays,
+        &mut scratch,
+        &mut out,
+    );
+    let _ = cache.take_delta(); // warm pass: don't let its misses dilute the rate
+    let cached_seconds = time_best(reps, || {
+        dense.world.obstruction_profile_with(
+            &index,
+            Some(&mut cache),
+            &dense.site,
+            freq,
+            elev,
+            range,
+            rays,
+            &mut scratch,
+            &mut out,
+        );
+        out.len()
+    });
+    let cached = out.clone();
+    let (hits, misses) = cache.take_delta();
+
+    let same_bits = |a: &[f64], b: &[f64]| {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+    };
+    GeometryTiming {
+        buildings: dense.world.buildings.len(),
+        rays,
+        index_build_seconds,
+        brute_seconds,
+        indexed_seconds,
+        cached_seconds,
+        indexed_speedup: brute_seconds / indexed_seconds,
+        cached_speedup: brute_seconds / cached_seconds,
+        cache_hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+        bit_identical: same_bits(&brute, &indexed) && same_bits(&brute, &cached),
+    }
+}
+
+/// Enforce `scripts/perf_budget.json`: the geometry accelerators must
+/// keep their speedup/hit-rate floors and stay bit-identical to brute
+/// force.
+fn check_perf_budget(g: &GeometryTiming) -> bool {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scripts/perf_budget.json");
+    let text = std::fs::read_to_string(path).expect("read scripts/perf_budget.json");
+    let budget: PerfBudget = serde_json::from_str(&text).expect("parse perf budget");
+    let mut ok = true;
+    let mut gate = |name: &str, value: f64, floor: f64| {
+        if value < floor {
+            eprintln!("# PERF BUDGET EXCEEDED: {name} at {value:.2} (floor {floor:.2})");
+            ok = false;
+        } else {
+            eprintln!("# perf budget ok: {name} at {value:.2} (floor {floor:.2})");
+        }
+    };
+    gate("geometry.indexed_speedup", g.indexed_speedup, budget.min_indexed_speedup);
+    gate("geometry.cached_speedup", g.cached_speedup, budget.min_cached_speedup);
+    gate("geometry.cache_hit_rate", g.cache_hit_rate, budget.min_cache_hit_rate);
+    if budget.require_bit_identical && !g.bit_identical {
+        eprintln!("# PERF BUDGET EXCEEDED: geometry outputs not bit-identical to brute force");
+        ok = false;
+    }
+    ok
+}
+
 /// Enforce `scripts/alloc_budget.json`: every scratch path must stay at
 /// or under its checked-in allocs-per-burst ceiling.
 fn check_alloc_budget(allocations: &[AllocComparison]) -> bool {
@@ -395,9 +543,22 @@ fn main() {
     let (positional, seed) = parse_args();
     let quick = positional.iter().any(|a| a == "--quick");
     let check_allocs = positional.iter().any(|a| a == "--check-allocs");
+    let check_perf = positional.iter().any(|a| a == "--check-perf");
+    let mut threads_override: Option<usize> = None;
+    let mut args_it = positional.iter();
+    while let Some(a) = args_it.next() {
+        if a == "--threads" {
+            threads_override = args_it.next().and_then(|v| v.parse().ok());
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            threads_override = v.parse().ok();
+        }
+    }
     let reps = if quick { 1 } else { 3 };
     let host_cores = aircal_dsp::resolve_parallelism(0);
-    eprintln!("# perfreport: quick={quick} seed={seed} host_cores={host_cores}");
+    let thread_cap = threads_override.unwrap_or(host_cores).max(1);
+    eprintln!(
+        "# perfreport: quick={quick} seed={seed} host_cores={host_cores} thread_cap={thread_cap}"
+    );
 
     // --- ADS-B decode throughput -----------------------------------------
     let (windows, samples) = decode_capture(seed, if quick { 200 } else { 1_000 });
@@ -474,7 +635,7 @@ fn main() {
     let s = Scenario::build(ScenarioKind::Rooftop);
     let traffic = paper_traffic(&s, seed);
     let survey_cfg = if quick { SurveyConfig::quick() } else { SurveyConfig::default() };
-    let survey = thread_sweep(reps, host_cores, |threads| {
+    let survey = thread_sweep(reps, host_cores, thread_cap, |threads| {
         let cfg = SurveyConfig {
             parallelism: threads,
             ..survey_cfg
@@ -489,7 +650,7 @@ fn main() {
 
     // --- TV sweep vs threads ---------------------------------------------
     let towers = paper_tv_towers(&s.world.origin);
-    let tv_sweep = thread_sweep(reps, host_cores, |threads| {
+    let tv_sweep = thread_sweep(reps, host_cores, thread_cap, |threads| {
         let probe = TvPowerProbe::new(TvProbeConfig {
             parallelism: threads,
             ..TvProbeConfig::default()
@@ -499,12 +660,23 @@ fn main() {
     eprintln!("# tv_sweep: {:.3}s serial", tv_sweep[0].seconds);
 
     // --- Full calibrator vs threads --------------------------------------
-    let calibrator = thread_sweep(if quick { 1 } else { 2 }, host_cores, |threads| {
+    let calibrator = thread_sweep(if quick { 1 } else { 2 }, host_cores, thread_cap, |threads| {
         let cal = if quick { Calibrator::quick() } else { Calibrator::default() }
             .with_parallelism(threads);
         std::hint::black_box(cal.calibrate(&s.world, &s.site, seed));
     });
     eprintln!("# calibrator: {:.3}s serial", calibrator[0].seconds);
+
+    // --- Geometry acceleration (dense world) -----------------------------
+    let geometry = geometry_timings(quick, reps);
+    eprintln!(
+        "# geometry: {} buildings, index {:.2}x, index+memo {:.2}x, hit rate {:.2}, bits {}",
+        geometry.buildings,
+        geometry.indexed_speedup,
+        geometry.cached_speedup,
+        geometry.cache_hit_rate,
+        if geometry.bit_identical { "identical" } else { "DIVERGED" }
+    );
 
     // --- Steady-state allocation accounting -------------------------------
     // Runs before the traced calibration so span recording (which does
@@ -532,6 +704,8 @@ fn main() {
     let report = PipelineReport {
         quick,
         host_cores,
+        threads_override,
+        geometry,
         adsb_decode,
         preamble_scan,
         fir,
@@ -547,9 +721,16 @@ fn main() {
     std::fs::write(path, json + "\n").expect("write BENCH_PIPELINE.json");
     println!("wrote {path}");
 
-    // Budget check runs last so the report is on disk (and uploadable as
-    // a CI artifact) even when the gate trips.
+    // Budget checks run last so the report is on disk (and uploadable as
+    // a CI artifact) even when a gate trips.
+    let mut failed = false;
     if check_allocs && !check_alloc_budget(&report.allocations) {
+        failed = true;
+    }
+    if check_perf && !check_perf_budget(&report.geometry) {
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -127,7 +127,17 @@ fn parallel_decode_marginal_allocs_per_burst_are_zero() {
         out.iter().sum::<usize>()
     };
 
-    // Warm up on the larger set so slot/result capacity covers both.
+    // The atomic work queue hands windows to workers by scheduling luck,
+    // so in the measured rounds *any* scratch may see *any* window. Warm
+    // every worker's scratch on the full set deterministically — a cold
+    // scratch growing mid-measurement would show up as a spurious,
+    // timing-dependent allocation delta.
+    for (ds, msgs) in scratches.iter_mut() {
+        for w in &windows_full {
+            decoder.scan_with(&w.samples, w.start_s, ds, msgs);
+        }
+    }
+    // And one parallel round so slot/result staging reaches capacity.
     round(&windows_full, &mut scratches, &mut slots, &mut out);
 
     let before = AllocSnapshot::now();
@@ -231,6 +241,68 @@ fn cellular_scan_into_matches_scan_bit_identically() {
         scanner.scan_into(&s.world, &s.site, &db, seed, &mut out);
         assert_eq!(reference, out);
     }
+}
+
+/// Geometry: after one warm-up sweep, an indexed obstruction sweep with
+/// warm scratch buffers is allocation-free, and a memoized sweep over
+/// static emitters is allocation-free too (pure hash lookups).
+#[test]
+fn geometry_sweeps_are_allocation_free_after_warmup() {
+    let _g = lock();
+    let dense = aircal_env::scenarios::dense_city(8);
+    let index = dense.world.index();
+    let mut scratch = aircal_env::GeoScratch::new();
+    let mut cache = aircal_env::PathCache::new();
+    let mut out = Vec::new();
+    let rays = 72;
+
+    // Warm-up: scratch buffers size themselves, the memo fills.
+    dense.world.obstruction_profile_with(
+        &index, None, &dense.site, 1.09e9, 2.0, 50_000.0, rays, &mut scratch, &mut out,
+    );
+    dense.world.obstruction_profile_with(
+        &index,
+        Some(&mut cache),
+        &dense.site,
+        1.09e9,
+        2.0,
+        50_000.0,
+        rays,
+        &mut scratch,
+        &mut out,
+    );
+
+    let before = AllocSnapshot::now();
+    dense.world.obstruction_profile_with(
+        &index, None, &dense.site, 1.09e9, 2.0, 50_000.0, rays, &mut scratch, &mut out,
+    );
+    let mid = AllocSnapshot::now();
+    dense.world.obstruction_profile_with(
+        &index,
+        Some(&mut cache),
+        &dense.site,
+        1.09e9,
+        2.0,
+        50_000.0,
+        rays,
+        &mut scratch,
+        &mut out,
+    );
+    let after = AllocSnapshot::now();
+
+    let indexed = mid - before;
+    let cached = after - mid;
+    assert_eq!(
+        indexed.allocs, 0,
+        "warm indexed sweep allocated {} times ({} bytes)",
+        indexed.allocs, indexed.bytes
+    );
+    assert_eq!(
+        cached.allocs, 0,
+        "warm memoized sweep allocated {} times ({} bytes)",
+        cached.allocs, cached.bytes
+    );
+    assert_eq!(cache.misses(), rays as u64, "second memo sweep must be all hits");
 }
 
 /// `welch_psd_into` with a reused scratch matches the allocating

@@ -9,9 +9,9 @@
 //! decode successfully." (§3.2)
 
 use crate::tower::{CellTower, TowerDatabase};
-use aircal_env::{SensorSite, World};
+use aircal_env::{GeoAccel, SensorSite, World};
 use aircal_rfprop::noise::noise_floor_dbm;
-use aircal_rfprop::LinkBudget;
+use aircal_rfprop::{LinkBudget, PathProfile};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -83,8 +83,21 @@ impl CellScanner {
         tower: &CellTower,
         seed: u64,
     ) -> CellMeasurement {
+        let path = world.path_profile(site, &tower.position, tower.dl_freq_hz());
+        self.measure_with_path(&path, site, tower, seed)
+    }
+
+    /// [`CellScanner::measure`] with the propagation path already in hand
+    /// — the geo-accelerated scan resolves the static towers through the
+    /// world's spatial index and memo first.
+    pub fn measure_with_path(
+        &self,
+        path: &PathProfile,
+        site: &SensorSite,
+        tower: &CellTower,
+        seed: u64,
+    ) -> CellMeasurement {
         let freq = tower.dl_freq_hz();
-        let path = world.path_profile(site, &tower.position, freq);
         let bearing = site.position.bearing_deg(&tower.position);
         let elevation = site.position.elevation_deg(&tower.position);
         let rx_gain = site.antenna.gain_dbi(bearing, elevation);
@@ -95,7 +108,7 @@ impl CellScanner {
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ tower.pci as u64);
         let draws = self.config.averaging_draws.max(1);
         let mean_lin: f64 = (0..draws)
-            .map(|_| 10f64.powf(budget.sample_rx_dbm(&path, &mut rng) / 10.0))
+            .map(|_| 10f64.powf(budget.sample_rx_dbm(path, &mut rng) / 10.0))
             .sum::<f64>()
             / draws as f64;
         let rsrp = 10.0 * mean_lin.log10() - self.config.fault.loss_db(freq);
@@ -141,6 +154,27 @@ impl CellScanner {
         let _span = aircal_obs::span!("cell_scan");
         out.clear();
         out.extend(db.all().iter().map(|t| self.measure(world, site, t, seed)));
+    }
+
+    /// [`CellScanner::scan_into`] resolving each tower's propagation path
+    /// through the world's spatial index and path memo. Towers are static,
+    /// so after the first sweep every path is a cache hit. Bit-identical to
+    /// the brute-force scan.
+    pub fn scan_with_geo(
+        &self,
+        world: &World,
+        accel: &mut GeoAccel,
+        site: &SensorSite,
+        db: &TowerDatabase,
+        seed: u64,
+        out: &mut Vec<CellMeasurement>,
+    ) {
+        let _span = aircal_obs::span!("cell_scan");
+        out.clear();
+        out.extend(db.all().iter().map(|t| {
+            let path = accel.profile(world, site, &t.position, t.dl_freq_hz());
+            self.measure_with_path(&path, site, t, seed)
+        }));
     }
 }
 
@@ -223,6 +257,26 @@ mod tests {
                 "{} rooftop RSRP {rsrp}",
                 m.tower_name
             );
+        }
+    }
+
+    /// The geo-accelerated sweep must match the brute-force scan bit for
+    /// bit, cold and warm.
+    #[test]
+    fn geo_scan_matches_brute_force() {
+        for kind in [ScenarioKind::Rooftop, ScenarioKind::BehindWindow, ScenarioKind::Indoor] {
+            let s = Scenario::build(kind);
+            let db = paper_towers(&s.world.origin);
+            let scanner = CellScanner::default();
+            let brute = scanner.scan(&s.world, &s.site, &db, 7);
+            let mut accel = s.world.accel();
+            let mut cold = Vec::new();
+            scanner.scan_with_geo(&s.world, &mut accel, &s.site, &db, 7, &mut cold);
+            assert_eq!(brute, cold, "{kind:?}: cold geo scan diverged");
+            let mut warm = Vec::new();
+            scanner.scan_with_geo(&s.world, &mut accel, &s.site, &db, 7, &mut warm);
+            assert_eq!(brute, warm, "{kind:?}: warm geo scan diverged");
+            assert_eq!(accel.cache.hits(), db.all().len() as u64);
         }
     }
 

@@ -4,11 +4,11 @@ use crate::classifier::{IndoorOutdoorClassifier, InstallFeatures};
 use crate::fov::{FovEstimator, FovMethod};
 use crate::freqprofile::FrequencyProfiler;
 use crate::report::{CalibrationReport, SurveySummary};
-use crate::survey::{run_survey, SurveyConfig};
+use crate::survey::{run_survey_indexed, SurveyConfig};
 use crate::trust::TrustAuditor;
 use aircal_aircraft::{TrafficConfig, TrafficSim};
 use aircal_cellular::paper_towers;
-use aircal_env::{SensorSite, World};
+use aircal_env::{GeoAccel, SensorSite, World};
 use aircal_obs::Obs;
 use aircal_tv::paper_tv_towers;
 
@@ -89,6 +89,10 @@ impl Calibrator {
     /// randomness.
     pub fn calibrate(&self, world: &World, site: &SensorSite, seed: u64) -> CalibrationReport {
         let _span = aircal_obs::span!("calibrate");
+        // One spatial index + path memo serves every stage below; building
+        // it is O(buildings) and the accelerated paths are bit-identical
+        // to brute force, so the report cannot change.
+        let mut geo = self.obs.time("stage.geo_index", || world.accel());
         // Traffic + directional survey (§3.1).
         let traffic = self.obs.time("stage.traffic", || {
             TrafficSim::generate(
@@ -99,9 +103,9 @@ impl Calibrator {
                 seed,
             )
         });
-        let survey = self
-            .obs
-            .time("stage.survey", || run_survey(world, site, &traffic, &self.survey, seed));
+        let survey = self.obs.time("stage.survey", || {
+            run_survey_indexed(world, &geo.index, site, &traffic, &self.survey, seed)
+        });
         publish_survey_metrics(&self.obs, &survey);
 
         // Field of view.
@@ -113,9 +117,11 @@ impl Calibrator {
         let cells = paper_towers(&world.origin);
         let tv = paper_tv_towers(&world.origin);
         let frequency = self.obs.time("stage.profile", || {
-            self.profiler.profile(world, site, &cells, &tv, seed ^ 0xF00D)
+            self.profiler
+                .profile_with_geo(world, &mut geo, site, &cells, &tv, seed ^ 0xF00D)
         });
         publish_profile_metrics(&self.obs, &frequency);
+        publish_geometry_metrics(&self.obs, &mut geo);
 
         // Derived inferences.
         let features = InstallFeatures::extract(&survey, &fov, &frequency);
@@ -162,6 +168,20 @@ pub fn publish_survey_metrics(obs: &Obs, survey: &crate::survey::SurveyResult) {
         "survey.aircraft_observed",
         survey.points.iter().filter(|p| p.observed).count() as u64,
     );
+}
+
+/// Publish geometry-acceleration telemetry into `obs`: path-memo hit/miss
+/// deltas and spatial-index work counters. Draining the deltas here keeps
+/// the obs counters monotone even when the same accelerator serves many
+/// calibrations.
+pub fn publish_geometry_metrics(obs: &Obs, geo: &mut GeoAccel) {
+    let (hits, misses) = geo.cache.take_delta();
+    obs.incr("geom.path_cache.hits", hits);
+    obs.incr("geom.path_cache.misses", misses);
+    let stats = geo.scratch.stats.take();
+    obs.incr("geom.index.queries", stats.queries);
+    obs.incr("geom.index.aabb_tests", stats.aabb_tests);
+    obs.incr("geom.index.candidates", stats.candidates);
 }
 
 /// Publish frequency-profile telemetry (per-source band counts) into `obs`.
@@ -221,6 +241,21 @@ mod tests {
         assert!(!r.install.outdoor);
         // The aperture supports long-range reception.
         assert!(r.survey.max_observed_range_m > 40_000.0);
+    }
+
+    /// The engine publishes geometry-acceleration counters, and observing
+    /// them never changes the report.
+    #[test]
+    fn geometry_metrics_published() {
+        let s = Scenario::build(ScenarioKind::Rooftop);
+        let obs = Obs::recording();
+        let observed = Calibrator::quick().with_obs(obs.clone()).calibrate(&s.world, &s.site, 42);
+        let silent = Calibrator::quick().calibrate(&s.world, &s.site, 42);
+        assert_eq!(observed.to_json(), silent.to_json());
+        assert!(obs.counter("geom.index.queries") > 0);
+        // 5 cell towers + 6 TV stations, each profiled exactly once.
+        assert_eq!(obs.counter("geom.path_cache.misses"), 11);
+        assert_eq!(obs.counter("geom.path_cache.hits"), 0);
     }
 
     #[test]

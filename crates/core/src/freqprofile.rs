@@ -9,7 +9,7 @@
 //! band.
 
 use aircal_cellular::{CellScanner, TowerDatabase};
-use aircal_env::{SensorSite, World};
+use aircal_env::{GeoAccel, SensorSite, World};
 use aircal_tv::{TvPowerProbe, TvTower};
 use serde::{Deserialize, Serialize};
 
@@ -141,10 +141,31 @@ pub struct FrequencyProfiler {
 
 impl FrequencyProfiler {
     /// Profile a node: measure all towers/stations through the real world
-    /// and compare against an unobstructed twin of the site.
+    /// and compare against an unobstructed twin of the site. Builds a
+    /// throwaway geometry accelerator; callers that profile repeatedly
+    /// against the same world should hold a [`GeoAccel`] and use
+    /// [`FrequencyProfiler::profile_with_geo`].
     pub fn profile(
         &self,
         world: &World,
+        site: &SensorSite,
+        cells: &TowerDatabase,
+        tv: &[TvTower],
+        seed: u64,
+    ) -> FrequencyProfile {
+        let mut accel = world.accel();
+        self.profile_with_geo(world, &mut accel, site, cells, tv, seed)
+    }
+
+    /// [`FrequencyProfiler::profile`] resolving the real-world sweeps
+    /// through a caller-owned geometry accelerator (spatial index + path
+    /// memo). The unobstructed twin lives in an *empty* world, where brute
+    /// force is already trivial, so only the real sweeps go through
+    /// `accel`. Bit-identical to the brute-force profile.
+    pub fn profile_with_geo(
+        &self,
+        world: &World,
+        accel: &mut GeoAccel,
         site: &SensorSite,
         cells: &TowerDatabase,
         tv: &[TvTower],
@@ -166,7 +187,9 @@ impl FrequencyProfiler {
         clear_probe.config.fault = aircal_sdr::FrontendFault::None;
 
         let mut bands = Vec::new();
-        let real_cell = self.scanner.scan(world, site, cells, seed);
+        let mut real_cell = Vec::new();
+        self.scanner
+            .scan_with_geo(world, accel, site, cells, seed, &mut real_cell);
         let clear_cell = clear_scanner.scan(&clear_world, &clear_site, cells, seed ^ 1);
         for (r, c) in real_cell.iter().zip(&clear_cell) {
             bands.push(BandMeasurement {
@@ -178,7 +201,7 @@ impl FrequencyProfiler {
             });
         }
 
-        let real_tv = self.tv_probe.sweep(world, site, tv, seed);
+        let real_tv = self.tv_probe.sweep_with_geo(world, accel, site, tv, seed);
         let clear_tv = clear_probe.sweep(&clear_world, &clear_site, tv, seed ^ 1);
         for (r, c) in real_tv.iter().zip(&clear_tv) {
             bands.push(BandMeasurement {

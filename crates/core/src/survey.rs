@@ -17,11 +17,11 @@ use aircal_adsb::cpr::{self, CprPair};
 use aircal_adsb::me::MePayload;
 use aircal_adsb::{DecodeScratch, DecodedMessage, Decoder, IcaoAddress, ADSB_FREQ_HZ};
 use aircal_aircraft::{GroundTruthService, TrafficSim, TransponderSchedule};
-use aircal_env::{SensorSite, World};
+use aircal_env::{GeoScratch, SensorSite, World, WorldIndex};
 use aircal_geo::LatLon;
 use aircal_rfprop::fading::RicianFading;
 use aircal_rfprop::LinkBudget;
-use aircal_dsp::{derive_stream_seed, par_map, par_map_with, resolve_parallelism};
+use aircal_dsp::{derive_stream_seed, par_map_with, resolve_parallelism};
 use aircal_sdr::{BurstPlan, CaptureRenderer, Frontend, FrontendConfig, FrontendFault};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -145,6 +145,20 @@ pub fn run_survey(
     config: &SurveyConfig,
     seed: u64,
 ) -> SurveyResult {
+    run_survey_indexed(world, &world.index(), site, traffic, config, seed)
+}
+
+/// [`run_survey`] with a caller-owned [`WorldIndex`], so long-lived hosts
+/// (network nodes, fleet audits) amortize the index build across surveys.
+/// Bit-identical to `run_survey` for an index built from `world`.
+pub fn run_survey_indexed(
+    world: &World,
+    index: &WorldIndex,
+    site: &SensorSite,
+    traffic: &TrafficSim,
+    config: &SurveyConfig,
+    seed: u64,
+) -> SurveyResult {
     let _span = aircal_obs::span!("survey");
     let threads = resolve_parallelism(config.parallelism);
 
@@ -189,8 +203,20 @@ pub fn run_survey(
     // the fade and carrier-phase draws never depend on scheduling order
     // and the result is bit-identical for every thread count.
     let plan_span = aircal_obs::span!("burst_planning");
-    let planned: Vec<Option<BurstPlan>> = par_map(&emissions, threads, |i, e| {
-        let path = world.path_profile(site, &e.position, ADSB_FREQ_HZ);
+    // Per-worker geometry scratch: the spatial index prunes the building
+    // scan per burst, and each worker's buffers stay warm across its
+    // share of the emissions.
+    let mut geo_scratches: Vec<GeoScratch> =
+        (0..threads.max(1)).map(|_| GeoScratch::new()).collect();
+    let (mut plan_slots, mut planned) = (Vec::new(), Vec::new());
+    par_map_with(
+        &emissions,
+        threads,
+        &mut geo_scratches,
+        &mut plan_slots,
+        &mut planned,
+        |i, e, geo| {
+        let path = world.path_profile_indexed(index, site, &e.position, ADSB_FREQ_HZ, geo);
         let bearing = site.position.bearing_deg(&e.position);
         let elevation = site.position.elevation_deg(&e.position);
         let rx_gain = site.antenna.gain_dbi(bearing, elevation);
@@ -218,7 +244,8 @@ pub fn run_survey(
             rx_power_dbm: rx_dbm,
             phase0: brng.gen_range(0.0..core::f64::consts::TAU),
         })
-    });
+        },
+    );
     drop(plan_span);
     let skipped_low_snr = planned.iter().filter(|p| p.is_none()).count();
     let plans: Vec<BurstPlan> = planned.into_iter().flatten().collect();

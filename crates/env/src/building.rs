@@ -1,6 +1,6 @@
 //! Buildings: extruded footprints with materials.
 
-use aircal_geo::{Point2, Polygon2, Segment2};
+use aircal_geo::{Aabb2, Point2, Polygon2, Segment2};
 use aircal_rfprop::Material;
 use serde::{Deserialize, Serialize};
 
@@ -68,6 +68,38 @@ impl Building {
             .crossings(seg)
             .first()
             .map(|(t, _)| t * seg.length())
+    }
+
+    /// Tight 2-D bounding box of the footprint (for the spatial index).
+    pub fn aabb(&self) -> Aabb2 {
+        Aabb2::of_polygon(&self.footprint)
+    }
+
+    /// Fused obstruction test for the path-profile loop: one boundary
+    /// crossings pass answers [`blocks_track`](Self::blocks_track),
+    /// [`first_crossing_distance`](Self::first_crossing_distance) and
+    /// [`through_loss_db`](Self::through_loss_db) together, writing into
+    /// caller-owned scratch buffers. Returns `None` when the track misses
+    /// the footprint; otherwise `(first_crossing_m, through_loss_db)`,
+    /// bit-identical to the three separate calls.
+    pub(crate) fn cut_with(
+        &self,
+        seg: &Segment2,
+        freq_hz: f64,
+        hits: &mut Vec<(f64, Point2)>,
+        ts: &mut Vec<f64>,
+    ) -> Option<(Option<f64>, f64)> {
+        let contains_a = self.footprint.contains(&seg.a);
+        self.footprint.crossings_into(seg, hits);
+        if !contains_a && hits.is_empty() {
+            return None;
+        }
+        let first = hits.first().map(|(t, _)| t * seg.length());
+        let wall = self.wall_material.penetration_loss_db(freq_hz);
+        let chord = self.footprint.chord_length_inside_from(seg, hits, ts);
+        let f_scale = (freq_hz / 1e9).max(0.01).sqrt();
+        let through = hits.len() as f64 * wall + chord * self.interior_db_per_m * f_scale;
+        Some((first, through))
     }
 
     /// Convenience: rectangular building centered at `center` with the

@@ -19,11 +19,13 @@
 //! penetration.
 
 pub mod building;
+pub mod index;
 pub mod scenarios;
 pub mod site;
 pub mod world;
 
 pub use building::Building;
+pub use index::{GeoAccel, GeoScratch, GeoStats, PathCache, WorldIndex};
 pub use scenarios::{all_scenarios, paper_scenarios, Scenario, ScenarioKind};
 pub use site::{Enclosure, SensorSite};
 pub use world::World;

@@ -126,6 +126,49 @@ pub fn all_scenarios() -> Vec<Scenario> {
     ]
 }
 
+/// A dense synthetic downtown for geometry benchmarks: an `n_per_side` ×
+/// `n_per_side` block grid of mid-rise buildings on a 60 m pitch, heights
+/// cycling 10–42 m, with an outdoor rooftop sensor at the center. Far
+/// bigger than any paper scenario — this is where the spatial index earns
+/// its keep — and deliberately **not** part of [`all_scenarios`], so the
+/// calibration test suite stays on the paper's worlds.
+pub fn dense_city(n_per_side: usize) -> Scenario {
+    let origin = testbed_origin();
+    let mut world = World::open(origin);
+    let half = (n_per_side as f64 - 1.0) * 30.0;
+    for i in 0..n_per_side {
+        for j in 0..n_per_side {
+            let c = Point2::new(i as f64 * 60.0 - half, j as f64 * 60.0 - half);
+            // Leave a small plaza around the sensor itself.
+            if c.x.abs() < 25.0 && c.y.abs() < 25.0 {
+                continue;
+            }
+            let material = match (i + 2 * j) % 3 {
+                0 => Material::Concrete,
+                1 => Material::Brick,
+                _ => Material::Glass,
+            };
+            world.buildings.push(Building::rect(
+                format!("block-{i}-{j}"),
+                c,
+                26.0,
+                26.0,
+                10.0 + ((i * 7 + j * 3) % 5) as f64 * 8.0,
+                material,
+            ));
+        }
+    }
+    let mut pos = origin;
+    pos.alt_m = 12.0;
+    Scenario {
+        kind: ScenarioKind::UrbanCanyon,
+        world,
+        site: SensorSite::outdoor("dense-city", pos),
+        expected_fov: Sector::full(),
+        is_outdoor: true,
+    }
+}
+
 /// The apartment building hosting all three paper sites: 30 m × 25 m,
 /// six stories (18 m), concrete.
 fn apartment_building() -> Building {

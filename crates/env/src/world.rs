@@ -1,6 +1,7 @@
 //! The world model and the geometry → path-profile computation.
 
 use crate::building::Building;
+use crate::index::{GeoScratch, PathCache, PathKey, WorldIndex};
 use crate::site::SensorSite;
 use aircal_geo::{LatLon, Point2, Segment2};
 use aircal_rfprop::diffraction::knife_edge_loss_db;
@@ -52,13 +53,155 @@ impl World {
     /// what produces the paper's "close aircraft received regardless of
     /// direction" multipath behaviour.
     pub fn path_profile(&self, site: &SensorSite, emitter: &LatLon, freq_hz: f64) -> PathProfile {
-        let ground_dist = site.position.distance_m(emitter).max(1.0);
-        let slant = site.position.slant_range_m(emitter).max(1.0);
-        let bearing = site.position.bearing_deg(emitter);
-        let elevation = site.position.elevation_deg(emitter);
-
         let sensor_2d = self.project(&site.position);
         let emitter_2d = self.project(emitter);
+        let (mut hits, mut ts) = (Vec::new(), Vec::new());
+        self.profile_core(
+            site,
+            emitter,
+            freq_hz,
+            sensor_2d,
+            emitter_2d,
+            0..self.buildings.len(),
+            &mut hits,
+            &mut ts,
+        )
+    }
+
+    /// [`path_profile`](Self::path_profile) accelerated by a prebuilt
+    /// [`WorldIndex`]: only buildings whose padded AABB the track can
+    /// touch run the exact polygon math. **Bit-identical** to the brute
+    /// force scan — pruned buildings would have contributed exactly 0 dB,
+    /// and survivors are visited in the same ascending order.
+    pub fn path_profile_indexed(
+        &self,
+        index: &WorldIndex,
+        site: &SensorSite,
+        emitter: &LatLon,
+        freq_hz: f64,
+        scratch: &mut GeoScratch,
+    ) -> PathProfile {
+        let sensor_2d = index.project(&site.position);
+        self.profile_indexed_at(index, site, emitter, freq_hz, sensor_2d, scratch)
+    }
+
+    /// Indexed profile with the site's 2-D projection already in hand
+    /// (the batched entry points hoist it out of the per-emitter loop).
+    fn profile_indexed_at(
+        &self,
+        index: &WorldIndex,
+        site: &SensorSite,
+        emitter: &LatLon,
+        freq_hz: f64,
+        sensor_2d: Point2,
+        scratch: &mut GeoScratch,
+    ) -> PathProfile {
+        let emitter_2d = index.project(emitter);
+        let track = Segment2::new(sensor_2d, emitter_2d);
+        index.candidates_into(&track, scratch);
+        let GeoScratch {
+            candidates,
+            hits,
+            ts,
+            ..
+        } = scratch;
+        self.profile_core(
+            site,
+            emitter,
+            freq_hz,
+            sensor_2d,
+            emitter_2d,
+            candidates.iter().map(|&i| i as usize),
+            hits,
+            ts,
+        )
+    }
+
+    /// Memoized indexed profile: serves repeat (site, emitter, frequency)
+    /// lookups — static TV/cell towers, obstruction-sweep points — from
+    /// the [`PathCache`]. Exact bit-pattern keys, so a hit returns exactly
+    /// what the miss path would have computed.
+    pub fn path_profile_cached(
+        &self,
+        index: &WorldIndex,
+        cache: &mut PathCache,
+        site: &SensorSite,
+        emitter: &LatLon,
+        freq_hz: f64,
+        scratch: &mut GeoScratch,
+    ) -> PathProfile {
+        let key = PathKey::of(site, emitter, freq_hz);
+        if let Some(p) = cache.get(&key) {
+            return p;
+        }
+        let p = self.path_profile_indexed(index, site, emitter, freq_hz, scratch);
+        cache.put(key, p);
+        p
+    }
+
+    /// Batched profiles for many emitters against one site, writing into a
+    /// caller-owned buffer: hoists the site projection out of the
+    /// per-emitter loop and reuses the scratch buffers throughout.
+    /// `out[i]` is bit-identical to `path_profile(site, &emitters[i], freq_hz)`.
+    pub fn path_profiles_into(
+        &self,
+        index: &WorldIndex,
+        site: &SensorSite,
+        freq_hz: f64,
+        emitters: &[LatLon],
+        scratch: &mut GeoScratch,
+        out: &mut Vec<PathProfile>,
+    ) {
+        out.clear();
+        let sensor_2d = index.project(&site.position);
+        for e in emitters {
+            out.push(self.profile_indexed_at(index, site, e, freq_hz, sensor_2d, scratch));
+        }
+    }
+
+    /// Memoized form of [`path_profiles_into`](Self::path_profiles_into).
+    #[allow(clippy::too_many_arguments)]
+    pub fn path_profiles_cached_into(
+        &self,
+        index: &WorldIndex,
+        cache: &mut PathCache,
+        site: &SensorSite,
+        freq_hz: f64,
+        emitters: &[LatLon],
+        scratch: &mut GeoScratch,
+        out: &mut Vec<PathProfile>,
+    ) {
+        out.clear();
+        for e in emitters {
+            out.push(self.path_profile_cached(index, cache, site, e, freq_hz, scratch));
+        }
+    }
+
+    /// The shared per-building accumulation loop. `ids` selects which
+    /// buildings to test (all of them for the brute-force reference, the
+    /// index's pruned candidate set for the accelerated paths); every
+    /// survivor runs the identical arithmetic in ascending-id order, so
+    /// any `ids` superset of the interacting buildings yields identical
+    /// bits.
+    #[allow(clippy::too_many_arguments)]
+    fn profile_core<I: Iterator<Item = usize>>(
+        &self,
+        site: &SensorSite,
+        emitter: &LatLon,
+        freq_hz: f64,
+        sensor_2d: Point2,
+        emitter_2d: Point2,
+        ids: I,
+        hits: &mut Vec<(f64, Point2)>,
+        ts: &mut Vec<f64>,
+    ) -> PathProfile {
+        let ground_raw = site.position.distance_m(emitter);
+        let ground_dist = ground_raw.max(1.0);
+        let dh = emitter.alt_m - site.position.alt_m;
+        let slant = (ground_raw * ground_raw + dh * dh).sqrt().max(1.0);
+        let bearing = site.position.bearing_deg(emitter);
+        let elevation = dh.atan2(ground_raw).to_degrees();
+
         let track = Segment2::new(sensor_2d, emitter_2d);
 
         let h_sensor = site.position.alt_m;
@@ -67,24 +210,27 @@ impl World {
         let mut diffraction_db = 0.0;
         let mut penetration_db = 0.0;
 
-        for b in &self.buildings {
+        for idx in ids {
+            let b = &self.buildings[idx];
             // The host building of an enclosed sensor is modeled by the
             // enclosure, not by its footprint (avoids double counting).
             if site.enclosure.is_some() && b.footprint.contains(&sensor_2d) {
                 continue;
             }
-            if !b.blocks_track(&track) {
+            let Some((first_crossing_m, through)) = b.cut_with(&track, freq_hz, hits, ts) else {
                 continue;
-            }
-            let d_c = b
-                .first_crossing_distance(&track)
-                .unwrap_or(1.0)
+            };
+            // A blocking footprint with no boundary crossing (sensor and
+            // emitter both project inside it) has no crossing distance;
+            // fall back to the track midpoint rather than pinning the
+            // edge 1 m from the sensor, which maximized knife-edge loss.
+            let d_c = first_crossing_m
+                .unwrap_or(0.5 * ground_dist)
                 .clamp(1.0, ground_dist);
             let t = (d_c / ground_dist).clamp(0.0, 1.0);
             let h_ray = h_sensor + (h_emitter - h_sensor) * t;
             let h_excess = b.height_m - h_ray;
             let over = knife_edge_loss_db(h_excess, d_c, (ground_dist - d_c).max(1.0), freq_hz);
-            let through = b.through_loss_db(&track, freq_hz);
             if over <= through {
                 diffraction_db += over;
             } else {
@@ -142,6 +288,51 @@ impl World {
                 p.diffraction_db + p.penetration_db
             })
             .collect()
+    }
+
+    /// Indexed, optionally memoized [`Self::obstruction_profile`]
+    /// writing into a caller-owned buffer.
+    /// The sweep emitters are a pure function of (site, elevation, range,
+    /// `n`), so with a cache a repeated sweep is served entirely from the
+    /// memo. Bit-identical to the brute-force form.
+    #[allow(clippy::too_many_arguments)]
+    pub fn obstruction_profile_with(
+        &self,
+        index: &WorldIndex,
+        cache: Option<&mut PathCache>,
+        site: &SensorSite,
+        freq_hz: f64,
+        elevation_deg: f64,
+        range_m: f64,
+        n: usize,
+        scratch: &mut GeoScratch,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        let sensor_2d = index.project(&site.position);
+        let mut cache = cache;
+        for i in 0..n {
+            let bearing = i as f64 * 360.0 / n as f64;
+            let mut emitter = site.position.destination(bearing, range_m);
+            emitter.alt_m = site.position.alt_m + elevation_deg.to_radians().tan() * range_m;
+            let p = match cache.as_deref_mut() {
+                Some(c) => self.path_profile_cached(index, c, site, &emitter, freq_hz, scratch),
+                None => self.profile_indexed_at(index, site, &emitter, freq_hz, sensor_2d, scratch),
+            };
+            out.push(p.diffraction_db + p.penetration_db);
+        }
+    }
+
+    /// Build the spatial acceleration index for this world's current
+    /// buildings (see [`WorldIndex`]); rebuild after mutating them.
+    pub fn index(&self) -> WorldIndex {
+        WorldIndex::new(self)
+    }
+
+    /// Build the bundled accelerator (index + path memo + scratch) for
+    /// this world (see [`crate::GeoAccel`]).
+    pub fn accel(&self) -> crate::GeoAccel {
+        crate::GeoAccel::new(self)
     }
 }
 
@@ -265,6 +456,146 @@ mod tests {
         // East (index 9 = 90°) blocked, west (index 27 = 270°) clear.
         assert!(prof[9] > 10.0, "east {}", prof[9]);
         assert_eq!(prof[27], 0.0, "west should be clear");
+    }
+
+    #[test]
+    fn tangent_ray_along_footprint_edge_uses_real_crossing() {
+        // Track collinear with the building's southern edge: the overlap
+        // start is a legitimate crossing, so the knife edge must sit at
+        // the footprint, not at a degenerate fallback distance.
+        let b = Building::rect("slab", Point2::new(15.0, 5.0), 10.0, 10.0, 40.0, Material::Concrete);
+        // Southern edge runs y = 0 from x = 10 to x = 20.
+        let track = Segment2::new(Point2::new(0.0, 0.0), Point2::new(40.0, 0.0));
+        let d = b.first_crossing_distance(&track).expect("tangent ray crosses");
+        assert!((d - 10.0).abs() < 1e-9, "crossing at {d}");
+        assert!(b.blocks_track(&track));
+    }
+
+    #[test]
+    fn degenerate_crossing_falls_back_to_track_midpoint() {
+        // Outdoor sensor standing inside a footprint (courtyard-style
+        // model, no enclosure) with the aircraft almost overhead: the
+        // 2-D track never crosses the boundary, so there is no crossing
+        // distance. The fallback must place the edge at the track
+        // midpoint — the old 1 m fallback pinned it at the sensor and
+        // maximized knife-edge loss.
+        let w = World::open(origin()).with_building(Building::rect(
+            "hall",
+            Point2::new(0.0, 0.0),
+            60.0,
+            60.0,
+            30.0,
+            Material::Concrete,
+        ));
+        let site = SensorSite::outdoor("s", LatLon::new(37.8716, -122.2727, 2.0));
+        let overhead = aircraft_at(&site, 0.0, 5.0, 9_000.0);
+        let p = w.path_profile(&site, &overhead, 1.09e9);
+
+        // Reproduce the loop arithmetic with the midpoint fallback and
+        // check the charged loss matches exactly.
+        let ground_raw = site.position.distance_m(&overhead);
+        let ground_dist = ground_raw.max(1.0);
+        let d_c = (0.5 * ground_dist).clamp(1.0, ground_dist);
+        let t = (d_c / ground_dist).clamp(0.0, 1.0);
+        let h_ray = 2.0 + (9_000.0 - 2.0) * t;
+        let over = aircal_rfprop::diffraction::knife_edge_loss_db(
+            30.0 - h_ray,
+            d_c,
+            (ground_dist - d_c).max(1.0),
+            1.09e9,
+        );
+        let sensor_2d = w.project(&site.position);
+        let emitter_2d = w.project(&overhead);
+        let through = w.buildings[0]
+            .through_loss_db(&Segment2::new(sensor_2d, emitter_2d), 1.09e9);
+        let expect = if over <= through { (over, 0.0) } else { (0.0, through) };
+        assert_eq!(p.diffraction_db.to_bits(), expect.0.to_bits());
+        assert_eq!(p.penetration_db.to_bits(), expect.1.to_bits());
+        // Overhead ray well above the 30 m roof at midpoint: no loss.
+        assert_eq!(p.diffraction_db + p.penetration_db, 0.0);
+    }
+
+    #[test]
+    fn indexed_and_cached_profiles_match_brute_force_bits() {
+        let mut w = World::open(origin());
+        for i in 0..40 {
+            let ang = i as f64 * 9.0;
+            w = w.with_building(Building::rect(
+                format!("b{i}"),
+                Point2::from_bearing(ang, 40.0 + (i % 7) as f64 * 35.0),
+                12.0 + (i % 4) as f64 * 6.0,
+                9.0 + (i % 5) as f64 * 7.0,
+                6.0 + (i % 6) as f64 * 9.0,
+                Material::Concrete,
+            ));
+        }
+        let site = SensorSite::outdoor("s", LatLon::new(37.8716, -122.2727, 2.0));
+        let index = w.index();
+        let mut scratch = crate::GeoScratch::new();
+        let mut cache = crate::PathCache::new();
+        for (brg, rng, alt, freq) in [
+            (10.0, 60_000.0, 9_000.0, 1.09e9),
+            (97.0, 1_500.0, 300.0, 0.615e9),
+            (211.0, 30_000.0, 11_000.0, 1.09e9),
+            (340.0, 250.0, 50.0, 2.65e9),
+        ] {
+            let ac = aircraft_at(&site, brg, rng, alt);
+            let brute = w.path_profile(&site, &ac, freq);
+            let fast = w.path_profile_indexed(&index, &site, &ac, freq, &mut scratch);
+            let cold = w.path_profile_cached(&index, &mut cache, &site, &ac, freq, &mut scratch);
+            let warm = w.path_profile_cached(&index, &mut cache, &site, &ac, freq, &mut scratch);
+            for got in [&fast, &cold, &warm] {
+                assert_eq!(brute.distance_m.to_bits(), got.distance_m.to_bits());
+                assert_eq!(brute.diffraction_db.to_bits(), got.diffraction_db.to_bits());
+                assert_eq!(brute.penetration_db.to_bits(), got.penetration_db.to_bits());
+                assert_eq!(brute.k_factor_db.to_bits(), got.k_factor_db.to_bits());
+                assert_eq!(brute.shadowing_sigma_db.to_bits(), got.shadowing_sigma_db.to_bits());
+            }
+        }
+        assert_eq!(cache.hits(), 4);
+        assert_eq!(cache.misses(), 4);
+    }
+
+    #[test]
+    fn batched_and_sweep_variants_match_pointwise_calls() {
+        let w = World::open(origin())
+            .with_building(Building::rect("a", Point2::new(25.0, 0.0), 10.0, 80.0, 70.0, Material::Concrete))
+            .with_building(Building::rect("b", Point2::new(-40.0, 10.0), 30.0, 12.0, 22.0, Material::Brick));
+        let site = SensorSite::outdoor("s", LatLon::new(37.8716, -122.2727, 2.0));
+        let index = w.index();
+        let mut scratch = crate::GeoScratch::new();
+        let emitters: Vec<LatLon> = (0..24)
+            .map(|i| aircraft_at(&site, i as f64 * 15.0, 20_000.0, 6_000.0))
+            .collect();
+        let mut batched = Vec::new();
+        w.path_profiles_into(&index, &site, 1.09e9, &emitters, &mut scratch, &mut batched);
+        assert_eq!(batched.len(), emitters.len());
+        for (e, got) in emitters.iter().zip(&batched) {
+            let want = w.path_profile(&site, e, 1.09e9);
+            assert_eq!(want.diffraction_db.to_bits(), got.diffraction_db.to_bits());
+            assert_eq!(want.penetration_db.to_bits(), got.penetration_db.to_bits());
+            assert_eq!(want.distance_m.to_bits(), got.distance_m.to_bits());
+        }
+
+        let brute = w.obstruction_profile(&site, 1.09e9, 2.0, 50_000.0, 36);
+        let mut cache = crate::PathCache::new();
+        let mut fast = Vec::new();
+        w.obstruction_profile_with(
+            &index, Some(&mut cache), &site, 1.09e9, 2.0, 50_000.0, 36, &mut scratch, &mut fast,
+        );
+        assert_eq!(brute.len(), fast.len());
+        for (a, b) in brute.iter().zip(&fast) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Second sweep is served entirely from the memo, same bits.
+        let mut warm = Vec::new();
+        w.obstruction_profile_with(
+            &index, Some(&mut cache), &site, 1.09e9, 2.0, 50_000.0, 36, &mut scratch, &mut warm,
+        );
+        assert_eq!(cache.hits(), 36);
+        for (a, b) in fast.iter().zip(&warm) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

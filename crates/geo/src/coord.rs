@@ -130,6 +130,56 @@ impl LatLon {
     }
 }
 
+/// A precomputed east-north-up frame anchored at one origin.
+///
+/// [`LatLon::enu_of`] recomputes the origin's ECEF position and the four
+/// rotation-row trig terms on every call; when thousands of emitters are
+/// projected against the same anchor (the world→PHY hot path), that work
+/// is pure overhead. `EnuFrame::new(o).enu_of(p)` runs the *same formulas
+/// in the same operation order* as `o.enu_of(p)`, so its outputs are
+/// bit-identical — it just evaluates the origin-only terms once.
+#[derive(Debug, Clone, Copy)]
+pub struct EnuFrame {
+    origin_ecef: Ecef,
+    sin_lon: f64,
+    cos_lon: f64,
+    sin_lat: f64,
+    cos_lat: f64,
+}
+
+impl EnuFrame {
+    /// Precompute the frame for an origin.
+    pub fn new(origin: &LatLon) -> Self {
+        let lat = origin.lat_deg.to_radians();
+        let lon = origin.lon_deg.to_radians();
+        Self {
+            origin_ecef: origin.to_ecef(),
+            sin_lon: lon.sin(),
+            cos_lon: lon.cos(),
+            sin_lat: lat.sin(),
+            cos_lat: lat.cos(),
+        }
+    }
+
+    /// Express `other` in this frame; bit-identical to
+    /// `origin.enu_of(other)`.
+    pub fn enu_of(&self, other: &LatLon) -> Enu {
+        let target = other.to_ecef();
+        let (dx, dy, dz) = (
+            target.x - self.origin_ecef.x,
+            target.y - self.origin_ecef.y,
+            target.z - self.origin_ecef.z,
+        );
+        let (sl, cl) = (self.sin_lon, self.cos_lon);
+        let (sp, cp) = (self.sin_lat, self.cos_lat);
+        Enu {
+            east: -sl * dx + cl * dy,
+            north: -sp * cl * dx - sp * sl * dy + cp * dz,
+            up: cp * cl * dx + cp * sl * dy + sp * dz,
+        }
+    }
+}
+
 /// Normalize a longitude into `[-180, 180)`.
 fn normalize_lon(deg: f64) -> f64 {
     let mut r = (deg + 180.0) % 360.0;
@@ -272,6 +322,21 @@ mod tests {
         assert!(enu.up > 999.0 && enu.up < 1_001.0);
         assert!(enu.horizontal_m() < 1.0);
         assert!((enu.elevation_deg() - 90.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn enu_frame_bit_identical_to_enu_of() {
+        let p = berkeley();
+        let frame = EnuFrame::new(&p);
+        for brg in [0.0, 33.0, 127.5, 213.9, 290.0] {
+            let mut q = p.destination(brg, 12_345.0);
+            q.alt_m = 8_000.0;
+            let a = p.enu_of(&q);
+            let b = frame.enu_of(&q);
+            assert_eq!(a.east.to_bits(), b.east.to_bits());
+            assert_eq!(a.north.to_bits(), b.north.to_bits());
+            assert_eq!(a.up.to_bits(), b.up.to_bits());
+        }
     }
 
     #[test]

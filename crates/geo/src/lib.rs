@@ -19,10 +19,12 @@
 //! practice); radians appear only inside computations. Distances are in
 //! **meters** unless a name says otherwise.
 
+pub mod aabb;
 pub mod angle;
 pub mod coord;
 pub mod polygon;
 
+pub use aabb::Aabb2;
 pub use angle::{normalize_bearing, normalize_signed, Sector};
-pub use coord::{Ecef, Enu, LatLon, EARTH_RADIUS_M};
+pub use coord::{Ecef, Enu, EnuFrame, LatLon, EARTH_RADIUS_M};
 pub use polygon::{Point2, Polygon2, Segment2};

@@ -211,22 +211,42 @@ impl Polygon2 {
     /// All crossings of the segment `seg` with the polygon boundary, as
     /// `(t, point)` sorted by increasing `t` along the segment.
     pub fn crossings(&self, seg: &Segment2) -> Vec<(f64, Point2)> {
-        let mut hits: Vec<(f64, Point2)> = self
-            .edges()
-            .filter_map(|e| seg.intersect(&e))
-            .collect();
+        let mut hits = Vec::new();
+        self.crossings_into(seg, &mut hits);
+        hits
+    }
+
+    /// Non-allocating form of [`crossings`](Self::crossings): clears and
+    /// fills a caller-owned buffer. Bit-identical to the allocating form.
+    pub fn crossings_into(&self, seg: &Segment2, hits: &mut Vec<(f64, Point2)>) {
+        hits.clear();
+        hits.extend(self.edges().filter_map(|e| seg.intersect(&e)));
         hits.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         // Deduplicate vertex hits (a crossing exactly at a shared vertex is
         // reported by both incident edges).
         hits.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-9);
-        hits
     }
 
     /// Total length of `seg` that lies inside the polygon. This is the
     /// through-material distance used for penetration-loss estimates.
     pub fn chord_length_inside(&self, seg: &Segment2) -> f64 {
-        let mut ts: Vec<f64> = self.crossings(seg).into_iter().map(|(t, _)| t).collect();
-        ts.insert(0, 0.0);
+        let crossings = self.crossings(seg);
+        self.chord_length_inside_from(seg, &crossings, &mut Vec::new())
+    }
+
+    /// Non-allocating form of [`chord_length_inside`](Self::chord_length_inside)
+    /// that reuses already-computed boundary `crossings` (as returned by
+    /// [`crossings`](Self::crossings) for the *same* segment) and a
+    /// caller-owned scratch buffer. Bit-identical to the allocating form.
+    pub fn chord_length_inside_from(
+        &self,
+        seg: &Segment2,
+        crossings: &[(f64, Point2)],
+        ts: &mut Vec<f64>,
+    ) -> f64 {
+        ts.clear();
+        ts.push(0.0);
+        ts.extend(crossings.iter().map(|(t, _)| *t));
         ts.push(1.0);
         ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
         ts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);

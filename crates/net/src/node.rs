@@ -3,12 +3,12 @@
 use crate::protocol::{NodeClaims, Request, Response};
 use aircal_aircraft::TrafficSim;
 use aircal_cellular::{paper_towers, CellScanner};
-use aircal_core::survey::run_survey;
+use aircal_core::survey::run_survey_indexed;
 use aircal_core::trust::fabricate_survey;
-use aircal_env::Scenario;
+use aircal_env::{GeoAccel, Scenario};
 use aircal_tv::{paper_tv_towers, TvPowerProbe};
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// How the operator behaves.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -39,6 +39,11 @@ pub struct NodeAgent {
     pub claims: NodeClaims,
     /// The shared sky (every node hears the same aircraft).
     pub sky: Arc<TrafficSim>,
+    /// Per-installation geometry accelerator: spatial index plus path
+    /// memo, built once at install time and reused across every request
+    /// this node services. Behind a mutex because [`NodeAgent::handle`]
+    /// takes `&self`; cloned nodes share the warm cache.
+    geo: Arc<Mutex<GeoAccel>>,
 }
 
 impl NodeAgent {
@@ -55,11 +60,13 @@ impl NodeAgent {
             freq_range_hz: (100e6, 6e9),
             price_per_hour: if claimed_outdoor { 2.0 } else { 0.8 },
         };
+        let geo = Arc::new(Mutex::new(scenario.world.accel()));
         Self {
             scenario,
             behavior,
             claims,
             sky,
+            geo,
         }
     }
 
@@ -69,13 +76,16 @@ impl NodeAgent {
         match request {
             Request::Describe => Response::Description(self.claims.clone()),
             Request::RunSurvey { config, seed } => {
-                let honest = run_survey(
+                let geo = self.geo.lock().expect("geo accel poisoned");
+                let honest = run_survey_indexed(
                     &self.scenario.world,
+                    &geo.index,
                     &self.scenario.site,
                     &self.sky,
                     config,
                     *seed,
                 );
+                drop(geo);
                 let reported = match self.behavior {
                     NodeBehavior::Fabricator { ghosts } => fabricate_survey(&honest, ghosts),
                     _ => honest,
@@ -84,17 +94,24 @@ impl NodeAgent {
             }
             Request::ScanCells { seed } => {
                 let db = paper_towers(&self.scenario.world.origin);
-                Response::Cells(CellScanner::default().scan(
+                let mut geo = self.geo.lock().expect("geo accel poisoned");
+                let mut out = Vec::new();
+                CellScanner::default().scan_with_geo(
                     &self.scenario.world,
+                    &mut geo,
                     &self.scenario.site,
                     &db,
                     *seed,
-                ))
+                    &mut out,
+                );
+                Response::Cells(out)
             }
             Request::SweepTv { seed } => {
                 let towers = paper_tv_towers(&self.scenario.world.origin);
-                Response::Tv(TvPowerProbe::default().sweep(
+                let mut geo = self.geo.lock().expect("geo accel poisoned");
+                Response::Tv(TvPowerProbe::default().sweep_with_geo(
                     &self.scenario.world,
+                    &mut geo,
                     &self.scenario.site,
                     &towers,
                     *seed,
@@ -138,6 +155,7 @@ impl NodeAgent {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
 
         let mut capture = vec![Cplx::ZERO; n];
+        let mut geo = self.geo.lock().expect("geo accel poisoned");
         for tower in paper_tv_towers(&self.scenario.world.origin) {
             let f_c = tower.channel.center_hz();
             let offset = f_c - center_hz;
@@ -145,9 +163,7 @@ impl NodeAgent {
                 continue;
             }
             let path =
-                self.scenario
-                    .world
-                    .path_profile(&self.scenario.site, &tower.position, f_c);
+                geo.profile(&self.scenario.world, &self.scenario.site, &tower.position, f_c);
             let bearing = self.scenario.site.position.bearing_deg(&tower.position);
             let elevation = self.scenario.site.position.elevation_deg(&tower.position);
             let rx_gain = self.scenario.site.antenna.gain_dbi(bearing, elevation);

@@ -17,7 +17,10 @@ use serde::{Deserialize, Serialize};
 
 /// Everything known about one propagation path, produced by the
 /// environment model and consumed by the link budget.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `Copy` (seven `f64`s) so the propagation memo cache can hand profiles
+/// back by value.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct PathProfile {
     /// 3-D (slant) distance, meters.
     pub distance_m: f64,
@@ -126,7 +129,7 @@ mod tests {
         let floor = crate::noise::noise_floor_dbm(2e6, 7.0);
         assert!(rx - floor > 15.0, "SNR only {} dB", rx - floor);
 
-        let mut blocked = clear.clone();
+        let mut blocked = clear;
         blocked.diffraction_db = 25.0;
         blocked.penetration_db = 15.0;
         let rx_b = budget.median_rx_dbm(&blocked);

@@ -10,8 +10,8 @@ use crate::synth::synthesize_8vsb;
 use crate::towers::TvTower;
 use crate::OCCUPIED_BANDWIDTH_HZ;
 use aircal_dsp::{BandPowerMeter, Cplx};
-use aircal_env::{SensorSite, World};
-use aircal_rfprop::LinkBudget;
+use aircal_env::{GeoAccel, SensorSite, World};
+use aircal_rfprop::{LinkBudget, PathProfile};
 use aircal_sdr::{Frontend, FrontendConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -128,10 +128,25 @@ impl TvPowerProbe {
         waveform: &[Cplx],
         scratch: &mut TvScratch,
     ) -> TvMeasurement {
+        let path = world.path_profile(site, &tower.position, tower.channel.center_hz());
+        self.measure_with_path(&path, site, tower, seed, waveform, scratch)
+    }
+
+    /// [`TvPowerProbe::measure_with`] with the propagation path already in
+    /// hand — the sweep entry points profile the static towers through the
+    /// world's spatial index and memo, then hand each worker its path.
+    pub fn measure_with_path(
+        &self,
+        path: &PathProfile,
+        site: &SensorSite,
+        tower: &TvTower,
+        seed: u64,
+        waveform: &[Cplx],
+        scratch: &mut TvScratch,
+    ) -> TvMeasurement {
         let _span = aircal_obs::span!("tv_channel");
         let cfg = &self.config;
         let freq = tower.channel.center_hz();
-        let path = world.path_profile(site, &tower.position, freq);
         let bearing = site.position.bearing_deg(&tower.position);
         let elevation = site.position.elevation_deg(&tower.position);
         let rx_gain = site.antenna.gain_dbi(bearing, elevation);
@@ -140,7 +155,7 @@ impl TvPowerProbe {
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ tower.channel.number() as u64);
         // Slow fading/shadowing: one draw for the whole capture (the
         // channel is static over milliseconds).
-        let rx_dbm = budget.sample_rx_dbm(&path, &mut rng);
+        let rx_dbm = budget.sample_rx_dbm(path, &mut rng);
 
         // Front end tuned to the channel at fixed gain.
         let mut fe_cfg = FrontendConfig::bladerf_xa9(freq, cfg.sample_rate_hz);
@@ -191,8 +206,32 @@ impl TvPowerProbe {
         towers: &[TvTower],
         seed: u64,
     ) -> Vec<TvMeasurement> {
+        let mut accel = world.accel();
+        self.sweep_with_geo(world, &mut accel, site, towers, seed)
+    }
+
+    /// [`TvPowerProbe::sweep`] with a caller-owned [`GeoAccel`]: a
+    /// long-lived holder (network node, calibration engine) amortizes the
+    /// index build and serves repeat sweeps of the static towers from the
+    /// propagation memo. Bit-identical to `sweep` for an accelerator
+    /// built from `world`.
+    pub fn sweep_with_geo(
+        &self,
+        world: &World,
+        accel: &mut GeoAccel,
+        site: &SensorSite,
+        towers: &[TvTower],
+        seed: u64,
+    ) -> Vec<TvMeasurement> {
         let _span = aircal_obs::span!("tv_sweep");
         let threads = aircal_dsp::resolve_parallelism(self.config.parallelism);
+        // Towers are static emitters: resolve every path serially through
+        // the index + memo (all hits after the first sweep), then fan the
+        // PHY chain out across workers.
+        let paths: Vec<PathProfile> = towers
+            .iter()
+            .map(|t| accel.profile(world, site, &t.position, t.channel.center_hz()))
+            .collect();
         // The 8VSB reference is channel-independent: synthesize once and
         // share it read-only; each worker reuses its own meter + IQ buffer.
         let waveform = self.reference_waveform();
@@ -205,7 +244,7 @@ impl TvPowerProbe {
             &mut scratches,
             &mut slots,
             &mut out,
-            |_, t, scratch| self.measure_with(world, site, t, seed, &waveform, scratch),
+            |i, t, scratch| self.measure_with_path(&paths[i], site, t, seed, &waveform, scratch),
         );
         out
     }

@@ -29,13 +29,19 @@ cargo test --release -q --test properties
 echo "== golden vectors (bit-exact fixtures) =="
 cargo test --release -q --test golden_vectors
 
+echo "== geometry equivalence (indexed/cached path bit-identity) =="
+cargo test --release -q -p aircal-env --test geometry_equivalence
+
+echo "== quickstart demo (calibration end-to-end) =="
+cargo run --release --example quickstart
+
 echo "== fault injection demo (front-end + network chaos) =="
 cargo run --release --example fault_injection
 
 echo "== allocation gate (zero steady-state allocs + bit-identity) =="
 cargo test --release -q -p aircal-bench --test allocations
 
-echo "== perfreport (--quick, alloc budget enforced) =="
-cargo run --release -p aircal-bench --bin perfreport -- --quick --check-allocs
+echo "== perfreport (--quick, alloc + perf budgets enforced) =="
+cargo run --release -p aircal-bench --bin perfreport -- --quick --check-allocs --check-perf
 
 echo "== verify: all gates passed =="
