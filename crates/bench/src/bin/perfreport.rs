@@ -3,7 +3,7 @@
 //!
 //! ```sh
 //! cargo run --release -p aircal-bench --bin perfreport \
-//!     [-- --quick] [--seed N] [--threads N] [--check-allocs] [--check-perf]
+//!     [-- --quick] [--seed N] [--threads N] [--check-allocs] [--check-perf] [--check-robust]
 //! ```
 //!
 //! Sections:
@@ -29,13 +29,21 @@
 //!   budgets in `scripts/alloc_budget.json` (non-zero exit on regression);
 //! * **stage_latency / span_summary** — one traced calibration run:
 //!   per-stage latency histograms (fixed `aircal-obs` bucket bounds)
-//!   and aggregated span wall times for the instrumented kernels.
+//!   and aggregated span wall times for the instrumented kernels;
+//! * **robustness** — an adversarial audit campaign (6 honest nodes,
+//!   one node per adversary kind, 8 rounds): per-adversary first-anomaly
+//!   and eviction rounds plus aggregate detection rate, false-quarantine
+//!   rate, and worst-case detection latency. `--check-robust` enforces
+//!   the floors in `scripts/robustness_budget.json` (non-zero exit when
+//!   an adversary survives or an honest node is quarantined).
 //!
 //! All numbers are wall-clock on whatever host runs this; `host_cores`
 //! records how much hardware parallelism was actually available.
 
+use aircal::net::{spawn_node, AdversaryKind, Cloud, NodeAgent, NodeBehavior, NodeHealth, RetryPolicy};
 use aircal_adsb::decoder::gated_preamble_correlation;
 use aircal_adsb::{cpr, me::MePayload, AdsbFrame, DecodeScratch, Decoder, IcaoAddress};
+use aircal_aircraft::{TrafficConfig, TrafficSim};
 use aircal_bench::{parse_args, paper_traffic, AllocSnapshot, CountingAllocator};
 use aircal_cellular::{paper_towers, CellScanner};
 use aircal_core::engine::Calibrator;
@@ -44,7 +52,9 @@ use aircal_dsp::corr::{find_peaks, normalized_correlation};
 use aircal_dsp::fir::design_bandpass;
 use aircal_dsp::window::Window;
 use aircal_dsp::{derive_stream_seed, Cplx, DspScratch, FastFirFilter, FirFilter};
-use aircal_env::{scenarios::dense_city, GeoScratch, PathCache, Scenario, ScenarioKind};
+use aircal_env::scenarios::{dense_city, testbed_origin};
+use aircal_env::{GeoScratch, PathCache, Scenario, ScenarioKind};
+use std::sync::Arc;
 use aircal_sdr::{BurstPlan, CaptureRenderer, Frontend, FrontendConfig};
 use aircal_tv::{paper_tv_towers, TvPowerProbe, TvProbeConfig, TvScratch};
 use rand::SeedableRng;
@@ -147,6 +157,46 @@ struct PerfBudget {
     require_bit_identical: bool,
 }
 
+/// One adversary's trip down the quarantine ladder during the campaign.
+#[derive(Serialize)]
+struct AdversaryOutcome {
+    kind: &'static str,
+    node: &'static str,
+    /// First round the consistency pass flagged this node (0-based).
+    first_anomaly_round: Option<u64>,
+    /// Round the ladder reached `Evicted` (0-based).
+    eviction_round: Option<u64>,
+    evicted: bool,
+}
+
+/// Detection quality of the robust-aggregation layer under a standing
+/// f < n/2 adversarial fleet.
+#[derive(Serialize)]
+struct RobustnessReport {
+    rounds: u64,
+    honest_nodes: usize,
+    adversary_nodes: usize,
+    adversaries: Vec<AdversaryOutcome>,
+    /// Fraction of adversaries evicted by the end of the campaign.
+    detection_rate: f64,
+    /// Honest nodes that ever reached Quarantined or worse.
+    false_quarantine_count: usize,
+    false_quarantine_rate: f64,
+    /// Worst-case rounds-to-eviction (eviction round + 1; the full
+    /// campaign length + 1 when an adversary survived).
+    max_detection_latency_rounds: u64,
+    campaign_seconds: f64,
+}
+
+/// Floors/ceilings on the robustness section, from
+/// `scripts/robustness_budget.json`.
+#[derive(Deserialize)]
+struct RobustBudget {
+    min_detection_rate: f64,
+    max_false_quarantine_rate: f64,
+    max_detection_latency_rounds: u64,
+}
+
 #[derive(Serialize)]
 struct PipelineReport {
     quick: bool,
@@ -164,6 +214,173 @@ struct PipelineReport {
     allocations: Vec<AllocComparison>,
     stage_latency: Vec<StageLatency>,
     span_summary: Vec<aircal_obs::SpanSummary>,
+    robustness: RobustnessReport,
+}
+
+/// The same f < n/2 fleet the byzantine integration suite pins down: six
+/// honest installations and one node per adversary kind, audited for
+/// eight rounds with a fresh commission seed each round. Fully seeded,
+/// so the outcome table is a regression surface, not a flaky benchmark.
+/// `(node name, installation, Some((kind tag, adversary)))` campaign row.
+type CampaignRow = (&'static str, ScenarioKind, Option<(&'static str, AdversaryKind)>);
+
+fn robustness_campaign() -> RobustnessReport {
+    const ROUNDS: u64 = 8;
+    let fleet: [CampaignRow; 11] = [
+        ("adv-frozen", ScenarioKind::Rooftop, Some(("frozen", AdversaryKind::FrozenFrontend))),
+        ("adv-gain", ScenarioKind::OpenField, Some(("gain", AdversaryKind::GainInflate { db: 25.0 }))),
+        (
+            "adv-poison",
+            ScenarioKind::OpenField,
+            Some(("poison", AdversaryKind::CalibrationPoison { db_per_round: 2.5 })),
+        ),
+        ("adv-replay", ScenarioKind::Rooftop, Some(("replay", AdversaryKind::ReplayStale))),
+        ("adv-spoof", ScenarioKind::OpenField, Some(("spoof", AdversaryKind::SpoofAdsb { ghosts: 24 }))),
+        ("h-canyon", ScenarioKind::UrbanCanyon, None),
+        ("h-field-a", ScenarioKind::OpenField, None),
+        ("h-field-b", ScenarioKind::OpenField, None),
+        ("h-roof-a", ScenarioKind::Rooftop, None),
+        ("h-roof-b", ScenarioKind::Rooftop, None),
+        ("h-window", ScenarioKind::BehindWindow, None),
+    ];
+    let sky = Arc::new(TrafficSim::generate(
+        TrafficConfig {
+            count: 40,
+            ..TrafficConfig::paper_default(testbed_origin())
+        },
+        4242,
+    ));
+    let mut cloud = Cloud::new(sky.clone());
+    cloud.retry_policy = RetryPolicy::quick();
+    for (i, (name, kind, adv)) in fleet.iter().enumerate() {
+        let scenario = Scenario::build(*kind);
+        let mut agent = match adv {
+            Some((_, kind)) => {
+                NodeAgent::with_adversary(scenario, sky.clone(), *kind, 0xBAD5_EED0 + i as u64)
+            }
+            None => NodeAgent::new(scenario, NodeBehavior::Honest, sky.clone()),
+        };
+        agent.claims.name = name.to_string();
+        cloud
+            .register(spawn_node(agent, 0.0, 7000 + i as u64))
+            .expect("campaign registration");
+    }
+
+    let mut first_anomaly: Vec<Option<u64>> = vec![None; fleet.len()];
+    let mut evicted_at: Vec<Option<u64>> = vec![None; fleet.len()];
+    let mut false_quarantined: Vec<bool> = vec![false; fleet.len()];
+    let t0 = Instant::now();
+    for round in 0..ROUNDS {
+        // Fresh commission seed per round: replayed or frozen reports
+        // only become evidence under a seed the node has not seen.
+        cloud.audit_all(2000 + round);
+        let health = cloud.health_report();
+        let anomalies = cloud.anomaly_report();
+        for (i, (name, _, adv)) in fleet.iter().enumerate() {
+            let h = health
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .map(|(_, h, _)| *h)
+                .expect("registered node reports health");
+            let run = anomalies
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .map(|(_, run, _)| *run)
+                .unwrap_or(0);
+            if run > 0 && first_anomaly[i].is_none() {
+                first_anomaly[i] = Some(round);
+            }
+            if matches!(h, NodeHealth::Evicted) && evicted_at[i].is_none() {
+                evicted_at[i] = Some(round);
+            }
+            if adv.is_none() && matches!(h, NodeHealth::Quarantined | NodeHealth::Evicted) {
+                false_quarantined[i] = true;
+            }
+        }
+    }
+    let campaign_seconds = t0.elapsed().as_secs_f64();
+    cloud.shutdown();
+
+    let adversaries: Vec<AdversaryOutcome> = fleet
+        .iter()
+        .enumerate()
+        .filter_map(|(i, (name, _, adv))| {
+            adv.map(|(kind, _)| AdversaryOutcome {
+                kind,
+                node: name,
+                first_anomaly_round: first_anomaly[i],
+                eviction_round: evicted_at[i],
+                evicted: evicted_at[i].is_some(),
+            })
+        })
+        .collect();
+    let honest_nodes = fleet.iter().filter(|(_, _, adv)| adv.is_none()).count();
+    let adversary_nodes = adversaries.len();
+    let detection_rate =
+        adversaries.iter().filter(|a| a.evicted).count() as f64 / adversary_nodes.max(1) as f64;
+    let false_quarantine_count = false_quarantined.iter().filter(|&&q| q).count();
+    let max_detection_latency_rounds = adversaries
+        .iter()
+        .map(|a| a.eviction_round.map_or(ROUNDS + 1, |r| r + 1))
+        .max()
+        .unwrap_or(0);
+    RobustnessReport {
+        rounds: ROUNDS,
+        honest_nodes,
+        adversary_nodes,
+        adversaries,
+        detection_rate,
+        false_quarantine_count,
+        false_quarantine_rate: false_quarantine_count as f64 / honest_nodes.max(1) as f64,
+        max_detection_latency_rounds,
+        campaign_seconds,
+    }
+}
+
+/// Enforce `scripts/robustness_budget.json`: every adversary must be
+/// evicted within the latency ceiling and no honest node quarantined.
+fn check_robust_budget(r: &RobustnessReport) -> bool {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scripts/robustness_budget.json");
+    let text = std::fs::read_to_string(path).expect("read scripts/robustness_budget.json");
+    let budget: RobustBudget = serde_json::from_str(&text).expect("parse robustness budget");
+    let mut ok = true;
+    if r.detection_rate < budget.min_detection_rate {
+        eprintln!(
+            "# ROBUSTNESS BUDGET EXCEEDED: detection_rate at {:.2} (floor {:.2})",
+            r.detection_rate, budget.min_detection_rate
+        );
+        ok = false;
+    } else {
+        eprintln!(
+            "# robustness budget ok: detection_rate at {:.2} (floor {:.2})",
+            r.detection_rate, budget.min_detection_rate
+        );
+    }
+    if r.false_quarantine_rate > budget.max_false_quarantine_rate {
+        eprintln!(
+            "# ROBUSTNESS BUDGET EXCEEDED: false_quarantine_rate at {:.2} (ceiling {:.2})",
+            r.false_quarantine_rate, budget.max_false_quarantine_rate
+        );
+        ok = false;
+    } else {
+        eprintln!(
+            "# robustness budget ok: false_quarantine_rate at {:.2} (ceiling {:.2})",
+            r.false_quarantine_rate, budget.max_false_quarantine_rate
+        );
+    }
+    if r.max_detection_latency_rounds > budget.max_detection_latency_rounds {
+        eprintln!(
+            "# ROBUSTNESS BUDGET EXCEEDED: max_detection_latency_rounds at {} (ceiling {})",
+            r.max_detection_latency_rounds, budget.max_detection_latency_rounds
+        );
+        ok = false;
+    } else {
+        eprintln!(
+            "# robustness budget ok: max_detection_latency_rounds at {} (ceiling {})",
+            r.max_detection_latency_rounds, budget.max_detection_latency_rounds
+        );
+    }
+    ok
 }
 
 /// One fully observed calibration run: stage timers feed fixed-bucket
@@ -544,6 +761,7 @@ fn main() {
     let quick = positional.iter().any(|a| a == "--quick");
     let check_allocs = positional.iter().any(|a| a == "--check-allocs");
     let check_perf = positional.iter().any(|a| a == "--check-perf");
+    let check_robust = positional.iter().any(|a| a == "--check-robust");
     let mut threads_override: Option<usize> = None;
     let mut args_it = positional.iter();
     while let Some(a) = args_it.next() {
@@ -701,6 +919,17 @@ fn main() {
         span_summary.len()
     );
 
+    // --- Adversarial audit campaign ---------------------------------------
+    let robustness = robustness_campaign();
+    eprintln!(
+        "# robustness: {}/{} adversaries evicted, {} false quarantines, worst latency {} rounds, {:.1}s",
+        robustness.adversaries.iter().filter(|a| a.evicted).count(),
+        robustness.adversary_nodes,
+        robustness.false_quarantine_count,
+        robustness.max_detection_latency_rounds,
+        robustness.campaign_seconds
+    );
+
     let report = PipelineReport {
         quick,
         host_cores,
@@ -715,6 +944,7 @@ fn main() {
         allocations,
         stage_latency,
         span_summary,
+        robustness,
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PIPELINE.json");
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -728,6 +958,9 @@ fn main() {
         failed = true;
     }
     if check_perf && !check_perf_budget(&report.geometry) {
+        failed = true;
+    }
+    if check_robust && !check_robust_budget(&report.robustness) {
         failed = true;
     }
     if failed {

@@ -68,13 +68,9 @@ impl FleetAuditor {
                 .calibrator
                 .calibrate(&s.world, &s.site, seed.wrapping_add(i as u64 * 0x9E37)),
         });
-        nodes.sort_by(|a, b| {
-            b.report
-                .trust
-                .score
-                .partial_cmp(&a.report.trust.score)
-                .unwrap()
-        });
+        // total_cmp: a NaN score (corrupted input) sorts last instead of
+        // panicking the whole fleet audit.
+        nodes.sort_by(|a, b| b.report.trust.score.total_cmp(&a.report.trust.score));
         for (i, n) in nodes.iter_mut().enumerate() {
             n.rank = i + 1;
         }

@@ -60,9 +60,13 @@ pub struct BandMeasurement {
 }
 
 impl BandMeasurement {
-    /// Estimated excess attenuation, dB (`None` if the band is blind).
+    /// Estimated excess attenuation, dB (`None` if the band is blind or
+    /// either side of the comparison is non-finite — corrupted inputs are
+    /// treated as blind rather than propagated).
     pub fn attenuation_db(&self) -> Option<f64> {
-        self.measured_db.map(|m| (self.expected_clear_db - m).max(0.0))
+        self.measured_db
+            .filter(|m| m.is_finite() && self.expected_clear_db.is_finite())
+            .map(|m| (self.expected_clear_db - m).max(0.0))
     }
 
     /// Classify the band.
@@ -99,7 +103,7 @@ impl FrequencyProfile {
         }
         self.bands
             .iter()
-            .filter(|b| b.measured_db.is_some())
+            .filter(|b| b.measured_db.is_some_and(|m| m.is_finite()))
             .count() as f64
             / self.bands.len() as f64
     }
@@ -124,7 +128,7 @@ impl FrequencyProfile {
     pub fn max_usable_freq_hz(&self) -> Option<f64> {
         self.bands
             .iter()
-            .filter(|b| b.measured_db.is_some())
+            .filter(|b| b.measured_db.is_some_and(|m| m.is_finite()) && b.freq_hz.is_finite())
             .map(|b| b.freq_hz)
             .fold(None, |acc: Option<f64>, f| Some(acc.map_or(f, |a| a.max(f))))
     }
@@ -213,7 +217,7 @@ impl FrequencyProfiler {
             });
         }
 
-        bands.sort_by(|a, b| a.freq_hz.partial_cmp(&b.freq_hz).unwrap());
+        bands.sort_by(|a, b| a.freq_hz.total_cmp(&b.freq_hz));
         FrequencyProfile {
             bands,
             missing_sources: Vec::new(),

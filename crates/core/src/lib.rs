@@ -38,6 +38,7 @@ pub mod freqprofile;
 pub mod history;
 pub mod repeat;
 pub mod report;
+pub mod robust;
 pub mod scheduler;
 pub mod survey;
 pub mod trust;

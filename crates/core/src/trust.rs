@@ -36,6 +36,16 @@ pub struct TrustScore {
     pub flags: Vec<String>,
 }
 
+/// Clamp a component score to `[0, 1]`; non-finite inputs (NaN/Inf from
+/// corrupted measurements) earn zero credit rather than propagating.
+fn clamp01(x: f64) -> f64 {
+    if x.is_finite() {
+        x.clamp(0.0, 1.0)
+    } else {
+        0.0
+    }
+}
+
 impl TrustScore {
     /// Is this node trustworthy enough to rent? (Threshold from the
     /// component weighting: a healthy outdoor node scores ≥ 70.)
@@ -50,8 +60,24 @@ impl TrustScore {
     /// node ranks below a complete one and the flag blocks marketplace
     /// approval until a clean audit.
     pub fn penalize_missing_evidence(&mut self, evidence: &str) {
+        if !self.score.is_finite() {
+            self.score = 0.0;
+        }
         self.score = (self.score - 20.0).max(0.0);
         self.flags.push(format!("missing evidence: {evidence}"));
+    }
+
+    /// Dock the score for disagreeing with the fleet's robustly fused
+    /// consensus (cross-sensor residual beyond tolerance). Like
+    /// [`TrustScore::penalize_missing_evidence`], the flag blocks
+    /// marketplace approval until a clean audit.
+    pub fn penalize_fusion_residual(&mut self, residual_db: f64) {
+        if !self.score.is_finite() {
+            self.score = 0.0;
+        }
+        self.score = (self.score - 15.0).max(0.0);
+        self.flags
+            .push(format!("fusion residual {residual_db:.1} dB vs fleet consensus"));
     }
 }
 
@@ -88,20 +114,21 @@ impl TrustAuditor {
         if survey.total_messages == 0 {
             flags.push("no ADS-B receptions at all".into());
             return TrustScore {
-                fov_coverage: fov_open_fraction.clamp(0.0, 1.0),
-                spectral_coverage: profile.usable_fraction(),
+                fov_coverage: clamp01(fov_open_fraction),
+                spectral_coverage: clamp01(profile.usable_fraction()),
                 position_consistency: 0.0,
                 rssi_plausibility: 0.0,
                 ghost_free: 1.0,
                 score: 100.0
-                    * (0.15 * fov_open_fraction.clamp(0.0, 1.0)
-                        + 0.15 * profile.usable_fraction()),
+                    * (0.15 * clamp01(fov_open_fraction)
+                        + 0.15 * clamp01(profile.usable_fraction())),
                 flags,
             };
         }
 
         // Ghost messages: decoded ICAOs the tracking service never saw.
-        let ghost_free = 1.0 - survey.unmatched_messages as f64 / survey.total_messages as f64;
+        let ghost_free =
+            clamp01(1.0 - survey.unmatched_messages as f64 / survey.total_messages as f64);
         if ghost_free < 0.7 {
             flags.push(format!(
                 "{}% of messages from aircraft unknown to ground truth",
@@ -126,29 +153,32 @@ impl TrustAuditor {
                     }
                 }
             }
-            ok as f64 / survey.decoded_positions.len() as f64
+            clamp01(ok as f64 / survey.decoded_positions.len() as f64)
         };
         if position_consistency < 0.5 {
             flags.push("decoded positions inconsistent with ground truth".into());
         }
 
         // RSSI physics: decoded signal strength should fall with range.
-        let rssi_plausibility = rssi_range_plausibility(survey);
+        let rssi_plausibility = clamp01(rssi_range_plausibility(survey));
         if rssi_plausibility < 0.3 {
             flags.push("RSSI does not follow a distance trend".into());
         }
 
-        let fov_coverage = fov_open_fraction.clamp(0.0, 1.0);
-        let spectral_coverage = profile.usable_fraction();
+        let fov_coverage = clamp01(fov_open_fraction);
+        let spectral_coverage = clamp01(profile.usable_fraction());
 
         // Weighted blend: integrity components dominate; coverage matters
         // but a well-behaved partially-obstructed node is still usable.
-        let score = 100.0
+        // Every component is clamped to [0, 1] above, so the blend stays
+        // finite in [0, 100] no matter how corrupted the inputs were.
+        let score = (100.0
             * (0.15 * fov_coverage
                 + 0.15 * spectral_coverage
                 + 0.25 * position_consistency
                 + 0.15 * rssi_plausibility
-                + 0.30 * ghost_free);
+                + 0.30 * ghost_free))
+            .clamp(0.0, 100.0);
 
         TrustScore {
             fov_coverage,
@@ -171,6 +201,7 @@ fn rssi_range_plausibility(survey: &SurveyResult) -> f64 {
         .iter()
         .filter_map(|p| {
             p.mean_rssi_dbfs
+                .filter(|r| r.is_finite() && p.range_m.is_finite())
                 .map(|r| (-20.0 * (p.range_m.max(1.0)).log10(), r))
         })
         .collect();
@@ -328,6 +359,57 @@ mod tests {
             score.penalize_missing_evidence("cells");
         }
         assert_eq!(score.score, 0.0);
+    }
+
+    #[test]
+    fn single_nan_band_power_cannot_poison_report() {
+        let (mut survey, traffic) = honest_setup();
+        // One corrupted band-power sample in the profile and one NaN RSSI
+        // point in the survey: the score must stay finite and in range.
+        let mut profile = profile_stub(11, 11);
+        profile.bands[3].measured_db = Some(f64::NAN);
+        profile.bands[5].expected_clear_db = f64::INFINITY;
+        if let Some(p) = survey.points.iter_mut().find(|p| p.mean_rssi_dbfs.is_some()) {
+            p.mean_rssi_dbfs = Some(f64::NAN);
+        }
+        let score = TrustAuditor::default().audit(&survey, &profile, &traffic, 0.95);
+        for (name, c) in [
+            ("fov", score.fov_coverage),
+            ("spectral", score.spectral_coverage),
+            ("position", score.position_consistency),
+            ("rssi", score.rssi_plausibility),
+            ("ghost_free", score.ghost_free),
+        ] {
+            assert!(
+                c.is_finite() && (0.0..=1.0).contains(&c),
+                "{name} component poisoned: {c}"
+            );
+        }
+        assert!(
+            score.score.is_finite() && (0.0..=100.0).contains(&score.score),
+            "score poisoned: {}",
+            score.score
+        );
+        // The corrupted bands count as blind, not as credit.
+        assert!(score.spectral_coverage <= 10.0 / 11.0 + 1e-12);
+        // Downstream ranking still works (is_trustworthy is a total check).
+        let _ = score.is_trustworthy();
+    }
+
+    #[test]
+    fn nan_score_recovers_under_penalty() {
+        let (survey, traffic) = honest_setup();
+        let mut score =
+            TrustAuditor::default().audit(&survey, &profile_stub(11, 11), &traffic, 0.95);
+        score.score = f64::NAN; // simulate legacy corruption
+        score.penalize_missing_evidence("tv");
+        assert_eq!(score.score, 0.0);
+        let mut score2 =
+            TrustAuditor::default().audit(&survey, &profile_stub(11, 11), &traffic, 0.95);
+        score2.score = f64::NAN;
+        score2.penalize_fusion_residual(42.0);
+        assert_eq!(score2.score, 0.0);
+        assert!(score2.flags.iter().any(|f| f.contains("fusion residual")));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! re-admission on the next clean audit.
 
 use crate::protocol::{NodeClaims, Request, Response};
+use crate::snapshot::{RegistryNodeState, SnapshotError};
 use crate::transport::{Link, LinkError, LinkStats, RetryPolicy};
 use aircal_aircraft::TrafficSim;
 use aircal_cellular::{paper_towers, CellMeasurement, CellScanner};
@@ -24,6 +25,7 @@ use aircal_core::classifier::{IndoorOutdoorClassifier, InstallFeatures, InstallV
 use aircal_core::engine::{publish_profile_metrics, publish_survey_metrics};
 use aircal_core::fov::{FovEstimate, FovEstimator};
 use aircal_core::freqprofile::{BandMeasurement, FrequencyProfile, SourceKind};
+use aircal_core::robust::{self, FusedProfile, FusionRule};
 use aircal_core::survey::{SurveyConfig, SurveyResult};
 use aircal_core::trust::{TrustAuditor, TrustScore};
 use aircal_env::{SensorSite, World};
@@ -64,25 +66,74 @@ pub struct StepFailure {
     pub attempts: u32,
 }
 
-/// Node lifecycle state, driven by consecutive failed or partial audits.
+/// Node lifecycle state: the quarantine ladder. Two drivers move a node
+/// down it — consecutive failed/partial audits (the *link* ladder, PR 2)
+/// and consecutive data-plane anomalies (the *Byzantine* ladder); the
+/// effective state is whichever driver currently demands the more severe
+/// rung. `Evicted` is terminal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum NodeHealth {
-    /// Last audit was clean (reachable, every step complete).
+    /// Last audit was clean (reachable, every step complete, no
+    /// anomalies).
     Healthy,
-    /// Recent audits failed or came back partial; still fully audited.
+    /// A data anomaly was detected this round; fully audited, still
+    /// rentable, but under scrutiny.
+    Suspect,
+    /// Recent audits failed, came back partial, or repeated an anomaly;
+    /// still fully audited.
     Degraded,
-    /// Too many consecutive failures: excluded from the marketplace and
-    /// probed with a cheap `Describe` before any full audit budget is
-    /// spent on it. A clean audit re-admits it to `Healthy`.
+    /// Too many consecutive failures or anomalies: excluded from the
+    /// marketplace and probed with a cheap `Describe` before any full
+    /// audit budget is spent on it. A clean audit re-admits it.
     Quarantined,
+    /// Terminal: the anomaly ladder ran out. Never audited again, never
+    /// rentable again.
+    Evicted,
+}
+
+impl NodeHealth {
+    /// Rung on the ladder (0 = healthy … 4 = evicted); also the byte the
+    /// registry snapshot stores.
+    pub fn severity(&self) -> u8 {
+        match self {
+            NodeHealth::Healthy => 0,
+            NodeHealth::Suspect => 1,
+            NodeHealth::Degraded => 2,
+            NodeHealth::Quarantined => 3,
+            NodeHealth::Evicted => 4,
+        }
+    }
+
+    /// Inverse of [`NodeHealth::severity`].
+    pub fn from_severity(rung: u8) -> Option<NodeHealth> {
+        match rung {
+            0 => Some(NodeHealth::Healthy),
+            1 => Some(NodeHealth::Suspect),
+            2 => Some(NodeHealth::Degraded),
+            3 => Some(NodeHealth::Quarantined),
+            4 => Some(NodeHealth::Evicted),
+            _ => None,
+        }
+    }
+
+    /// The more severe of two rungs.
+    pub fn max_severity(self, other: NodeHealth) -> NodeHealth {
+        if other.severity() > self.severity() {
+            other
+        } else {
+            self
+        }
+    }
 }
 
 impl core::fmt::Display for NodeHealth {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             NodeHealth::Healthy => write!(f, "healthy"),
+            NodeHealth::Suspect => write!(f, "suspect"),
             NodeHealth::Degraded => write!(f, "degraded"),
             NodeHealth::Quarantined => write!(f, "quarantined"),
+            NodeHealth::Evicted => write!(f, "evicted"),
         }
     }
 }
@@ -94,6 +145,14 @@ pub struct HealthPolicy {
     pub degraded_after: u32,
     /// Consecutive failed/partial audits before `Quarantined`.
     pub quarantined_after: u32,
+    /// Consecutive anomalous audits before `Suspect`.
+    pub suspect_anomalies: u32,
+    /// Consecutive anomalous audits before `Degraded`.
+    pub degraded_anomalies: u32,
+    /// Consecutive anomalous audits before `Quarantined`.
+    pub quarantined_anomalies: u32,
+    /// Consecutive anomalous audits before `Evicted` (terminal).
+    pub evicted_anomalies: u32,
 }
 
 impl Default for HealthPolicy {
@@ -101,8 +160,110 @@ impl Default for HealthPolicy {
         Self {
             degraded_after: 1,
             quarantined_after: 3,
+            suspect_anomalies: 1,
+            degraded_anomalies: 2,
+            quarantined_anomalies: 3,
+            evicted_anomalies: 4,
         }
     }
+}
+
+impl HealthPolicy {
+    /// The rung the link ladder demands for a given run of consecutive
+    /// failed/partial audits.
+    pub fn link_rung(&self, consecutive_failures: u32) -> NodeHealth {
+        if consecutive_failures >= self.quarantined_after {
+            NodeHealth::Quarantined
+        } else if consecutive_failures >= self.degraded_after {
+            NodeHealth::Degraded
+        } else {
+            NodeHealth::Healthy
+        }
+    }
+
+    /// The rung the Byzantine ladder demands for a given run of
+    /// consecutive anomalous audits.
+    pub fn anomaly_rung(&self, consecutive_anomalies: u32) -> NodeHealth {
+        if consecutive_anomalies >= self.evicted_anomalies {
+            NodeHealth::Evicted
+        } else if consecutive_anomalies >= self.quarantined_anomalies {
+            NodeHealth::Quarantined
+        } else if consecutive_anomalies >= self.degraded_anomalies {
+            NodeHealth::Degraded
+        } else if consecutive_anomalies >= self.suspect_anomalies {
+            NodeHealth::Suspect
+        } else {
+            NodeHealth::Healthy
+        }
+    }
+}
+
+/// Thresholds for the cross-sensor consistency checks. Every check is
+/// *hard-evidence*: its false-positive rate on honest (if obstructed)
+/// installations is negligible, so honest nodes never ride the Byzantine
+/// ladder. Soft disagreement (fusion residual) only docks trust.
+#[derive(Debug, Clone, Copy)]
+pub struct ConsistencyPolicy {
+    /// Estimator for the fleet's fused frequency profile.
+    pub fusion_rule: FusionRule,
+    /// Reported ICAOs spot-checked against ground truth per audit.
+    pub spot_check_k: usize,
+    /// Minimum unknown ICAOs among the sampled ones to call spoofing.
+    pub spot_check_min_unknown: usize,
+    /// Minimum unknown *fraction* among the sampled ICAOs.
+    pub spot_check_min_frac: f64,
+    /// A band measured this far above the clear-sky expectation is
+    /// physically implausible (fading upside is single-digit dB).
+    pub overshoot_db: f64,
+    /// Bands over [`ConsistencyPolicy::overshoot_db`] to call inflation.
+    pub overshoot_min_bands: usize,
+    /// Mean drift vs the node's own first-clean-audit baseline that
+    /// calls calibration poisoning, dB.
+    pub drift_db: f64,
+    /// Fusion residual beyond which trust is docked (no ladder action).
+    pub residual_penalty_db: f64,
+}
+
+impl Default for ConsistencyPolicy {
+    fn default() -> Self {
+        Self {
+            fusion_rule: FusionRule::Median,
+            spot_check_k: 8,
+            spot_check_min_unknown: 2,
+            spot_check_min_frac: 0.25,
+            overshoot_db: 12.0,
+            overshoot_min_bands: 3,
+            drift_db: 6.0,
+            residual_penalty_db: 35.0,
+        }
+    }
+}
+
+/// FNV-1a fingerprints of a round's completed report payloads (over their
+/// canonical JSON). Two rounds commissioned with *different* seeds that
+/// produce the *same* fingerprint are hard evidence of a replayed or
+/// frozen capture — an honest front end resamples its noise every time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReportFingerprints {
+    /// Fingerprint of the survey report (`None` if the step failed).
+    pub survey: Option<u64>,
+    /// Fingerprint of the cellular sweep (`None` if the step failed).
+    pub cells: Option<u64>,
+    /// Fingerprint of the TV sweep (`None` if the step failed).
+    pub tv: Option<u64>,
+}
+
+/// Ground-truth spot-check of the ICAO addresses a node claims to have
+/// received: the cloud samples evenly across the sorted roster and asks
+/// its own tracking service whether each aircraft exists.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpotCheck {
+    /// ICAOs sampled from the reported survey.
+    pub sampled: usize,
+    /// Sampled ICAOs the ground truth has never heard of.
+    pub unknown: usize,
+    /// Up to four unknown ICAOs, kept as evidence.
+    pub examples: Vec<u32>,
 }
 
 /// Everything the cloud concluded about one node.
@@ -127,6 +288,14 @@ pub struct VerificationVerdict {
     pub approved: bool,
     /// Audit steps that failed after retries (empty = complete audit).
     pub failed_steps: Vec<StepFailure>,
+    /// Fingerprints of the round's completed report payloads.
+    pub fingerprints: ReportFingerprints,
+    /// Ground-truth spot-check of reported ICAOs (`None` if the survey
+    /// decoded nothing).
+    pub spot_check: Option<SpotCheck>,
+    /// Mean absolute deviation from the fleet's fused consensus, dB
+    /// (`None` until a fleet consistency pass has run).
+    pub consensus_residual_db: Option<f64>,
 }
 
 impl VerificationVerdict {
@@ -134,6 +303,29 @@ impl VerificationVerdict {
     pub fn is_complete(&self) -> bool {
         self.failed_steps.is_empty()
     }
+}
+
+/// Durable per-node evidence the cloud keeps between audits: fingerprint
+/// history, the commissioning power baseline, the attested service-ledger
+/// checkpoint. This (not the link or the verdict) is what a registry
+/// snapshot persists.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeForensics {
+    /// Commission seed of the last completed audit.
+    pub last_seed: Option<u64>,
+    /// Survey fingerprint from the last completed audit.
+    pub survey_fp: Option<u64>,
+    /// Cellular-sweep fingerprint from the last completed audit.
+    pub cells_fp: Option<u64>,
+    /// TV-sweep fingerprint from the last completed audit.
+    pub tv_fp: Option<u64>,
+    /// Per-band power baseline from the node's first anomaly-free
+    /// complete audit: `(source tag, label, measured dB)`.
+    pub baseline: Vec<(u8, String, f64)>,
+    /// Last attested service-history checkpoint `(served, chain)`.
+    pub attested: Option<(u64, u64)>,
+    /// Why the node was evicted, if it was.
+    pub eviction_reason: Option<String>,
 }
 
 /// One row in the cloud's registry.
@@ -148,6 +340,10 @@ pub struct NodeRecord {
     pub health: NodeHealth,
     /// Consecutive audits that failed or came back partial.
     pub consecutive_failures: u32,
+    /// Consecutive completed audits with data-plane anomalies.
+    pub consecutive_anomalies: u32,
+    /// Cross-audit evidence (fingerprints, baseline, attestation).
+    pub forensics: NodeForensics,
 }
 
 /// The aggregator.
@@ -165,6 +361,8 @@ pub struct Cloud {
     pub retry_policy: RetryPolicy,
     /// Health lifecycle thresholds.
     pub health_policy: HealthPolicy,
+    /// Cross-sensor consistency thresholds (Byzantine detection).
+    pub consistency: ConsistencyPolicy,
     /// Observability: wire/audit counters and the structured
     /// [`AuditEvent`](aircal_obs::AuditEvent) log. Disabled by default;
     /// set to [`Obs::recording`] before auditing to collect telemetry.
@@ -174,6 +372,35 @@ pub struct Cloud {
     pub obs: Obs,
     /// Registered nodes, by name.
     registry: parking_lot::Mutex<std::collections::BTreeMap<String, NodeRecord>>,
+    /// The fleet's fused consensus profile from the last audit round.
+    fused: parking_lot::Mutex<Option<FusedProfile>>,
+}
+
+/// FNV-1a over a payload's canonical JSON — the report fingerprint used
+/// for replay/frozen detection (same basis as the node's service ledger).
+fn fingerprint_json<T: serde::Serialize>(value: &T) -> u64 {
+    let json = serde_json::to_string(value).expect("report payloads always serialize");
+    crate::node::fnv1a_step(crate::node::CHAIN_EMPTY, json.as_bytes())
+}
+
+/// Stable tag for a band's source (the key half of baseline entries).
+fn source_tag(s: SourceKind) -> u8 {
+    match s {
+        SourceKind::Cellular => 0,
+        SourceKind::BroadcastTv => 1,
+    }
+}
+
+/// Bands both the node and the fused consensus measured with finite values.
+fn common_band_count(profile: &FrequencyProfile, fused: &FusedProfile) -> usize {
+    profile
+        .bands
+        .iter()
+        .filter(|b| {
+            b.measured_db.is_some_and(|m| m.is_finite())
+                && fused.fused_for(&b.label, b.source).is_some()
+        })
+        .count()
 }
 
 /// Per-kind wire-counter deltas between two [`LinkStats`] snapshots, in a
@@ -289,8 +516,10 @@ impl Cloud {
             auditor: TrustAuditor::default(),
             retry_policy: RetryPolicy::default(),
             health_policy: HealthPolicy::default(),
+            consistency: ConsistencyPolicy::default(),
             obs: Obs::disabled(),
             registry: parking_lot::Mutex::new(std::collections::BTreeMap::new()),
+            fused: parking_lot::Mutex::new(None),
         }
     }
 
@@ -318,9 +547,29 @@ impl Cloud {
                 reachable: true,
                 health: NodeHealth::Healthy,
                 consecutive_failures: 0,
+                consecutive_anomalies: 0,
+                forensics: NodeForensics::default(),
             },
         );
         Some(name)
+    }
+
+    /// Replace the link of an already-registered node (a restarted daemon
+    /// re-attaching) *without* resetting its health, anomaly run, or
+    /// forensic history — crash-restart must not launder a bad record.
+    /// Returns `false` if the name is unknown.
+    pub fn reattach(&self, name: &str, link: Link) -> bool {
+        let mut registry = self.registry.lock();
+        match registry.get_mut(name) {
+            Some(record) => {
+                let old = std::mem::replace(&mut record.link, link);
+                old.shutdown();
+                record.reachable = true;
+                self.obs.incr("cloud.reattached", 1);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Number of registered nodes.
@@ -330,13 +579,28 @@ impl Cloud {
 
     /// Audit every registered node with seeds derived from `base_seed`,
     /// updating each node's health state. Returns verdicts sorted by
-    /// name (`None` = identity could not even be established).
+    /// name (`None` = identity could not even be established, or the
+    /// node is evicted).
+    ///
+    /// After the per-node audits, a wire-free *consistency pass* fuses
+    /// the round's complete profiles ([`aircal_core::robust`]), runs the
+    /// hard-evidence anomaly checks (ICAO spot-check, replay/frozen
+    /// fingerprints, physics overshoot, baseline drift), and walks both
+    /// health ladders. Evicted nodes are never audited again.
     pub fn audit_all(&self, base_seed: u64) -> Vec<(String, Option<VerificationVerdict>)> {
         let _span = aircal_obs::span!("audit_all");
         self.obs.incr("audit.rounds", 1);
         let mut registry = self.registry.lock();
         let mut out = Vec::new();
         for (i, (name, record)) in registry.iter_mut().enumerate() {
+            // Terminal rung: no probe, no audit budget, no events. The
+            // node still consumes its seed index, so its neighbors' seeds
+            // do not shift as the fleet shrinks.
+            if record.health == NodeHealth::Evicted {
+                self.obs.incr("audit.evicted_skipped", 1);
+                out.push((name.clone(), None));
+                continue;
+            }
             let seed = base_seed.wrapping_add(i as u64 * 0x9E37_79B9);
             self.obs
                 .emit(name, AuditEventKind::AuditStarted { seed });
@@ -380,30 +644,12 @@ impl Cloud {
                 self.obs.incr("audit.unreachable", 1);
             }
             let clean = verdict.as_ref().is_some_and(|v| v.is_complete());
-            let previous = record.health;
             if clean {
-                // Re-admission: one clean audit returns the node to full
-                // standing regardless of history.
+                // Re-admission: one clean audit clears the link ladder
+                // (the anomaly ladder is walked in the consistency pass).
                 record.consecutive_failures = 0;
-                record.health = NodeHealth::Healthy;
             } else {
                 record.consecutive_failures = record.consecutive_failures.saturating_add(1);
-                if record.consecutive_failures >= self.health_policy.quarantined_after {
-                    record.health = NodeHealth::Quarantined;
-                } else if record.consecutive_failures >= self.health_policy.degraded_after {
-                    record.health = NodeHealth::Degraded;
-                }
-            }
-            if record.health != previous {
-                self.obs.incr("health.transitions", 1);
-                self.obs.emit(
-                    name,
-                    AuditEventKind::HealthTransition {
-                        from: previous.to_string(),
-                        to: record.health.to_string(),
-                        consecutive_failures: record.consecutive_failures,
-                    },
-                );
             }
             self.obs.emit(
                 name,
@@ -415,7 +661,258 @@ impl Cloud {
             record.verdict = verdict.clone();
             out.push((name.clone(), verdict));
         }
+        self.consistency_pass(&mut registry, base_seed, &mut out);
         out
+    }
+
+    /// The wire-free cross-sensor consistency pass that closes every
+    /// audit round: robust fusion, hard-evidence anomaly checks, and the
+    /// health-ladder walk. Emits [`AuditEventKind::ConsistencyChecked`],
+    /// [`AuditEventKind::AnomalyDetected`], [`AuditEventKind::HealthTransition`],
+    /// and [`AuditEventKind::NodeEvicted`] — but never touches a link and
+    /// never increments `audit.steps_total`.
+    fn consistency_pass(
+        &self,
+        registry: &mut std::collections::BTreeMap<String, NodeRecord>,
+        base_seed: u64,
+        out: &mut [(String, Option<VerificationVerdict>)],
+    ) {
+        // Fuse the complete profiles of nodes still in good standing (as
+        // of the previous round's ladder state — a freshly-suspect liar
+        // still contributes, which is exactly what the robust estimator
+        // is for).
+        let eligible: Vec<&FrequencyProfile> = registry
+            .values()
+            .filter(|r| r.health.severity() < NodeHealth::Quarantined.severity())
+            .filter_map(|r| r.verdict.as_ref())
+            .filter(|v| v.is_complete())
+            .map(|v| &v.profile)
+            .collect();
+        let fused =
+            (!eligible.is_empty()).then(|| robust::fuse_profiles(&eligible, self.consistency.fusion_rule));
+
+        let pol = &self.consistency;
+        for (i, (name, record)) in registry.iter_mut().enumerate() {
+            if record.health == NodeHealth::Evicted {
+                continue;
+            }
+            let seed = base_seed.wrapping_add(i as u64 * 0x9E37_79B9);
+            let complete = record.verdict.as_ref().is_some_and(|v| v.is_complete());
+            let mut anomalies: Vec<(String, String)> = Vec::new();
+            if complete {
+                let verdict = record.verdict.as_mut().expect("complete implies verdict");
+                // 1) ADS-B spot-check: reported aircraft the tracking
+                //    service has never heard of cannot be a propagation
+                //    artifact.
+                if let Some(sc) = &verdict.spot_check {
+                    if sc.unknown >= pol.spot_check_min_unknown
+                        && sc.sampled > 0
+                        && sc.unknown as f64 >= pol.spot_check_min_frac * sc.sampled as f64
+                    {
+                        anomalies.push((
+                            "spot-check".to_string(),
+                            format!(
+                                "{}/{} sampled ICAOs unknown to ground truth (e.g. {:06X})",
+                                sc.unknown,
+                                sc.sampled,
+                                sc.examples.first().copied().unwrap_or(0)
+                            ),
+                        ));
+                    }
+                }
+                // 2) Replay / frozen capture: a report fingerprint that
+                //    repeats under a *different* commission seed. Honest
+                //    front ends resample their noise every capture.
+                let fp = verdict.fingerprints.clone();
+                let seeds_differ = record.forensics.last_seed.is_some_and(|s| s != seed);
+                let survey_rep =
+                    seeds_differ && fp.survey.is_some() && fp.survey == record.forensics.survey_fp;
+                let cells_rep =
+                    seeds_differ && fp.cells.is_some() && fp.cells == record.forensics.cells_fp;
+                let tv_rep = seeds_differ && fp.tv.is_some() && fp.tv == record.forensics.tv_fp;
+                if survey_rep && cells_rep && tv_rep {
+                    anomalies.push((
+                        "frozen".to_string(),
+                        "identical survey, cells, and tv reports under a fresh commission seed"
+                            .to_string(),
+                    ));
+                } else if survey_rep {
+                    anomalies.push((
+                        "replay".to_string(),
+                        format!(
+                            "survey fingerprint {:016x} replayed under a fresh commission seed",
+                            fp.survey.unwrap_or(0)
+                        ),
+                    ));
+                }
+                // 3) Physics overshoot: measuring well above the
+                //    clear-sky expectation at the claimed coordinates is
+                //    implausible — obstructions only remove power.
+                let over = verdict
+                    .profile
+                    .bands
+                    .iter()
+                    .filter(|b| {
+                        b.expected_clear_db.is_finite()
+                            && b.measured_db
+                                .is_some_and(|m| m.is_finite() && m > b.expected_clear_db + pol.overshoot_db)
+                    })
+                    .count();
+                if over >= pol.overshoot_min_bands {
+                    anomalies.push((
+                        "overshoot".to_string(),
+                        format!(
+                            "{over} bands more than {:.0} dB above the clear-sky expectation",
+                            pol.overshoot_db
+                        ),
+                    ));
+                }
+                // 4) Baseline drift: slow calibration poisoning shows up
+                //    as a signed mean shift against the node's own
+                //    commissioning baseline.
+                if !record.forensics.baseline.is_empty() {
+                    let mut sum = 0.0;
+                    let mut n = 0usize;
+                    for b in &verdict.profile.bands {
+                        let Some(m) = b.measured_db.filter(|m| m.is_finite()) else {
+                            continue;
+                        };
+                        if let Some((_, _, base)) = record
+                            .forensics
+                            .baseline
+                            .iter()
+                            .find(|(t, l, _)| *t == source_tag(b.source) && *l == b.label)
+                        {
+                            sum += m - base;
+                            n += 1;
+                        }
+                    }
+                    if n > 0 {
+                        let dev = sum / n as f64;
+                        if dev.abs() > pol.drift_db {
+                            anomalies.push((
+                                "drift".to_string(),
+                                format!(
+                                    "mean band power drifted {dev:+.1} dB from the commissioning baseline"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                // Residual vs the fused consensus: honest-but-obstructed
+                // installations legitimately sit far from the fleet, so
+                // this is a *trust* signal, never ladder evidence.
+                if let Some(fused) = &fused {
+                    if let Some(res) = robust::residual_db(&verdict.profile, fused) {
+                        verdict.consensus_residual_db = Some(res);
+                        self.obs.emit(
+                            name,
+                            AuditEventKind::ConsistencyChecked {
+                                residual_db: res,
+                                bands: common_band_count(&verdict.profile, fused),
+                            },
+                        );
+                        if res > pol.residual_penalty_db {
+                            verdict.trust.penalize_fusion_residual(res);
+                            verdict.approved =
+                                verdict.trust.is_trustworthy() && verdict.outdoor_claim_verified;
+                        }
+                    }
+                }
+                // Record this round's evidence for the next one.
+                record.forensics.last_seed = Some(seed);
+                record.forensics.survey_fp = fp.survey;
+                record.forensics.cells_fp = fp.cells;
+                record.forensics.tv_fp = fp.tv;
+                if anomalies.is_empty() && record.forensics.baseline.is_empty() {
+                    record.forensics.baseline = verdict
+                        .profile
+                        .bands
+                        .iter()
+                        .filter_map(|b| {
+                            b.measured_db
+                                .filter(|m| m.is_finite())
+                                .map(|m| (source_tag(b.source), b.label.clone(), m))
+                        })
+                        .collect();
+                }
+            }
+            // Ladder bookkeeping: complete rounds advance or reset the
+            // anomaly run; partial rounds leave it unchanged (the link
+            // ladder already charged them).
+            if complete {
+                if anomalies.is_empty() {
+                    record.consecutive_anomalies = 0;
+                } else {
+                    record.consecutive_anomalies = record.consecutive_anomalies.saturating_add(1);
+                    for (check, evidence) in &anomalies {
+                        self.obs.incr("audit.anomalies", 1);
+                        self.obs.emit(
+                            name,
+                            AuditEventKind::AnomalyDetected {
+                                check: check.clone(),
+                                evidence: evidence.clone(),
+                                consecutive: record.consecutive_anomalies,
+                            },
+                        );
+                    }
+                }
+            }
+            self.apply_health(name, record, NodeHealth::Healthy, || {
+                anomalies
+                    .first()
+                    .map(|(c, e)| format!("{c}: {e}"))
+                    .unwrap_or_else(|| "anomaly ladder exhausted".to_string())
+            });
+            // Residual penalties must reach the caller's copies too.
+            if complete {
+                if let Some(slot) = out.iter_mut().find(|(n, _)| n == name) {
+                    slot.1 = record.verdict.clone();
+                }
+            }
+        }
+        *self.fused.lock() = fused;
+    }
+
+    /// Walk both health ladders for one node and apply the more severe
+    /// rung (never dropping below `floor`), emitting the transition and —
+    /// on the terminal rung — the eviction event with its evidence.
+    fn apply_health(
+        &self,
+        name: &str,
+        record: &mut NodeRecord,
+        floor: NodeHealth,
+        eviction_reason: impl FnOnce() -> String,
+    ) {
+        let effective = floor
+            .max_severity(self.health_policy.link_rung(record.consecutive_failures))
+            .max_severity(self.health_policy.anomaly_rung(record.consecutive_anomalies));
+        if effective == record.health {
+            return;
+        }
+        let previous = record.health;
+        record.health = effective;
+        self.obs.incr("health.transitions", 1);
+        self.obs.emit(
+            name,
+            AuditEventKind::HealthTransition {
+                from: previous.to_string(),
+                to: effective.to_string(),
+                consecutive_failures: record.consecutive_failures.max(record.consecutive_anomalies),
+            },
+        );
+        if effective == NodeHealth::Evicted {
+            let reason = eviction_reason();
+            record.forensics.eviction_reason = Some(reason.clone());
+            self.obs.incr("audit.evictions", 1);
+            self.obs.emit(
+                name,
+                AuditEventKind::NodeEvicted {
+                    reason,
+                    after_audits: record.consecutive_anomalies,
+                },
+            );
+        }
     }
 
     /// Audit one node over its link. Returns `None` only when the node's
@@ -518,6 +1015,29 @@ impl Cloud {
         tv: StepOutcome<Vec<TvMeasurement>>,
         seed: u64,
     ) -> VerificationVerdict {
+        // Fingerprint the completed payloads exactly as they arrived —
+        // replay/frozen detection compares these across rounds.
+        let fingerprints = ReportFingerprints {
+            survey: match &survey {
+                StepOutcome::Complete(s) => {
+                    // The config echo carries scheduling knobs (worker
+                    // parallelism) that must not affect the fingerprint;
+                    // canonicalize it so only the measurement is hashed.
+                    let mut canon = s.clone();
+                    canon.config.parallelism = 1;
+                    Some(fingerprint_json(&canon))
+                }
+                StepOutcome::Failed(_) => None,
+            },
+            cells: match &cells {
+                StepOutcome::Complete(c) => Some(fingerprint_json(c)),
+                StepOutcome::Failed(_) => None,
+            },
+            tv: match &tv {
+                StepOutcome::Complete(t) => Some(fingerprint_json(t)),
+                StepOutcome::Failed(_) => None,
+            },
+        };
         let mut failures = Vec::new();
         let survey = match survey {
             StepOutcome::Complete(s) => s,
@@ -552,6 +1072,7 @@ impl Cloud {
 
         publish_survey_metrics(&self.obs, &survey);
         let mut verdict = self.judge(claims, survey, cells, tv, seed);
+        verdict.fingerprints = fingerprints;
         if cells_missing {
             verdict.profile.missing_sources.push(SourceKind::Cellular);
         }
@@ -599,6 +1120,7 @@ impl Cloud {
             .audit(&survey, &profile, &self.sky, fov.open_fraction());
         let outdoor_claim_verified = claims.outdoor == install.outdoor;
         let approved = trust.is_trustworthy() && outdoor_claim_verified;
+        let spot_check = self.spot_check_survey(&survey);
         VerificationVerdict {
             measured_max_freq_hz: profile.max_usable_freq_hz(),
             claims,
@@ -609,7 +1131,51 @@ impl Cloud {
             approved,
             profile,
             failed_steps: Vec::new(),
+            fingerprints: ReportFingerprints::default(),
+            spot_check,
+            consensus_residual_db: None,
         }
+    }
+
+    /// Sample reported ICAOs evenly across the sorted roster and check
+    /// each against the cloud's own tracking service. Deterministic (no
+    /// RNG), and `None` when the survey decoded nothing.
+    fn spot_check_survey(&self, survey: &SurveyResult) -> Option<SpotCheck> {
+        let k = self.consistency.spot_check_k;
+        if k == 0 || survey.decoded_positions.is_empty() {
+            return None;
+        }
+        let mut icaos: Vec<u32> = survey
+            .decoded_positions
+            .iter()
+            .map(|(icao, _)| icao.value())
+            .collect();
+        icaos.sort_unstable();
+        icaos.dedup();
+        let n = icaos.len();
+        let take = k.min(n);
+        let mut sampled: Vec<u32> = (0..take)
+            .map(|j| {
+                let idx = if take == 1 { 0 } else { j * (n - 1) / (take - 1) };
+                icaos[idx]
+            })
+            .collect();
+        sampled.dedup();
+        let mut unknown = 0usize;
+        let mut examples = Vec::new();
+        for icao in &sampled {
+            if self.sky.by_icao(aircal_adsb::IcaoAddress::new(*icao)).is_none() {
+                unknown += 1;
+                if examples.len() < 4 {
+                    examples.push(*icao);
+                }
+            }
+        }
+        Some(SpotCheck {
+            sampled: sampled.len(),
+            unknown,
+            examples,
+        })
     }
 
     /// Build the band profile: reported measurements vs the cloud's own
@@ -650,19 +1216,20 @@ impl Cloud {
                 expected_clear_db: c.power_dbfs,
             });
         }
-        bands.sort_by(|a, b| a.freq_hz.partial_cmp(&b.freq_hz).unwrap());
+        bands.sort_by(|a, b| a.freq_hz.total_cmp(&b.freq_hz));
         FrequencyProfile {
             bands,
             missing_sources: Vec::new(),
         }
     }
 
-    /// The marketplace: approved, non-quarantined nodes, cheapest first.
+    /// The marketplace: approved nodes below the quarantine rung,
+    /// cheapest first. Quarantined and evicted nodes are never rentable.
     pub fn marketplace(&self) -> Vec<(String, f64, f64)> {
         let registry = self.registry.lock();
         let mut listings: Vec<(String, f64, f64)> = registry
             .iter()
-            .filter(|(_, rec)| rec.health != NodeHealth::Quarantined)
+            .filter(|(_, rec)| rec.health.severity() < NodeHealth::Quarantined.severity())
             .filter_map(|(name, rec)| {
                 let v = rec.verdict.as_ref()?;
                 v.approved.then(|| {
@@ -686,6 +1253,160 @@ impl Cloud {
             .iter()
             .map(|(name, rec)| (name.clone(), rec.health, rec.consecutive_failures))
             .collect()
+    }
+
+    /// Anomaly-ladder snapshot, sorted by name:
+    /// `(name, consecutive anomalous audits, eviction reason if evicted)`.
+    pub fn anomaly_report(&self) -> Vec<(String, u32, Option<String>)> {
+        self.registry
+            .lock()
+            .iter()
+            .map(|(name, rec)| {
+                (
+                    name.clone(),
+                    rec.consecutive_anomalies,
+                    rec.forensics.eviction_reason.clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// The fleet's fused consensus profile from the last audit round.
+    pub fn fused_profile(&self) -> Option<FusedProfile> {
+        self.fused.lock().clone()
+    }
+
+    /// Cross-examine every non-evicted node's service ledger against the
+    /// checkpoint recorded at the previous attestation. Returns
+    /// `(name, consistent)` per node checked.
+    ///
+    /// A node whose chain *at the recorded checkpoint length* no longer
+    /// matches what the cloud saw — or whose history shrank — has forked
+    /// or rolled back its served-request log (e.g. restarted from a stale
+    /// snapshot and silently re-served different requests). That is hard
+    /// evidence: it rides the anomaly ladder and quarantines on the spot.
+    ///
+    /// Attestation is reconciliation, not measurement: it bypasses the
+    /// audit step machinery (no step events, no `audit.steps_total`), so
+    /// audit telemetry totals stay exact.
+    pub fn attest_all(&self) -> Vec<(String, bool)> {
+        let mut registry = self.registry.lock();
+        let mut out = Vec::new();
+        for (name, record) in registry.iter_mut() {
+            if record.health == NodeHealth::Evicted {
+                continue;
+            }
+            self.obs.incr("attest.checks", 1);
+            let before = record.link.stats();
+            let upto = record.forensics.attested.map(|(served, _)| served).unwrap_or(0);
+            let resp = record
+                .link
+                .call_with_retry(Request::Attest { upto }, &self.retry_policy);
+            publish_wire(&self.obs, name, "attest", &before, &record.link.stats());
+            let ok = match resp {
+                Ok(Response::Attestation {
+                    served,
+                    chain,
+                    upto_chain,
+                }) => {
+                    let consistent = match record.forensics.attested {
+                        Some((prev_served, prev_chain)) => {
+                            upto_chain == prev_chain && served >= prev_served
+                        }
+                        None => true,
+                    };
+                    if consistent {
+                        record.forensics.attested = Some((served, chain));
+                    } else {
+                        let (prev_served, prev_chain) =
+                            record.forensics.attested.expect("inconsistent implies prior");
+                        record.consecutive_anomalies =
+                            record.consecutive_anomalies.saturating_add(1);
+                        self.obs.incr("audit.anomalies", 1);
+                        let evidence = format!(
+                            "service chain at checkpoint {prev_served} is {upto_chain:016x}, cloud recorded {prev_chain:016x} (served {served})"
+                        );
+                        self.obs.emit(
+                            name,
+                            AuditEventKind::AnomalyDetected {
+                                check: "history-fork".to_string(),
+                                evidence: evidence.clone(),
+                                consecutive: record.consecutive_anomalies,
+                            },
+                        );
+                        // Never demote below the current rung here, and
+                        // treat a fork as at least quarantine-worthy.
+                        let floor = record.health.max_severity(NodeHealth::Quarantined);
+                        self.apply_health(name, record, floor, || {
+                            format!("history-fork: {evidence}")
+                        });
+                    }
+                    consistent
+                }
+                // Unreachable for attestation: the link ladder will
+                // charge it at the next audit; nothing to conclude here.
+                _ => false,
+            };
+            out.push((name.clone(), ok));
+        }
+        out
+    }
+
+    /// Serialize the registry's durable state (health ladders, forensic
+    /// evidence, attestation checkpoints) into a versioned, checksummed
+    /// snapshot. Links, links' stats, and in-flight verdicts are not
+    /// included — they are reconstructed by re-registering.
+    pub fn snapshot_registry(&self) -> Vec<u8> {
+        let registry = self.registry.lock();
+        let states: Vec<RegistryNodeState> = registry
+            .iter()
+            .map(|(name, rec)| RegistryNodeState {
+                name: name.clone(),
+                health: rec.health.severity(),
+                reachable: rec.reachable,
+                consecutive_failures: rec.consecutive_failures,
+                consecutive_anomalies: rec.consecutive_anomalies,
+                last_seed: rec.forensics.last_seed,
+                survey_fp: rec.forensics.survey_fp,
+                cells_fp: rec.forensics.cells_fp,
+                tv_fp: rec.forensics.tv_fp,
+                baseline: rec.forensics.baseline.clone(),
+                attested: rec.forensics.attested,
+                eviction_reason: rec.forensics.eviction_reason.clone(),
+            })
+            .collect();
+        crate::snapshot::snapshot_registry(&states)
+    }
+
+    /// Overlay a registry snapshot onto the live registry: every snapshot
+    /// entry whose name is currently registered gets its health ladders
+    /// and forensic history restored (entries for unregistered names are
+    /// skipped). Returns how many nodes were restored.
+    pub fn restore_registry(&self, bytes: &[u8]) -> Result<usize, SnapshotError> {
+        let states = crate::snapshot::restore_registry(bytes)?;
+        let mut registry = self.registry.lock();
+        let mut applied = 0usize;
+        for st in states {
+            let Some(rec) = registry.get_mut(&st.name) else {
+                continue;
+            };
+            rec.health = NodeHealth::from_severity(st.health)
+                .ok_or(SnapshotError::Malformed("health rung"))?;
+            rec.reachable = st.reachable;
+            rec.consecutive_failures = st.consecutive_failures;
+            rec.consecutive_anomalies = st.consecutive_anomalies;
+            rec.forensics = NodeForensics {
+                last_seed: st.last_seed,
+                survey_fp: st.survey_fp,
+                cells_fp: st.cells_fp,
+                tv_fp: st.tv_fp,
+                baseline: st.baseline,
+                attested: st.attested,
+                eviction_reason: st.eviction_reason,
+            };
+            applied += 1;
+        }
+        Ok(applied)
     }
 
     /// Per-node wire counters, sorted by name.

@@ -33,16 +33,21 @@
 //! scheduling nondeterminism to *ordering*, and the registry sorts by
 //! name before reporting.
 
+pub mod adversary;
 pub mod cloud;
 pub mod node;
 pub mod protocol;
+pub mod snapshot;
 pub mod transport;
 
+pub use adversary::{Adversary, AdversaryKind};
 pub use cloud::{
-    Cloud, HealthPolicy, NodeHealth, NodeRecord, StepFailure, StepOutcome, VerificationVerdict,
+    Cloud, ConsistencyPolicy, HealthPolicy, NodeForensics, NodeHealth, NodeRecord,
+    ReportFingerprints, SpotCheck, StepFailure, StepOutcome, VerificationVerdict,
 };
-pub use node::{NodeAgent, NodeBehavior};
+pub use node::{NodeAgent, NodeBehavior, ServiceLedger};
 pub use protocol::{NodeClaims, Request, Response};
+pub use snapshot::{RegistryNodeState, SnapshotError};
 pub use transport::{
     spawn_node, spawn_node_with_faults, BurstOutage, Link, LinkError, LinkFaults, LinkStats,
     RetryPolicy, TimeoutBudgets,

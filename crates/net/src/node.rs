@@ -1,5 +1,6 @@
 //! The node agent: a volunteer's sensor installation, as a process.
 
+use crate::adversary::{Adversary, AdversaryKind};
 use crate::protocol::{NodeClaims, Request, Response};
 use aircal_aircraft::TrafficSim;
 use aircal_cellular::{paper_towers, CellScanner};
@@ -9,6 +10,67 @@ use aircal_env::{GeoAccel, Scenario};
 use aircal_tv::{paper_tv_towers, TvPowerProbe};
 use serde::{Deserialize, Serialize};
 use std::sync::{Arc, Mutex};
+
+/// FNV-1a offset basis: the hash-chain value of an empty service history.
+pub(crate) const CHAIN_EMPTY: u64 = 0xcbf2_9ce4_8422_2325;
+
+pub(crate) fn fnv1a_step(mut h: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Append-only log of the measurement requests a node has served, folded
+/// into a hash chain. The cloud records `(served, chain)` checkpoints via
+/// [`Request::Attest`]; a node restarting from a forked or rolled-back
+/// history produces a different chain value at the checkpointed length
+/// and is caught at reconciliation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceLedger {
+    /// `hashes[i]` = chain head after `i + 1` recorded requests.
+    hashes: Vec<u64>,
+}
+
+impl ServiceLedger {
+    /// Record one served measurement request.
+    pub fn record(&mut self, kind: &str, seed: u64) {
+        let prev = self.chain();
+        let h = fnv1a_step(fnv1a_step(prev, kind.as_bytes()), &seed.to_le_bytes());
+        self.hashes.push(h);
+    }
+
+    /// Measurement requests served so far.
+    pub fn served(&self) -> u64 {
+        self.hashes.len() as u64
+    }
+
+    /// Current chain head ([`CHAIN_EMPTY`] before any request).
+    pub fn chain(&self) -> u64 {
+        self.hashes.last().copied().unwrap_or(CHAIN_EMPTY)
+    }
+
+    /// Chain value after `min(upto, served)` requests.
+    pub fn chain_at(&self, upto: u64) -> u64 {
+        let n = (upto.min(self.served())) as usize;
+        if n == 0 {
+            CHAIN_EMPTY
+        } else {
+            self.hashes[n - 1]
+        }
+    }
+
+    /// Raw chain history (for snapshots).
+    pub fn hashes(&self) -> &[u64] {
+        &self.hashes
+    }
+
+    /// Rebuild from a snapshot's chain history.
+    pub fn from_hashes(hashes: Vec<u64>) -> Self {
+        Self { hashes }
+    }
+}
 
 /// How the operator behaves.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -44,6 +106,12 @@ pub struct NodeAgent {
     /// this node services. Behind a mutex because [`NodeAgent::handle`]
     /// takes `&self`; cloned nodes share the warm cache.
     geo: Arc<Mutex<GeoAccel>>,
+    /// Active data-plane adversary, if the node is compromised.
+    pub adversary: Option<Adversary>,
+    /// Hash-chained log of served measurement requests. Shared by clones,
+    /// so a supervisor holding a clone can snapshot the live agent even
+    /// after the original moved into a service thread.
+    ledger: Arc<Mutex<ServiceLedger>>,
 }
 
 impl NodeAgent {
@@ -67,7 +135,52 @@ impl NodeAgent {
             claims,
             sky,
             geo,
+            adversary: None,
+            ledger: Arc::new(Mutex::new(ServiceLedger::default())),
         }
+    }
+
+    /// Create a compromised node: honest claims, adversarial data plane.
+    pub fn with_adversary(
+        scenario: Scenario,
+        sky: Arc<TrafficSim>,
+        kind: AdversaryKind,
+        seed: u64,
+    ) -> Self {
+        let mut node = Self::new(scenario, NodeBehavior::Honest, sky);
+        node.adversary = Some(Adversary::new(kind, seed));
+        node
+    }
+
+    /// Copy out the service ledger (for attestation checks in tests and
+    /// for snapshots).
+    pub fn ledger(&self) -> ServiceLedger {
+        self.ledger.lock().expect("ledger poisoned").clone()
+    }
+
+    fn record_served(&self, kind: &str, seed: u64) {
+        self.ledger.lock().expect("ledger poisoned").record(kind, seed);
+    }
+
+    /// Overwrite the service ledger (snapshot restore only).
+    pub fn restore_ledger(&self, ledger: ServiceLedger) {
+        *self.ledger.lock().expect("ledger poisoned") = ledger;
+    }
+
+    /// Serialize this node's durable state (claims, behavior, adversary
+    /// state, service ledger) into a versioned, checksummed snapshot.
+    pub fn snapshot(&self) -> Vec<u8> {
+        crate::snapshot::snapshot_node(self)
+    }
+
+    /// Rebuild a node from its snapshot plus the reconstructed physical
+    /// installation. See [`crate::snapshot`] for the failure modes.
+    pub fn restore(
+        scenario: Scenario,
+        sky: Arc<TrafficSim>,
+        bytes: &[u8],
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        crate::snapshot::restore_node(scenario, sky, bytes)
     }
 
     /// Service one request. `Shutdown` yields [`Response::Bye`]; the
@@ -76,6 +189,14 @@ impl NodeAgent {
         match request {
             Request::Describe => Response::Description(self.claims.clone()),
             Request::RunSurvey { config, seed } => {
+                // An adversary may substitute the commissioned seed (stale
+                // replay, frozen capture); the ledger records what was
+                // *commissioned*, because that is what the cloud can later
+                // cross-examine.
+                let eff_seed = self
+                    .adversary
+                    .as_ref()
+                    .map_or(*seed, |a| a.survey_seed(*seed));
                 let geo = self.geo.lock().expect("geo accel poisoned");
                 let honest = run_survey_indexed(
                     &self.scenario.world,
@@ -83,16 +204,24 @@ impl NodeAgent {
                     &self.scenario.site,
                     &self.sky,
                     config,
-                    *seed,
+                    eff_seed,
                 );
                 drop(geo);
-                let reported = match self.behavior {
+                let mut reported = match self.behavior {
                     NodeBehavior::Fabricator { ghosts } => fabricate_survey(&honest, ghosts),
                     _ => honest,
                 };
+                if let Some(a) = &self.adversary {
+                    a.corrupt_survey(*seed, &mut reported);
+                }
+                self.record_served("survey", *seed);
                 Response::Survey(reported)
             }
             Request::ScanCells { seed } => {
+                let eff_seed = self
+                    .adversary
+                    .as_ref()
+                    .map_or(*seed, |a| a.sweep_seed(*seed));
                 let db = paper_towers(&self.scenario.world.origin);
                 let mut geo = self.geo.lock().expect("geo accel poisoned");
                 let mut out = Vec::new();
@@ -101,21 +230,36 @@ impl NodeAgent {
                     &mut geo,
                     &self.scenario.site,
                     &db,
-                    *seed,
+                    eff_seed,
                     &mut out,
                 );
+                drop(geo);
+                if let Some(a) = &self.adversary {
+                    a.corrupt_cells(&mut out);
+                }
+                self.record_served("cells", *seed);
                 Response::Cells(out)
             }
             Request::SweepTv { seed } => {
+                let eff_seed = self
+                    .adversary
+                    .as_ref()
+                    .map_or(*seed, |a| a.sweep_seed(*seed));
                 let towers = paper_tv_towers(&self.scenario.world.origin);
                 let mut geo = self.geo.lock().expect("geo accel poisoned");
-                Response::Tv(TvPowerProbe::default().sweep_with_geo(
+                let mut out = TvPowerProbe::default().sweep_with_geo(
                     &self.scenario.world,
                     &mut geo,
                     &self.scenario.site,
                     &towers,
-                    *seed,
-                ))
+                    eff_seed,
+                );
+                drop(geo);
+                if let Some(a) = &self.adversary {
+                    a.corrupt_tv(&mut out);
+                }
+                self.record_served("tv", *seed);
+                Response::Tv(out)
             }
             Request::MonitorBand {
                 center_hz,
@@ -123,10 +267,19 @@ impl NodeAgent {
                 seed,
             } => {
                 let (bins, center, span) = self.monitor_band(*center_hz, *span_hz, *seed);
+                self.record_served("monitor", *seed);
                 Response::Psd {
                     center_hz: center,
                     span_hz: span,
                     bins,
+                }
+            }
+            Request::Attest { upto } => {
+                let ledger = self.ledger.lock().expect("ledger poisoned");
+                Response::Attestation {
+                    served: ledger.served(),
+                    chain: ledger.chain(),
+                    upto_chain: ledger.chain_at(*upto),
                 }
             }
             Request::Shutdown => Response::Bye,

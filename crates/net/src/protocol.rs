@@ -61,6 +61,15 @@ pub enum Request {
         /// Capture seed.
         seed: u64,
     },
+    /// Attest to the node's service history: return the hash chain over
+    /// the first `upto` measurement requests it ever served (and the
+    /// current chain head). The cloud compares the reply against what it
+    /// recorded earlier, so a node restarting from a forked or
+    /// rolled-back snapshot cannot silently re-enter.
+    Attest {
+        /// Chain length to attest (clamped to the node's served count).
+        upto: u64,
+    },
     /// Orderly shutdown.
     Shutdown,
 }
@@ -74,6 +83,7 @@ impl Request {
             Request::ScanCells { .. } => "cells",
             Request::SweepTv { .. } => "tv",
             Request::MonitorBand { .. } => "monitor",
+            Request::Attest { .. } => "attest",
             Request::Shutdown => "shutdown",
         }
     }
@@ -88,6 +98,7 @@ impl Request {
             Request::ScanCells { .. } => "cells",
             Request::SweepTv { .. } => "tv",
             Request::MonitorBand { .. } => "psd",
+            Request::Attest { .. } => "attestation",
             Request::Shutdown => "bye",
         }
     }
@@ -114,6 +125,15 @@ pub enum Response {
         /// PSD bins.
         bins: Vec<f64>,
     },
+    /// Reply to [`Request::Attest`]: the node's sworn service history.
+    Attestation {
+        /// Measurement requests served in this node's lifetime.
+        served: u64,
+        /// Hash-chain head over the full history.
+        chain: u64,
+        /// Hash-chain value after `min(upto, served)` requests.
+        upto_chain: u64,
+    },
     /// The node acknowledged shutdown.
     Bye,
 }
@@ -127,6 +147,7 @@ impl Response {
             Response::Cells(_) => "cells",
             Response::Tv(_) => "tv",
             Response::Psd { .. } => "psd",
+            Response::Attestation { .. } => "attestation",
             Response::Bye => "bye",
         }
     }
@@ -155,6 +176,7 @@ mod tests {
                 span_hz: 8e6,
                 seed: 3,
             },
+            Request::Attest { upto: 9 },
             Request::Shutdown,
         ];
         for r in reqs {
@@ -193,17 +215,18 @@ mod tests {
                 span_hz: 8e6,
                 seed: 0,
             },
+            Request::Attest { upto: 0 },
             Request::Shutdown,
         ];
         let kinds: Vec<&str> = reqs.iter().map(|r| r.kind()).collect();
         assert_eq!(
             kinds,
-            vec!["describe", "survey", "cells", "tv", "monitor", "shutdown"]
+            vec!["describe", "survey", "cells", "tv", "monitor", "attest", "shutdown"]
         );
         let expected: Vec<&str> = reqs.iter().map(|r| r.expected_response_kind()).collect();
         assert_eq!(
             expected,
-            vec!["description", "survey", "cells", "tv", "psd", "bye"]
+            vec!["description", "survey", "cells", "tv", "psd", "attestation", "bye"]
         );
     }
 

@@ -178,6 +178,9 @@ impl TimeoutBudgets {
             Request::ScanCells { .. } => self.cells,
             Request::SweepTv { .. } => self.tv,
             Request::MonitorBand { .. } => self.monitor,
+            // An attestation is a struct copy over the node's in-memory
+            // ledger — describe-class latency.
+            Request::Attest { .. } => self.describe,
             Request::Shutdown => self.shutdown,
         }
     }

@@ -73,6 +73,34 @@ pub enum AuditEventKind {
         complete: bool,
         approved: bool,
     },
+    /// Cross-sensor consistency: this node's reported profile vs the
+    /// fleet's robustly fused consensus.
+    ConsistencyChecked {
+        /// Mean absolute deviation from the fused profile, dB.
+        residual_db: f64,
+        /// Bands both the node and the consensus measured.
+        bands: usize,
+    },
+    /// A data-plane anomaly check fired, with human-readable evidence —
+    /// the replayable justification for every demotion on the quarantine
+    /// ladder.
+    AnomalyDetected {
+        /// Which check ("spot-check", "replay", "frozen", "overshoot",
+        /// "drift", "history-fork").
+        check: String,
+        /// What the check saw.
+        evidence: String,
+        /// Consecutive anomalous audits including this one.
+        consecutive: u32,
+    },
+    /// Terminal rung of the quarantine ladder: the node is permanently
+    /// excluded from audits and the marketplace.
+    NodeEvicted {
+        /// The anomaly evidence that sealed it.
+        reason: String,
+        /// Consecutive anomalous audits at eviction.
+        after_audits: u32,
+    },
 }
 
 #[derive(Debug, Default)]

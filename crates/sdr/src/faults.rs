@@ -39,6 +39,14 @@ pub enum FrontendFault {
     },
     /// Completely dead (disconnected antenna): nothing but noise.
     Dead,
+    /// Miscalibrated gain stage reporting *stronger* signals than reality —
+    /// the adversarial inverse of [`FrontendFault::CableLoss`]: an operator
+    /// inflating band power to make a poor installation look rentable.
+    /// Negative loss is deliberately allowed here (and only here).
+    GainError {
+        /// Gain error, dB; positive values *add* signal.
+        db: f64,
+    },
 }
 
 impl FrontendFault {
@@ -66,6 +74,14 @@ impl FrontendFault {
                 }
             }
             FrontendFault::Dead => 200.0,
+            // Positive gain error = negative loss (signal inflation).
+            FrontendFault::GainError { db } => {
+                if db.is_finite() {
+                    -db
+                } else {
+                    0.0
+                }
+            }
         }
     }
 }
@@ -119,5 +135,14 @@ mod tests {
     fn negative_loss_clamped() {
         let f = FrontendFault::CableLoss { db: -3.0 };
         assert_eq!(f.loss_db(1e9), 0.0);
+    }
+
+    #[test]
+    fn gain_error_inflates_signal() {
+        let f = FrontendFault::GainError { db: 18.0 };
+        assert_eq!(f.loss_db(600e6), -18.0);
+        assert_eq!(f.loss_db(2e9), -18.0);
+        // Non-finite gain errors are inert, not poisonous.
+        assert_eq!(FrontendFault::GainError { db: f64::NAN }.loss_db(1e9), 0.0);
     }
 }

@@ -3,13 +3,20 @@
 //! measurements, claim verification, and the rentable-node marketplace.
 //!
 //! ```sh
-//! cargo run --release --example marketplace [seed] [--trace]
+//! cargo run --release --example marketplace [seed] [--trace] [--adversary <kind>]
 //! ```
 //!
 //! `--trace` records the cloud's audit event log and metric counters and
 //! prints them after the marketplace listing.
+//!
+//! `--adversary spoof|replay|gain|frozen|poison` adds a *compromised*
+//! node — honest claims, adversarial data plane — and runs a multi-round
+//! audit campaign instead of a single round, so the cross-sensor
+//! consistency checks can walk it down the quarantine ladder to
+//! eviction. The residual table shows each node's deviation from the
+//! fleet's robustly fused consensus.
 
-use aircal::net::{spawn_node_with_faults, Cloud, LinkFaults, NodeAgent, NodeBehavior};
+use aircal::net::{spawn_node_with_faults, AdversaryKind, Cloud, LinkFaults, NodeAgent, NodeBehavior};
 use aircal::obs::{fmt, Obs};
 use aircal_aircraft::{TrafficConfig, TrafficSim};
 use aircal_env::{scenarios::testbed_origin, Scenario, ScenarioKind};
@@ -18,10 +25,26 @@ use std::sync::Arc;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let traced = args.iter().any(|a| a == "--trace");
+    let adversary: Option<AdversaryKind> = args
+        .iter()
+        .position(|a| a == "--adversary")
+        .map(|i| {
+            let kind = args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("--adversary needs a kind (spoof|replay|gain|frozen|poison)");
+                std::process::exit(2);
+            });
+            AdversaryKind::parse(kind).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            })
+        });
     let seed: u64 = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .and_then(|s| s.parse().ok())
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--") && !matches!(args.get(i.wrapping_sub(1)), Some(p) if p == "--adversary")
+        })
+        .find_map(|(_, s)| s.parse().ok())
         .unwrap_or(77);
 
     // The shared sky every node hears, and the tracking service the cloud
@@ -77,8 +100,40 @@ fn main() {
         .expect("registration");
     println!("  + {name} (daemon will crash mid-audit)");
 
-    println!("\nauditing (commissioned surveys + cross-band sweeps)…\n");
-    let verdicts = cloud.audit_all(seed ^ 0xA0D17);
+    // A compromised operator: the claims are honest, the *data plane*
+    // lies. Only the cross-sensor consistency checks can catch it.
+    if let Some(kind) = adversary {
+        let mut agent = NodeAgent::with_adversary(
+            Scenario::build(ScenarioKind::OpenField),
+            sky.clone(),
+            kind,
+            seed ^ 0xBAD,
+        );
+        agent.claims.name = "open-field-compromised".into();
+        let name = cloud
+            .register(aircal::net::spawn_node(agent, 0.0, seed + 200))
+            .expect("registration");
+        println!("  + {name} (compromised: {kind})");
+    }
+
+    // One audit round is enough for honest-vs-dishonest claims; the
+    // quarantine ladder needs consecutive convictions, so a compromised
+    // fleet gets a campaign. Each round commissions fresh seeds —
+    // replayed or frozen reports are only evidence under a *new* seed.
+    let rounds: u64 = if adversary.is_some() { 7 } else { 1 };
+    println!("\nauditing (commissioned surveys + cross-band sweeps, {rounds} round(s))…\n");
+    let mut verdicts = Vec::new();
+    for round in 0..rounds {
+        verdicts = cloud.audit_all((seed ^ 0xA0D17).wrapping_add(round.wrapping_mul(0x9E37)));
+        if adversary.is_some() {
+            let ladder: Vec<String> = cloud
+                .health_report()
+                .iter()
+                .map(|(name, health, _)| format!("{name}={health}"))
+                .collect();
+            println!("round {round}: {}", ladder.join("  "));
+        }
+    }
 
     println!("{}", fmt::section("verdicts"));
     let mut table = fmt::Table::new(&[
@@ -108,6 +163,27 @@ fn main() {
         }
     }
     println!("{}", table.render());
+
+    println!("\n{}", fmt::section("consensus residuals (vs robust fused profile)"));
+    let anomalies = cloud.anomaly_report();
+    let mut residuals = fmt::Table::new(&["node", "residual", "anomaly run", "evidence"]);
+    for (name, verdict) in &verdicts {
+        let (run, reason) = anomalies
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, run, reason)| (*run, reason.clone()))
+            .unwrap_or((0, None));
+        residuals.row(&[
+            name.clone(),
+            match verdict.as_ref().and_then(|v| v.consensus_residual_db) {
+                Some(db) => format!("{db:.1} dB"),
+                None => "-".to_string(),
+            },
+            run.to_string(),
+            reason.unwrap_or_else(|| "-".to_string()),
+        ]);
+    }
+    println!("{}", residuals.render());
 
     println!("\n{}", fmt::section("node health"));
     for (name, health, failures) in cloud.health_report() {

@@ -41,7 +41,10 @@ cargo run --release --example fault_injection
 echo "== allocation gate (zero steady-state allocs + bit-identity) =="
 cargo test --release -q -p aircal-bench --test allocations
 
-echo "== perfreport (--quick, alloc + perf budgets enforced) =="
-cargo run --release -p aircal-bench --bin perfreport -- --quick --check-allocs --check-perf
+echo "== byzantine gate (robust fusion, eviction timelines, crash/restore) =="
+cargo test --release -q --test byzantine
+
+echo "== perfreport (--quick, alloc + perf + robustness budgets enforced) =="
+cargo run --release -p aircal-bench --bin perfreport -- --quick --check-allocs --check-perf --check-robust
 
 echo "== verify: all gates passed =="
