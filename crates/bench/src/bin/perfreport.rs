@@ -3,7 +3,7 @@
 //!
 //! ```sh
 //! cargo run --release -p aircal-bench --bin perfreport \
-//!     [-- --quick] [--seed N] [--threads N] [--check-allocs] [--check-perf] [--check-robust]
+//!     [-- --quick] [--seed N] [--threads N] [--check-allocs] [--check-perf] [--check-robust] [--check-scale]
 //! ```
 //!
 //! Sections:
@@ -35,7 +35,12 @@
 //!   and eviction rounds plus aggregate detection rate, false-quarantine
 //!   rate, and worst-case detection latency. `--check-robust` enforces
 //!   the floors in `scripts/robustness_budget.json` (non-zero exit when
-//!   an adversary survives or an honest node is quarantined).
+//!   an adversary survives or an honest node is quarantined);
+//! * **scale** — the discrete-event campaign engine at 100/1000/5000
+//!   nodes: events processed, wall clock, events/s, plus a cheap
+//!   parallelism-invariance cross-check (the workers=2 digest must
+//!   match the timed serial run). `--check-scale` enforces the
+//!   throughput floor in `scripts/scale_budget.json`.
 //!
 //! All numbers are wall-clock on whatever host runs this; `host_cores`
 //! records how much hardware parallelism was actually available.
@@ -197,6 +202,92 @@ struct RobustBudget {
     max_detection_latency_rounds: u64,
 }
 
+/// One fleet size through the discrete-event campaign engine. The timed
+/// run is serial (workers=1) so the throughput number measures the
+/// engine, not the host's core count; a second untimed run at workers=2
+/// cross-checks the parallelism-invariance contract via the digest.
+#[derive(Serialize)]
+struct ScaleTiming {
+    nodes: usize,
+    events: u64,
+    seconds: f64,
+    events_per_sec: f64,
+    coverage90_tick: Option<u64>,
+    digest: String,
+    parallel_digest_matches: bool,
+}
+
+/// Floors on the scale section, from `scripts/scale_budget.json`.
+#[derive(Deserialize)]
+struct ScaleBudget {
+    min_events_per_sec: f64,
+    require_parallel_invariant: bool,
+}
+
+/// The campaign engine at each paper-regime fleet size. Fault pressure
+/// matches the fleet_sim suite (lossy 0.3 / drop 0.5) so the events/s
+/// here reflect a chaotic fleet, not an idle one. All three sizes run
+/// even under `--quick` — the 5000-node campaign is sub-second in
+/// release, and the scale gate is only meaningful at scale.
+fn scale_campaigns(seed: u64) -> Vec<ScaleTiming> {
+    use aircal::sim::{run, CampaignConfig};
+    [100usize, 1000, 5000]
+        .iter()
+        .map(|&nodes| {
+            let mut cfg = CampaignConfig::paper_default(nodes, seed);
+            cfg.faults.lossy_fraction = 0.3;
+            cfg.faults.drop_probability = 0.5;
+            cfg.workers = 1;
+            let t0 = Instant::now();
+            let result = run(&cfg);
+            let seconds = t0.elapsed().as_secs_f64();
+            cfg.workers = 2;
+            let parallel = run(&cfg);
+            ScaleTiming {
+                nodes,
+                events: result.events,
+                seconds,
+                events_per_sec: result.events as f64 / seconds,
+                coverage90_tick: result.coverage90_tick,
+                parallel_digest_matches: parallel.digest == result.digest,
+                digest: result.digest,
+            }
+        })
+        .collect()
+}
+
+/// Enforce `scripts/scale_budget.json`: every fleet size must clear the
+/// events/s floor and (when required) the workers=2 digest must match
+/// the serial run bit for bit.
+fn check_scale_budget(scale: &[ScaleTiming]) -> bool {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scripts/scale_budget.json");
+    let text = std::fs::read_to_string(path).expect("read scripts/scale_budget.json");
+    let budget: ScaleBudget = serde_json::from_str(&text).expect("parse scale budget");
+    let mut ok = true;
+    for s in scale {
+        if s.events_per_sec < budget.min_events_per_sec {
+            eprintln!(
+                "# SCALE BUDGET EXCEEDED: {} nodes at {:.0} events/s (floor {:.0})",
+                s.nodes, s.events_per_sec, budget.min_events_per_sec
+            );
+            ok = false;
+        } else {
+            eprintln!(
+                "# scale budget ok: {} nodes at {:.0} events/s (floor {:.0})",
+                s.nodes, s.events_per_sec, budget.min_events_per_sec
+            );
+        }
+        if budget.require_parallel_invariant && !s.parallel_digest_matches {
+            eprintln!(
+                "# SCALE BUDGET EXCEEDED: {} nodes workers=2 digest diverged from serial",
+                s.nodes
+            );
+            ok = false;
+        }
+    }
+    ok
+}
+
 #[derive(Serialize)]
 struct PipelineReport {
     quick: bool,
@@ -215,6 +306,7 @@ struct PipelineReport {
     stage_latency: Vec<StageLatency>,
     span_summary: Vec<aircal_obs::SpanSummary>,
     robustness: RobustnessReport,
+    scale: Vec<ScaleTiming>,
 }
 
 /// The same f < n/2 fleet the byzantine integration suite pins down: six
@@ -762,6 +854,7 @@ fn main() {
     let check_allocs = positional.iter().any(|a| a == "--check-allocs");
     let check_perf = positional.iter().any(|a| a == "--check-perf");
     let check_robust = positional.iter().any(|a| a == "--check-robust");
+    let check_scale = positional.iter().any(|a| a == "--check-scale");
     let mut threads_override: Option<usize> = None;
     let mut args_it = positional.iter();
     while let Some(a) = args_it.next() {
@@ -930,6 +1023,19 @@ fn main() {
         robustness.campaign_seconds
     );
 
+    // --- Campaign engine at fleet scale -----------------------------------
+    let scale = scale_campaigns(seed);
+    for s in &scale {
+        eprintln!(
+            "# scale {} nodes: {} events in {:.3}s ({:.0} events/s), parallel digest {}",
+            s.nodes,
+            s.events,
+            s.seconds,
+            s.events_per_sec,
+            if s.parallel_digest_matches { "matches" } else { "DIVERGED" }
+        );
+    }
+
     let report = PipelineReport {
         quick,
         host_cores,
@@ -945,6 +1051,7 @@ fn main() {
         stage_latency,
         span_summary,
         robustness,
+        scale,
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PIPELINE.json");
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -961,6 +1068,9 @@ fn main() {
         failed = true;
     }
     if check_robust && !check_robust_budget(&report.robustness) {
+        failed = true;
+    }
+    if check_scale && !check_scale_budget(&report.scale) {
         failed = true;
     }
     if failed {

@@ -198,6 +198,62 @@ impl HealthPolicy {
     }
 }
 
+/// Event-driven form of the registry's per-node health lifecycle: the
+/// counters [`Cloud::audit_all`] keeps inside each [`NodeRecord`],
+/// extracted so a discrete-event driver (`aircal-sim`) can run the same
+/// ladder one audit outcome at a time, with no links or threads. Both
+/// counter runs feed the same [`HealthPolicy`] rungs as the threaded
+/// registry, the effective state is the more severe of the two, and
+/// `Evicted` is terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthLadder {
+    /// Consecutive failed/partial audits (the link ladder).
+    pub consecutive_failures: u32,
+    /// Consecutive anomalous audits (the Byzantine ladder).
+    pub consecutive_anomalies: u32,
+    health: NodeHealth,
+}
+
+impl Default for HealthLadder {
+    fn default() -> Self {
+        Self {
+            consecutive_failures: 0,
+            consecutive_anomalies: 0,
+            health: NodeHealth::Healthy,
+        }
+    }
+}
+
+impl HealthLadder {
+    /// Fold one audit outcome into the ladder and return the node's new
+    /// effective health. `link_ok` is "the audit reached the node and
+    /// completed"; `anomalous` is "the data plane looked Byzantine".
+    pub fn record(&mut self, policy: &HealthPolicy, link_ok: bool, anomalous: bool) -> NodeHealth {
+        if self.health == NodeHealth::Evicted {
+            return self.health;
+        }
+        if link_ok {
+            self.consecutive_failures = 0;
+        } else {
+            self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        }
+        if anomalous {
+            self.consecutive_anomalies = self.consecutive_anomalies.saturating_add(1);
+        } else {
+            self.consecutive_anomalies = 0;
+        }
+        self.health = policy
+            .link_rung(self.consecutive_failures)
+            .max_severity(policy.anomaly_rung(self.consecutive_anomalies));
+        self.health
+    }
+
+    /// The node's current effective health.
+    pub fn health(&self) -> NodeHealth {
+        self.health
+    }
+}
+
 /// Thresholds for the cross-sensor consistency checks. Every check is
 /// *hard-evidence*: its false-positive rate on honest (if obstructed)
 /// installations is negligible, so honest nodes never ride the Byzantine
@@ -1452,6 +1508,28 @@ mod tests {
             0.0,
             seed,
         )
+    }
+
+    #[test]
+    fn health_ladder_walks_both_rungs_and_eviction_is_terminal() {
+        let policy = HealthPolicy::default();
+        let mut ladder = HealthLadder::default();
+        assert_eq!(ladder.health(), NodeHealth::Healthy);
+
+        // Link ladder: one failure degrades, three quarantine, recovery
+        // on the next clean audit — same thresholds as the registry.
+        assert_eq!(ladder.record(&policy, false, false), NodeHealth::Degraded);
+        ladder.record(&policy, false, false);
+        assert_eq!(ladder.record(&policy, false, false), NodeHealth::Quarantined);
+        assert_eq!(ladder.record(&policy, true, false), NodeHealth::Healthy);
+
+        // Byzantine ladder runs out at four consecutive anomalies and
+        // eviction is terminal: clean audits no longer help.
+        assert_eq!(ladder.record(&policy, true, true), NodeHealth::Suspect);
+        assert_eq!(ladder.record(&policy, true, true), NodeHealth::Degraded);
+        assert_eq!(ladder.record(&policy, true, true), NodeHealth::Quarantined);
+        assert_eq!(ladder.record(&policy, true, true), NodeHealth::Evicted);
+        assert_eq!(ladder.record(&policy, true, false), NodeHealth::Evicted);
     }
 
     #[test]

@@ -42,13 +42,13 @@ pub mod transport;
 
 pub use adversary::{Adversary, AdversaryKind};
 pub use cloud::{
-    Cloud, ConsistencyPolicy, HealthPolicy, NodeForensics, NodeHealth, NodeRecord,
+    Cloud, ConsistencyPolicy, HealthLadder, HealthPolicy, NodeForensics, NodeHealth, NodeRecord,
     ReportFingerprints, SpotCheck, StepFailure, StepOutcome, VerificationVerdict,
 };
-pub use node::{NodeAgent, NodeBehavior, ServiceLedger};
+pub use node::{NodeAgent, NodeBehavior, ServiceLedger, ServiceOutcome};
 pub use protocol::{NodeClaims, Request, Response};
 pub use snapshot::{RegistryNodeState, SnapshotError};
 pub use transport::{
-    spawn_node, spawn_node_with_faults, BurstOutage, Link, LinkError, LinkFaults, LinkStats,
-    RetryPolicy, TimeoutBudgets,
+    spawn_node, spawn_node_with_faults, AttemptVerdict, BurstOutage, Link, LinkError, LinkFaults,
+    LinkStats, NodeVerdict, RetryPolicy, TimeoutBudgets,
 };

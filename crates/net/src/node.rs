@@ -286,6 +286,37 @@ impl NodeAgent {
         }
     }
 
+    /// Event-driven service entry point: drive this agent under a fault
+    /// plan without spawning a service thread.
+    ///
+    /// Replicates the node-side semantics of
+    /// [`crate::transport::spawn_node_with_faults`] exactly: a crashed
+    /// daemon exits before touching the request (the counter does not
+    /// advance), a hung request is swallowed after being received (the
+    /// counter advances but no reply is produced), and everything else is
+    /// serviced via [`NodeAgent::handle`]. `served` is the caller-held
+    /// count of requests that have reached the node so far — the same
+    /// counter the service thread keeps privately.
+    pub fn service_offline(
+        &self,
+        request: &Request,
+        faults: &crate::transport::LinkFaults,
+        served: &mut u64,
+    ) -> ServiceOutcome {
+        use crate::transport::NodeVerdict;
+        match faults.node_verdict(*served) {
+            NodeVerdict::Crashed => ServiceOutcome::Crashed,
+            NodeVerdict::Hang => {
+                *served += 1;
+                ServiceOutcome::Hung
+            }
+            NodeVerdict::Service => {
+                *served += 1;
+                ServiceOutcome::Reply(self.handle(request))
+            }
+        }
+    }
+
     /// The rented product: tune to a band, capture through this node's
     /// actual environment and front end, and return a Welch PSD. Every
     /// broadcast transmitter whose channel overlaps the span contributes
@@ -337,6 +368,21 @@ impl NodeAgent {
     }
 }
 
+/// What happened when a request was driven through
+/// [`NodeAgent::service_offline`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceOutcome {
+    /// The node serviced the request and produced this reply.
+    Reply(Response),
+    /// The node received the request but wedged mid-service; no reply
+    /// will ever come. The request still counts against the served
+    /// counter, exactly as in the threaded service loop.
+    Hung,
+    /// The node's host daemon has crashed; the request was never
+    /// received and the served counter does not advance.
+    Crashed,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,6 +411,43 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn service_offline_mirrors_threaded_fault_semantics() {
+        use crate::transport::LinkFaults;
+        let s = Scenario::build(ScenarioKind::Indoor);
+        let node = NodeAgent::new(s.clone(), NodeBehavior::Honest, sky(s.site.position));
+        let faults = LinkFaults {
+            hang_on: vec![1],
+            crash_after: Some(3),
+            ..LinkFaults::default()
+        };
+        let mut served = 0u64;
+        let req = Request::Describe;
+        // Request 0 is serviced normally.
+        match node.service_offline(&req, &faults, &mut served) {
+            ServiceOutcome::Reply(Response::Description(_)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(served, 1);
+        // Request 1 hangs: swallowed after receipt, counter still advances.
+        assert_eq!(
+            node.service_offline(&req, &faults, &mut served),
+            ServiceOutcome::Hung
+        );
+        assert_eq!(served, 2);
+        // Request 2 serviced, then the daemon crashes before request 3.
+        assert!(matches!(
+            node.service_offline(&req, &faults, &mut served),
+            ServiceOutcome::Reply(_)
+        ));
+        assert_eq!(served, 3);
+        assert_eq!(
+            node.service_offline(&req, &faults, &mut served),
+            ServiceOutcome::Crashed
+        );
+        assert_eq!(served, 3, "a crashed daemon never receives the request");
     }
 
     #[test]

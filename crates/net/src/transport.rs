@@ -147,6 +147,81 @@ impl LinkFaults {
             ..Self::default()
         }
     }
+
+    /// Offline, event-driven evaluation of this plan for wire attempt
+    /// `idx`: what the link does to the attempt, without threads,
+    /// channels, or sleeps. Probabilistic faults draw from `rng` in the
+    /// same order as the live [`Link::attempt`] path (request drop, then
+    /// response drop), so a fixed seed yields a fixed fault schedule.
+    /// The discrete-event campaign engine (`aircal-sim`) turns the
+    /// returned verdict into delivery/loss events; node-side faults
+    /// (`hang_on`, `crash_after`) are evaluated separately via
+    /// [`LinkFaults::node_verdict`] because they key off requests the
+    /// node actually *received*.
+    pub fn attempt_verdict(&self, idx: u64, rng: &mut ChaCha8Rng) -> AttemptVerdict {
+        if self.burst_outages.iter().any(|b| b.covers(idx)) {
+            return AttemptVerdict::DroppedRequest;
+        }
+        let p_req = self.request_drop.clamp(0.0, 0.999);
+        if p_req > 0.0 && rng.gen_range(0.0..1.0) < p_req {
+            return AttemptVerdict::DroppedRequest;
+        }
+        let p_resp = self.response_drop.clamp(0.0, 0.999);
+        if p_resp > 0.0 && rng.gen_range(0.0..1.0) < p_resp {
+            return AttemptVerdict::DroppedResponse;
+        }
+        if self.corrupt_on.contains(&idx) {
+            return AttemptVerdict::Corrupted;
+        }
+        AttemptVerdict::Deliver {
+            latency_ms: self.latency_ms,
+        }
+    }
+
+    /// Offline evaluation of the node-side fault knobs for the
+    /// `served`-th request the node receives (0-based): does the service
+    /// loop answer, wedge, or find the host daemon dead? Mirrors the
+    /// [`spawn_node_with_faults`] service-thread semantics exactly.
+    pub fn node_verdict(&self, served: u64) -> NodeVerdict {
+        if self.crash_after.is_some_and(|n| served >= n) {
+            NodeVerdict::Crashed
+        } else if self.hang_on.contains(&served) {
+            NodeVerdict::Hang
+        } else {
+            NodeVerdict::Service
+        }
+    }
+}
+
+/// What a fault plan does to one wire attempt, evaluated offline (no
+/// threads) by [`LinkFaults::attempt_verdict`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptVerdict {
+    /// The request reaches the node and (node faults permitting) the
+    /// reply comes back after the link's extra one-way latency.
+    Deliver {
+        /// Extra one-way latency the plan adds, ms.
+        latency_ms: u64,
+    },
+    /// The request vanishes before the node (drop or burst outage): the
+    /// node never sees it, the caller eats a timeout.
+    DroppedRequest,
+    /// The node does the work but the reply vanishes on the way back.
+    DroppedResponse,
+    /// The reply arrives garbled: parseable, wrong kind.
+    Corrupted,
+}
+
+/// What the node-side service loop does with a received request,
+/// evaluated offline by [`LinkFaults::node_verdict`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeVerdict {
+    /// Serviced normally.
+    Service,
+    /// Wedged mid-service: the request is swallowed, no reply ever.
+    Hang,
+    /// The host daemon is dead; every send fails from now on.
+    Crashed,
 }
 
 /// Per-request-kind reply deadlines. A commissioned survey renders tens

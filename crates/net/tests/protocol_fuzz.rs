@@ -1,0 +1,159 @@
+//! Seed-corpus fuzz for the node⇄cloud protocol decoder.
+//!
+//! A real deployment would feed [`Request`]/[`Response`] decode with
+//! bytes from strangers' machines, so decode must be total: malformed,
+//! truncated, type-confused, or bit-flipped frames are *errors*, never
+//! panics, and anything that does decode must re-encode/re-decode to
+//! the same value (otherwise the transport's corrupt-reply detection
+//! can be confused by a frame that changes meaning on the second look).
+//!
+//! The corpus under `tests/corpus/` commits one well-formed frame per
+//! message kind plus hand-written adversarial seeds (extreme numbers,
+//! wrong types, trailing garbage, truncation, invalid UTF-8). Each seed
+//! is then pushed through a fixed budget of deterministic mutations —
+//! byte flips, truncations, splices, insertions — from a ChaCha8 stream
+//! keyed by the file name, so every CI run fuzzes the exact same
+//! mutants and a failure is a one-line reproducer, not a flake. The
+//! budget keeps the whole suite a bounded tier-1 `cargo test`, per the
+//! deterministic-simulation-testing posture of the repo.
+
+use aircal_net::{Request, Response};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::path::PathBuf;
+
+/// Deterministic mutants generated per corpus seed.
+const MUTATIONS_PER_SEED: usize = 150;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+/// Every committed corpus file, sorted by name for run-order stability.
+fn corpus() -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(corpus_dir())
+        .expect("corpus dir committed")
+        .map(|e| {
+            let e = e.unwrap();
+            let name = e.file_name().to_string_lossy().into_owned();
+            let bytes = std::fs::read(e.path()).unwrap();
+            (name, bytes)
+        })
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 12,
+        "corpus went missing: only {} files",
+        files.len()
+    );
+    files
+}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One deterministic mutation of `seed`: flip, insert, delete, splice,
+/// or truncate. Always returns *some* byte string (possibly empty).
+fn mutate(seed: &[u8], rng: &mut ChaCha8Rng) -> Vec<u8> {
+    let mut out = seed.to_vec();
+    let ops = 1 + rng.gen_range(0..3u32);
+    for _ in 0..ops {
+        if out.is_empty() {
+            out.push(rng.gen_range(0..=255u32) as u8);
+            continue;
+        }
+        let pos = rng.gen_range(0..out.len() as u64) as usize;
+        match rng.gen_range(0..5u32) {
+            0 => out[pos] ^= 1 << rng.gen_range(0..8u32), // bit flip
+            1 => out.insert(pos, rng.gen_range(0..=255u32) as u8), // insert
+            2 => {
+                out.remove(pos); // delete
+            }
+            3 => out.truncate(pos), // truncate
+            _ => {
+                // Splice: copy a short window from elsewhere in the seed.
+                let src = rng.gen_range(0..seed.len() as u64) as usize;
+                let len = (rng.gen_range(1..8u32) as usize).min(seed.len() - src);
+                let window: Vec<u8> = seed[src..src + len].to_vec();
+                let pos = pos.min(out.len());
+                for (i, b) in window.into_iter().enumerate() {
+                    out.insert(pos + i, b);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Decode `text` both ways; whatever decodes must round-trip stably.
+/// Returns how many decodes succeeded (to prove the fuzz isn't only
+/// exercising the error path).
+fn check_total_and_stable(name: &str, text: &str) -> u32 {
+    let mut hits = 0;
+    if let Ok(req) = serde_json::from_str::<Request>(text) {
+        hits += 1;
+        let re = serde_json::to_string(&req).expect("re-encode decoded request");
+        let back: Request = serde_json::from_str(&re)
+            .unwrap_or_else(|e| panic!("{name}: re-decode of {re} failed: {e:?}"));
+        assert_eq!(back, req, "{name}: request changed meaning across a round-trip");
+    }
+    if let Ok(resp) = serde_json::from_str::<Response>(text) {
+        hits += 1;
+        let re = serde_json::to_string(&resp).expect("re-encode decoded response");
+        let back: Response = serde_json::from_str(&re)
+            .unwrap_or_else(|e| panic!("{name}: re-decode of {re} failed: {e:?}"));
+        // `SurveyResult` has no PartialEq; compare re-encodings instead.
+        let re2 = serde_json::to_string(&back).unwrap();
+        assert_eq!(re, re2, "{name}: response changed meaning across a round-trip");
+    }
+    hits
+}
+
+/// The well-formed corpus members must actually decode: a corpus that
+/// rots into all-garbage would silently stop exercising the success
+/// paths the mutants start from.
+#[test]
+fn corpus_seeds_decode_as_committed() {
+    for (name, bytes) in corpus() {
+        let text = String::from_utf8_lossy(&bytes);
+        let hits = check_total_and_stable(&name, &text);
+        if name.starts_with("req_") || name.starts_with("resp_") {
+            assert!(hits > 0, "{name}: committed frame no longer decodes");
+        }
+    }
+}
+
+/// The fuzz proper: a fixed budget of deterministic mutants per seed.
+/// Decode must be total (no panic — reaching the end of this test *is*
+/// the assertion) and stable on everything that decodes.
+#[test]
+fn mutated_frames_never_panic_the_decoder() {
+    let mut mutants = 0u64;
+    let mut decoded = 0u64;
+    for (name, bytes) in corpus() {
+        // Per-file stream: adding a corpus file never changes the
+        // mutants generated for existing files.
+        let mut rng = ChaCha8Rng::seed_from_u64(fnv(name.as_bytes()));
+        for _ in 0..MUTATIONS_PER_SEED {
+            let mutant = mutate(&bytes, &mut rng);
+            let text = String::from_utf8_lossy(&mutant);
+            decoded += check_total_and_stable(&name, &text) as u64;
+            mutants += 1;
+        }
+    }
+    assert_eq!(
+        mutants,
+        corpus().len() as u64 * MUTATIONS_PER_SEED as u64,
+        "bounded budget: every seed gets exactly its share"
+    );
+    assert!(
+        decoded >= 25,
+        "only {decoded} mutants decoded — mutations too destructive to cover success paths"
+    );
+}

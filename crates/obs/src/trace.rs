@@ -94,6 +94,21 @@ fn lock_spans() -> std::sync::MutexGuard<'static, Vec<SpanRecord>> {
     SPANS.lock().unwrap_or_else(|poison| poison.into_inner())
 }
 
+/// Advance the global virtual clock to at least `tick` without recording
+/// a span. The discrete-event campaign engine (`aircal-sim`) calls this
+/// as it processes each event batch, so the engine's virtual time and the
+/// tracer's tick counter are the *same* clock: spans opened while an
+/// event executes carry ticks at or after the event's scheduled time.
+/// Monotonic — a tick already in the past is a no-op.
+pub fn advance_clock_to(tick: u64) {
+    CLOCK.fetch_max(tick, Ordering::Relaxed);
+}
+
+/// The current virtual tick (next value the clock will hand out).
+pub fn clock_now() -> u64 {
+    CLOCK.load(Ordering::Relaxed)
+}
+
 /// Turn the tracer on. Spans opened after this call are recorded.
 pub fn enable() {
     ENABLED.store(true, Ordering::SeqCst);
@@ -147,6 +162,15 @@ pub fn summarize(records: &[SpanRecord]) -> Vec<SpanSummary> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn clock_advances_monotonically_and_never_rewinds() {
+        let before = clock_now();
+        advance_clock_to(before + 100);
+        assert!(clock_now() >= before + 100);
+        advance_clock_to(0); // a tick in the past must be a no-op
+        assert!(clock_now() >= before + 100);
+    }
 
     // The global tracer is process-wide, so everything that toggles it
     // lives in this single test.

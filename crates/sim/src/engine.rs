@@ -1,0 +1,814 @@
+//! The campaign engine: fleet state, event application, and the
+//! batch-parallel main loop.
+//!
+//! # How a campaign runs
+//!
+//! A campaign is seeded with a fleet of synthetic sensor nodes. Each
+//! node has a true frequency profile (a fleet-wide base per task kind,
+//! plus a small per-node calibration offset; a seeded fraction of nodes
+//! are grossly miscalibrated — the paper's careless volunteers), a
+//! [`LinkFaults`] chaos plan derived from the campaign seed, and the
+//! real `aircal-net` health ladder. Schedule rounds ask the configured
+//! [`Scheduler`] for assignments; every dispatch is judged by
+//! [`LinkFaults::attempt_verdict`] (wire) and
+//! [`LinkFaults::node_verdict`] (daemon crash/hang) — the *same* fault
+//! semantics the threaded transport enforces. Delivered measurements
+//! become [`EventKind::TaskComplete`] events after the task's dwell
+//! time plus link latency; audit rounds compare fresh profiles against
+//! the fleet median, walk each node's [`HealthLadder`], and update a
+//! trust score.
+//!
+//! # Determinism
+//!
+//! The main loop pops every event at the earliest virtual tick as one
+//! batch (heap order — a pure function of queue contents), computes
+//! measurement payloads for the batch's completions in parallel with
+//! [`par_map`] (each payload a pure function of `(campaign seed, event
+//! id, node truth)`), then applies events sequentially in batch order.
+//! All stateful RNG draws happen in the apply phase. Worker count can
+//! therefore never reorder anything: `workers = 1` and `workers = 8`
+//! produce bit-identical event logs, digests, and trust tables.
+
+use crate::event::{EventKind, EventQueue, SimEvent, TaskKind};
+use crate::scheduler::{FleetView, NodeView, Scheduler, SchedulerKind};
+use aircal_dsp::{derive_stream_seed, par_map};
+use aircal_net::{AttemptVerdict, HealthLadder, HealthPolicy, LinkFaults, NodeHealth, NodeVerdict};
+use aircal_obs::Obs;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Stream salts: every independent randomness consumer XORs its own
+/// salt into the campaign seed before deriving per-item streams, so no
+/// two consumers can ever collide on a stream (see the collision-census
+/// regression test over `derive_stream_seed`).
+const TRUTH_SALT: u64 = 0x5452_5554_4800_0001; // "TRUTH"
+const FAULT_SALT: u64 = 0xFA17_C0DE_0000_0001;
+const LINK_SALT: u64 = 0x4C49_4E4B_0000_0001; // "LINK"
+const MEAS_SALT: u64 = 0x4D45_4153_5552_4531; // "MEASURE1"
+
+/// FNV-1a offset basis / prime, for the event-log digest chain.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A measurement payload: pure function of `(campaign seed, event id,
+/// node truth)`. Safe to compute on any worker thread — it derives its
+/// own RNG stream from the event id.
+fn measure_payload(meas_seed: u64, event_id: u64, base: &[f64], offset_db: f64) -> Vec<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(derive_stream_seed(meas_seed, event_id));
+    base.iter()
+        .map(|b| {
+            // Sum of two uniforms: triangular, sigma ~ 0.4 dB.
+            let noise = rng.gen_range(-0.5..0.5) + rng.gen_range(-0.5..0.5);
+            b + offset_db + noise
+        })
+        .collect()
+}
+
+/// Seed-derived chaos shaping for the whole fleet. Which nodes are
+/// lossy, crashy, corrupting, or miscalibrated is drawn per node from
+/// the campaign seed, so two runs of the same config face the same
+/// fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetFaultsConfig {
+    /// Fraction of nodes with a lossy link.
+    pub lossy_fraction: f64,
+    /// Total drop probability for lossy nodes (split 70/30 between
+    /// request and response drops, mirroring where real losses bite).
+    pub drop_probability: f64,
+    /// Fraction of nodes whose host daemon crashes after a seeded
+    /// number of served requests.
+    pub crash_fraction: f64,
+    /// Fraction of nodes that garble one seeded wire attempt.
+    pub corrupt_fraction: f64,
+    /// Fraction of nodes with a gross (+8 dB) calibration error — the
+    /// installations the audit rounds exist to catch.
+    pub miscalibrated_fraction: f64,
+    /// One-way delivery latency, in virtual ticks.
+    pub latency_ticks: u64,
+}
+
+impl Default for FleetFaultsConfig {
+    fn default() -> Self {
+        Self {
+            lossy_fraction: 0.15,
+            drop_probability: 0.35,
+            crash_fraction: 0.02,
+            corrupt_fraction: 0.02,
+            miscalibrated_fraction: 0.05,
+            latency_ticks: 1,
+        }
+    }
+}
+
+/// Everything that defines a campaign. Two equal configs replay
+/// bit-identically; `workers` is explicitly *not* part of the outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    pub nodes: usize,
+    pub seed: u64,
+    /// Worker threads for the payload compute phase. Never affects
+    /// results — only wall-clock.
+    pub workers: usize,
+    pub scheduler: SchedulerKind,
+    /// Dispatches per schedule round.
+    pub capacity_per_round: usize,
+    /// Ticks between schedule rounds.
+    pub schedule_period: u64,
+    /// Ticks between audit rounds.
+    pub audit_period: u64,
+    /// Ticks before an outstanding dispatch is presumed lost.
+    pub timeout_ticks: u64,
+    /// Campaign horizon.
+    pub max_ticks: u64,
+    /// Keep the full event log in the result (tests); the digest is
+    /// always computed either way.
+    pub record_log: bool,
+    pub faults: FleetFaultsConfig,
+}
+
+impl CampaignConfig {
+    /// Defaults shaped like the paper's deployment sketch: utility
+    /// scheduling, an eighth of the fleet dispatched per round, audits
+    /// every 50 ticks.
+    pub fn paper_default(nodes: usize, seed: u64) -> Self {
+        Self {
+            nodes,
+            seed,
+            workers: 1,
+            scheduler: SchedulerKind::UtilityDriven,
+            capacity_per_round: (nodes / 8).max(1),
+            schedule_period: 5,
+            audit_period: 50,
+            timeout_ticks: 12,
+            max_ticks: 1200,
+            record_log: false,
+            faults: FleetFaultsConfig::default(),
+        }
+    }
+}
+
+/// Final state of one campaign. `PartialEq` compares *everything*
+/// (trust bits, digest, log) — the determinism property tests lean on
+/// that.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignResult {
+    pub nodes: usize,
+    pub scheduler: String,
+    /// Events applied (== events scheduled; the queue always drains).
+    pub events: u64,
+    /// Virtual tick of the last applied batch.
+    pub final_tick: u64,
+    /// FNV-1a chain over every event-log line, then the final trust
+    /// table and health states. The campaign's identity.
+    pub digest: String,
+    /// First tick at which ≥ 90 % of the fleet had every profile kind
+    /// measured at least once; `None` if never reached.
+    pub coverage90_tick: Option<u64>,
+    /// Nodes with all three profile kinds covered at the end.
+    pub covered_nodes: usize,
+    pub completed_tasks: u64,
+    pub dropped_requests: u64,
+    pub dropped_responses: u64,
+    pub corrupt_deliveries: u64,
+    pub crashed_nodes: usize,
+    /// Audit rounds that flagged at least one anomalous profile.
+    pub anomaly_flags: u64,
+    /// Final health state census, keyed by state name.
+    pub health_counts: BTreeMap<String, usize>,
+    /// Final per-node trust scores as IEEE-754 bit patterns, indexed by
+    /// node id — bit-exact across worker counts by construction.
+    pub trust_table: Vec<u64>,
+    /// Full event log; empty unless [`CampaignConfig::record_log`].
+    pub log: Vec<String>,
+}
+
+impl CampaignResult {
+    /// Compact, fixture-friendly summary (excludes the trust table body
+    /// and log; the digest already covers both).
+    pub fn summary_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"nodes\": {},\n", self.nodes));
+        s.push_str(&format!("  \"scheduler\": \"{}\",\n", self.scheduler));
+        s.push_str(&format!("  \"events\": {},\n", self.events));
+        s.push_str(&format!("  \"final_tick\": {},\n", self.final_tick));
+        s.push_str(&format!("  \"digest\": \"{}\",\n", self.digest));
+        s.push_str(&format!(
+            "  \"coverage90_tick\": {},\n",
+            match self.coverage90_tick {
+                Some(t) => t.to_string(),
+                None => "null".to_string(),
+            }
+        ));
+        s.push_str(&format!("  \"covered_nodes\": {},\n", self.covered_nodes));
+        s.push_str(&format!("  \"completed_tasks\": {},\n", self.completed_tasks));
+        s.push_str(&format!("  \"dropped_requests\": {},\n", self.dropped_requests));
+        s.push_str(&format!("  \"dropped_responses\": {},\n", self.dropped_responses));
+        s.push_str(&format!("  \"corrupt_deliveries\": {},\n", self.corrupt_deliveries));
+        s.push_str(&format!("  \"crashed_nodes\": {},\n", self.crashed_nodes));
+        s.push_str(&format!("  \"anomaly_flags\": {},\n", self.anomaly_flags));
+        let health: Vec<String> = self
+            .health_counts
+            .iter()
+            .map(|(k, v)| format!("    \"{k}\": {v}"))
+            .collect();
+        s.push_str(&format!("  \"health_counts\": {{\n{}\n  }}\n", health.join(",\n")));
+        s.push('}');
+        s
+    }
+}
+
+/// One synthetic sensor node, engine-side.
+struct SimNode {
+    faults: LinkFaults,
+    /// Draws the wire-fault verdicts; stepped only in the sequential
+    /// apply phase.
+    link_rng: ChaCha8Rng,
+    /// Wire attempts made toward this node (indexes burst/corrupt
+    /// schedules).
+    attempts: u64,
+    /// Requests that reached the node's daemon (indexes hang/crash
+    /// schedules) — the served counter the threaded service loop keeps.
+    served: u64,
+    daemon_alive: bool,
+    /// True calibration offset, dB (includes the +8 dB miscalibration
+    /// for seeded cheaters).
+    offset_db: f64,
+    ladder: HealthLadder,
+    trust: f64,
+    /// Cloud-side latest profile mean per kind.
+    profile_mean: [Option<f64>; 3],
+    /// Kinds refreshed since the last audit round.
+    fresh: [bool; 3],
+    dispatched_since_audit: u32,
+    completed_since_audit: u32,
+    /// Kinds ever completed (coverage accounting).
+    covered: [bool; 3],
+}
+
+struct Campaign<'a> {
+    cfg: &'a CampaignConfig,
+    obs: &'a Obs,
+    queue: EventQueue,
+    scheduler: Box<dyn Scheduler>,
+    policy: HealthPolicy,
+    base: [[f64; TaskKind::BANDS]; 3],
+    nodes: Vec<SimNode>,
+    views: Vec<NodeView>,
+    digest: u64,
+    log: Vec<String>,
+    events_applied: u64,
+    final_tick: u64,
+    ended: bool,
+    covered_count: usize,
+    coverage90_tick: Option<u64>,
+    completed_tasks: u64,
+    dropped_requests: u64,
+    dropped_responses: u64,
+    corrupt_deliveries: u64,
+    crashed_nodes: usize,
+    anomaly_flags: u64,
+}
+
+impl<'a> Campaign<'a> {
+    fn new(cfg: &'a CampaignConfig, obs: &'a Obs) -> Self {
+        let seed = cfg.seed;
+        let mut truth_rng = ChaCha8Rng::seed_from_u64(derive_stream_seed(seed ^ TRUTH_SALT, 0));
+        let mut base = [[0.0f64; TaskKind::BANDS]; 3];
+        for kind in &mut base {
+            for band in kind.iter_mut() {
+                *band = -85.0 + 45.0 * truth_rng.gen_range(0.0..1.0);
+            }
+        }
+
+        let f = &cfg.faults;
+        let mut nodes = Vec::with_capacity(cfg.nodes);
+        for i in 0..cfg.nodes as u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(derive_stream_seed(seed ^ FAULT_SALT, i));
+            // Fixed draw order keeps each node's fate a function of its
+            // stream alone.
+            let offset = rng.gen_range(-1.0..1.0);
+            let lossy = rng.gen_range(0.0..1.0) < f.lossy_fraction;
+            let crashy = rng.gen_range(0.0..1.0) < f.crash_fraction;
+            let corrupting = rng.gen_range(0.0..1.0) < f.corrupt_fraction;
+            let miscal = rng.gen_range(0.0..1.0) < f.miscalibrated_fraction;
+            let crash_after = 2 + (rng.gen_range(0.0..1.0) * 30.0) as u64;
+            let corrupt_idx = (rng.gen_range(0.0..1.0) * 8.0) as u64;
+            let faults = LinkFaults {
+                request_drop: if lossy { f.drop_probability * 0.7 } else { 0.0 },
+                response_drop: if lossy { f.drop_probability * 0.3 } else { 0.0 },
+                latency_ms: f.latency_ticks,
+                burst_outages: Vec::new(),
+                crash_after: if crashy { Some(crash_after) } else { None },
+                hang_on: Vec::new(),
+                corrupt_on: if corrupting { vec![corrupt_idx] } else { Vec::new() },
+            };
+            nodes.push(SimNode {
+                faults,
+                link_rng: ChaCha8Rng::seed_from_u64(derive_stream_seed(seed ^ LINK_SALT, i)),
+                attempts: 0,
+                served: 0,
+                daemon_alive: true,
+                offset_db: offset + if miscal { 8.0 } else { 0.0 },
+                ladder: HealthLadder::default(),
+                trust: 0.5,
+                profile_mean: [None; 3],
+                fresh: [false; 3],
+                dispatched_since_audit: 0,
+                completed_since_audit: 0,
+                covered: [false; 3],
+            });
+        }
+        let views = vec![NodeView::fresh(); cfg.nodes];
+
+        Self {
+            cfg,
+            obs,
+            queue: EventQueue::new(seed),
+            scheduler: cfg.scheduler.build(),
+            policy: HealthPolicy::default(),
+            base,
+            nodes,
+            views,
+            digest: FNV_OFFSET,
+            log: Vec::new(),
+            events_applied: 0,
+            final_tick: 0,
+            ended: false,
+            covered_count: 0,
+            coverage90_tick: None,
+            completed_tasks: 0,
+            dropped_requests: 0,
+            dropped_responses: 0,
+            corrupt_deliveries: 0,
+            crashed_nodes: 0,
+            anomaly_flags: 0,
+        }
+    }
+
+    fn log_line(&mut self, line: String) {
+        self.digest = fnv1a(self.digest, line.as_bytes());
+        self.digest = fnv1a(self.digest, b"\n");
+        if self.cfg.record_log {
+            self.log.push(line);
+        }
+    }
+
+    /// Compute payloads for every `TaskComplete` in the batch, possibly
+    /// in parallel. Results are aligned to batch positions; ordering is
+    /// fixed by the batch itself, so worker count is invisible. The
+    /// closure captures only immutable fleet truth — never the
+    /// scheduler or any RNG state.
+    fn compute_payloads(&self, batch: &[SimEvent]) -> Vec<Option<Vec<f64>>> {
+        let completes: Vec<(usize, u32, TaskKind, u64)> = batch
+            .iter()
+            .enumerate()
+            .filter_map(|(i, ev)| match ev.kind {
+                EventKind::TaskComplete { node, kind } => Some((i, node, kind, ev.id)),
+                _ => None,
+            })
+            .collect();
+        let workers = self.cfg.workers.max(1);
+        let meas_seed = self.cfg.seed ^ MEAS_SALT;
+        let base = &self.base;
+        let nodes = &self.nodes;
+        let compute = move |&(bi, node, kind, id): &(usize, u32, TaskKind, u64)| {
+            let payload = measure_payload(
+                meas_seed,
+                id,
+                &base[kind.index()],
+                nodes[node as usize].offset_db,
+            );
+            (bi, payload)
+        };
+        let computed: Vec<(usize, Vec<f64>)> = if workers >= 2 && completes.len() >= 2 {
+            par_map(&completes, workers, |_, item| compute(item))
+        } else {
+            completes.iter().map(compute).collect()
+        };
+        let mut out: Vec<Option<Vec<f64>>> = vec![None; batch.len()];
+        for (bi, payload) in computed {
+            out[bi] = Some(payload);
+        }
+        out
+    }
+
+    fn schedulable(&self, node: usize) -> bool {
+        self.nodes[node].daemon_alive
+            && self.nodes[node].ladder.health().severity() < NodeHealth::Quarantined.severity()
+    }
+
+    fn apply_schedule_round(&mut self, ev: &SimEvent) {
+        let now = ev.time;
+        let assignments = {
+            let view = FleetView {
+                nodes: &self.views,
+                now,
+                timeout_ticks: self.cfg.timeout_ticks,
+            };
+            self.scheduler.assign(&view, self.cfg.capacity_per_round)
+        };
+        let assigned = assignments.len();
+        for (node, kind) in assignments {
+            let ni = node as usize;
+            self.views[ni].in_flight[kind.index()] = Some(now);
+            let (verdict, daemon_alive) = {
+                let n = &mut self.nodes[ni];
+                n.dispatched_since_audit += 1;
+                let idx = n.attempts;
+                n.attempts += 1;
+                (n.faults.attempt_verdict(idx, &mut n.link_rng), n.daemon_alive)
+            };
+            let outcome: &str;
+            match verdict {
+                AttemptVerdict::DroppedRequest => {
+                    self.dropped_requests += 1;
+                    self.obs.incr("sim.dispatch.dropped_request", 1);
+                    outcome = "drop_req";
+                }
+                _ if !daemon_alive => {
+                    // Request reached a dead daemon: silence, timeout.
+                    self.obs.incr("sim.dispatch.dead_node", 1);
+                    outcome = "dead";
+                }
+                _ => {
+                    let (node_verdict, latency) = {
+                        let n = &mut self.nodes[ni];
+                        let nv = n.faults.node_verdict(n.served);
+                        if !matches!(nv, NodeVerdict::Crashed) {
+                            // The daemon received the request: its served
+                            // counter advances exactly as the threaded
+                            // service loop's would.
+                            n.served += 1;
+                        }
+                        (nv, n.faults.latency_ms)
+                    };
+                    match node_verdict {
+                        NodeVerdict::Crashed => {
+                            self.nodes[ni].daemon_alive = false;
+                            self.views[ni].alive = false;
+                            self.crashed_nodes += 1;
+                            self.obs.incr("sim.node.crashed", 1);
+                            outcome = "crash";
+                        }
+                        NodeVerdict::Hang => {
+                            self.obs.incr("sim.node.hung", 1);
+                            outcome = "hang";
+                        }
+                        NodeVerdict::Service => {
+                            let arrival = now + kind.duration_ticks() + latency;
+                            match verdict {
+                                AttemptVerdict::Deliver { .. } => {
+                                    self.obs.incr("sim.dispatch.delivered", 1);
+                                    self.queue
+                                        .push(arrival, EventKind::TaskComplete { node, kind });
+                                    outcome = "deliver";
+                                }
+                                AttemptVerdict::Corrupted => {
+                                    self.queue
+                                        .push(arrival, EventKind::DeliveryCorrupt { node, kind });
+                                    outcome = "corrupt";
+                                }
+                                AttemptVerdict::DroppedResponse => {
+                                    // The node did the work; the reply
+                                    // vanished on the wire.
+                                    self.dropped_responses += 1;
+                                    self.obs.incr("sim.dispatch.dropped_response", 1);
+                                    outcome = "drop_resp";
+                                }
+                                AttemptVerdict::DroppedRequest => unreachable!("handled above"),
+                            }
+                        }
+                    }
+                }
+            }
+            self.log_line(format!(
+                "t={} id={} ev=dispatch node={} kind={} out={}",
+                now,
+                ev.id,
+                node,
+                kind.label(),
+                outcome
+            ));
+        }
+        self.obs.incr("sim.dispatches", assigned as u64);
+        self.log_line(format!("t={} id={} ev=sched assigned={}", now, ev.id, assigned));
+        let next = now + self.cfg.schedule_period;
+        if next < self.cfg.max_ticks {
+            self.queue.push(next, EventKind::ScheduleRound);
+        }
+    }
+
+    fn apply_task_complete(&mut self, ev: &SimEvent, node: u32, kind: TaskKind, payload: Vec<f64>) {
+        let ni = node as usize;
+        let ki = kind.index();
+        self.views[ni].in_flight[ki] = None;
+        self.views[ni].last_update[ki] = Some(ev.time);
+        let mean = payload.iter().sum::<f64>() / payload.len() as f64;
+        // Fold the payload bits into the digest so the digest witnesses
+        // measurement *values*, not just event order.
+        let mut fp = FNV_OFFSET;
+        for v in &payload {
+            fp = fnv1a(fp, &v.to_bits().to_le_bytes());
+        }
+        let n = &mut self.nodes[ni];
+        n.profile_mean[ki] = Some(mean);
+        n.fresh[ki] = true;
+        n.completed_since_audit += 1;
+        if !n.covered[ki] {
+            n.covered[ki] = true;
+            if n.covered.iter().all(|&c| c) {
+                self.covered_count += 1;
+                if self.coverage90_tick.is_none()
+                    && self.covered_count * 10 >= self.cfg.nodes * 9
+                {
+                    self.coverage90_tick = Some(ev.time);
+                    self.log_line(format!("t={} id={} ev=coverage90", ev.time, ev.id));
+                }
+            }
+        }
+        self.completed_tasks += 1;
+        self.obs.incr("sim.task.completed", 1);
+        self.log_line(format!(
+            "t={} id={} ev=complete node={} kind={} fp={:016x}",
+            ev.time,
+            ev.id,
+            node,
+            kind.label(),
+            fp
+        ));
+    }
+
+    fn apply_delivery_corrupt(&mut self, ev: &SimEvent, node: u32, kind: TaskKind) {
+        // A garbled reply still tells the cloud the attempt is dead, so
+        // the pair is immediately reschedulable — unlike a silent drop,
+        // which has to age out through the timeout.
+        self.views[node as usize].in_flight[kind.index()] = None;
+        self.corrupt_deliveries += 1;
+        self.obs.incr("sim.delivery.corrupt", 1);
+        self.log_line(format!(
+            "t={} id={} ev=corrupt node={} kind={}",
+            ev.time,
+            ev.id,
+            node,
+            kind.label()
+        ));
+    }
+
+    fn apply_audit_round(&mut self, ev: &SimEvent) {
+        let now = ev.time;
+        // Fused fleet profile per kind: median of the latest means. The
+        // cloud has no ground truth; the crowd is its reference, exactly
+        // as in the paper's fusion story.
+        let mut medians = [f64::NAN; 3];
+        for (ki, median) in medians.iter_mut().enumerate() {
+            let mut means: Vec<f64> = self
+                .nodes
+                .iter()
+                .filter_map(|n| n.profile_mean[ki])
+                .collect();
+            if !means.is_empty() {
+                means.sort_unstable_by(|a, b| a.total_cmp(b));
+                *median = means[means.len() / 2];
+            }
+        }
+        let mut audited = 0u32;
+        let mut anomalies = 0u32;
+        let mut quarantined_or_worse = 0u32;
+        for ni in 0..self.nodes.len() {
+            let n = &mut self.nodes[ni];
+            if n.dispatched_since_audit == 0 && n.completed_since_audit == 0 {
+                continue;
+            }
+            audited += 1;
+            let link_ok = n.completed_since_audit > 0;
+            let anomalous = link_ok
+                && (0..3).any(|ki| {
+                    n.fresh[ki]
+                        && !medians[ki].is_nan()
+                        && (n.profile_mean[ki].expect("fresh implies mean") - medians[ki]).abs()
+                            > 3.0
+                });
+            let health = n.ladder.record(&self.policy, link_ok, anomalous);
+            if anomalous {
+                anomalies += 1;
+                n.trust = (n.trust - 0.15).max(0.0);
+            } else if link_ok {
+                n.trust = (n.trust + 0.03).min(1.0);
+            } else {
+                n.trust = (n.trust - 0.05).max(0.0);
+            }
+            if health.severity() >= NodeHealth::Quarantined.severity() {
+                quarantined_or_worse += 1;
+            }
+            n.dispatched_since_audit = 0;
+            n.completed_since_audit = 0;
+            n.fresh = [false; 3];
+            let alive = self.schedulable(ni);
+            self.views[ni].alive = alive;
+        }
+        if anomalies > 0 {
+            self.anomaly_flags += 1;
+        }
+        self.obs.incr("sim.audit.rounds", 1);
+        self.obs.incr("sim.audit.anomalies", anomalies as u64);
+        self.obs
+            .set_gauge("sim.coverage", self.covered_count as f64 / self.cfg.nodes.max(1) as f64);
+        self.log_line(format!(
+            "t={} id={} ev=audit audited={} anomalies={} quarantined={}",
+            now, ev.id, audited, anomalies, quarantined_or_worse
+        ));
+        let next = now + self.cfg.audit_period;
+        if next < self.cfg.max_ticks {
+            self.queue.push(next, EventKind::AuditRound);
+        }
+    }
+
+    fn apply(&mut self, ev: &SimEvent, payload: Option<Vec<f64>>) {
+        self.events_applied += 1;
+        self.final_tick = ev.time;
+        self.obs.incr("sim.events", 1);
+        match ev.kind {
+            EventKind::ScheduleRound => self.apply_schedule_round(ev),
+            EventKind::TaskComplete { node, kind } => {
+                let payload = payload.expect("payload computed for every completion");
+                self.apply_task_complete(ev, node, kind, payload);
+            }
+            EventKind::DeliveryCorrupt { node, kind } => {
+                self.apply_delivery_corrupt(ev, node, kind)
+            }
+            EventKind::AuditRound => self.apply_audit_round(ev),
+            EventKind::CampaignEnd => {
+                self.ended = true;
+                self.log_line(format!("t={} id={} ev=end", ev.time, ev.id));
+            }
+        }
+    }
+
+    fn finish(mut self) -> CampaignResult {
+        // Fold the final trust table and health states into the digest:
+        // the digest is the campaign, not just its event order.
+        let mut digest = self.digest;
+        for n in &self.nodes {
+            digest = fnv1a(digest, &n.trust.to_bits().to_le_bytes());
+            digest = fnv1a(digest, &[n.ladder.health().severity()]);
+            digest = fnv1a(digest, &n.served.to_le_bytes());
+        }
+        let mut health_counts: BTreeMap<String, usize> = BTreeMap::new();
+        for n in &self.nodes {
+            *health_counts
+                .entry(format!("{:?}", n.ladder.health()))
+                .or_insert(0) += 1;
+        }
+        CampaignResult {
+            nodes: self.cfg.nodes,
+            scheduler: self.cfg.scheduler.label().to_string(),
+            events: self.events_applied,
+            final_tick: self.final_tick,
+            digest: format!("{digest:016x}"),
+            coverage90_tick: self.coverage90_tick,
+            covered_nodes: self.covered_count,
+            completed_tasks: self.completed_tasks,
+            dropped_requests: self.dropped_requests,
+            dropped_responses: self.dropped_responses,
+            corrupt_deliveries: self.corrupt_deliveries,
+            crashed_nodes: self.crashed_nodes,
+            anomaly_flags: self.anomaly_flags,
+            health_counts,
+            trust_table: self.nodes.iter().map(|n| n.trust.to_bits()).collect(),
+            log: std::mem::take(&mut self.log),
+        }
+    }
+}
+
+/// Run a campaign with metrics disabled.
+pub fn run(config: &CampaignConfig) -> CampaignResult {
+    run_with_obs(config, &Obs::disabled())
+}
+
+/// Run a campaign, publishing `sim.*` metrics to `obs` and advancing
+/// the `aircal-obs` virtual clock to each batch's tick.
+pub fn run_with_obs(config: &CampaignConfig, obs: &Obs) -> CampaignResult {
+    let mut campaign = Campaign::new(config, obs);
+    campaign.queue.push(0, EventKind::ScheduleRound);
+    if config.audit_period < config.max_ticks {
+        campaign.queue.push(config.audit_period, EventKind::AuditRound);
+    }
+    campaign.queue.push(config.max_ticks, EventKind::CampaignEnd);
+
+    let mut batch: Vec<SimEvent> = Vec::new();
+    while let Some(tick) = campaign.queue.pop_batch(&mut batch) {
+        aircal_obs::trace::advance_clock_to(tick);
+        let payloads = campaign.compute_payloads(&batch);
+        for (ev, payload) in batch.iter().zip(payloads) {
+            campaign.apply(ev, payload);
+        }
+        if campaign.ended {
+            break;
+        }
+    }
+    campaign.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(seed: u64) -> CampaignConfig {
+        let mut cfg = CampaignConfig::paper_default(24, seed);
+        cfg.max_ticks = 300;
+        cfg.record_log = true;
+        cfg
+    }
+
+    #[test]
+    fn same_seed_same_workers_or_not_is_bit_identical() {
+        let mut a_cfg = small_config(11);
+        let mut b_cfg = small_config(11);
+        a_cfg.workers = 1;
+        b_cfg.workers = 8;
+        let a = run(&a_cfg);
+        let b = run(&b_cfg);
+        assert_eq!(a, b, "worker count must be invisible to the outcome");
+        assert!(!a.log.is_empty());
+        assert!(a.completed_tasks > 0, "campaign made progress");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = run(&small_config(11));
+        let b = run(&small_config(12));
+        assert_ne!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn chaos_paths_fire_at_fleet_scale() {
+        let mut cfg = CampaignConfig::paper_default(200, 5);
+        cfg.max_ticks = 600;
+        let r = run(&cfg);
+        assert!(r.dropped_requests > 0, "lossy links drop requests");
+        assert!(r.dropped_responses > 0, "lossy links drop responses");
+        assert!(r.crashed_nodes > 0, "some daemons crash");
+        assert!(r.covered_nodes > 150, "most of the fleet still converges");
+        assert!(
+            r.anomaly_flags > 0,
+            "miscalibrated nodes get flagged by audits"
+        );
+        let evicted_or_quarantined: usize = r
+            .health_counts
+            .iter()
+            .filter(|(k, _)| k.as_str() == "Quarantined" || k.as_str() == "Evicted")
+            .map(|(_, v)| *v)
+            .sum();
+        assert!(
+            evicted_or_quarantined > 0,
+            "the health ladder bites: {:?}",
+            r.health_counts
+        );
+    }
+
+    #[test]
+    fn trust_separates_honest_from_miscalibrated() {
+        let mut cfg = CampaignConfig::paper_default(120, 9);
+        cfg.max_ticks = 900;
+        let r = run(&cfg);
+        // Recover which nodes were seeded miscalibrated by re-deriving
+        // the fleet, then check the trust table split.
+        let f = &cfg.faults;
+        let mut cheat_trust: Vec<f64> = Vec::new();
+        let mut honest_trust: Vec<f64> = Vec::new();
+        for i in 0..cfg.nodes as u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(derive_stream_seed(
+                cfg.seed ^ FAULT_SALT,
+                i,
+            ));
+            let _offset: f64 = rng.gen_range(-1.0..1.0);
+            let lossy = rng.gen_range(0.0..1.0) < f.lossy_fraction;
+            let crashy = rng.gen_range(0.0..1.0) < f.crash_fraction;
+            let _corrupting = rng.gen_range(0.0..1.0) < f.corrupt_fraction;
+            let miscal = rng.gen_range(0.0..1.0) < f.miscalibrated_fraction;
+            let trust = f64::from_bits(r.trust_table[i as usize]);
+            if miscal {
+                cheat_trust.push(trust);
+            } else if !lossy && !crashy {
+                honest_trust.push(trust);
+            }
+        }
+        assert!(!cheat_trust.is_empty(), "seed 9 produces miscalibrated nodes");
+        let cheat_max = cheat_trust.iter().cloned().fold(f64::MIN, f64::max);
+        let honest_mean = honest_trust.iter().sum::<f64>() / honest_trust.len() as f64;
+        assert!(
+            cheat_max < honest_mean,
+            "every miscalibrated node ({cheat_max}) below honest mean ({honest_mean})"
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! Measurement scheduling policies.
+//!
+//! The paper sketches measurement scheduling as future work: the cloud
+//! decides *which* node measures *what* next, under a per-round budget.
+//! The engine exposes that decision through the [`Scheduler`] trait and
+//! ships the two policies the ISSUE calls for: a round-robin baseline
+//! and a utility-driven policy that always refreshes the stalest
+//! frequency profile first. Both are pure functions of the
+//! [`FleetView`] they are handed (plus their own cursor state), so runs
+//! replay bit-identically.
+
+use crate::event::TaskKind;
+use serde::{Deserialize, Serialize};
+
+/// What the scheduler may know about one node.
+#[derive(Debug, Clone)]
+pub struct NodeView {
+    /// Schedulable: daemon not crashed and health above quarantine.
+    pub alive: bool,
+    /// Virtual tick of the last completed measurement, per task kind.
+    pub last_update: [Option<u64>; 3],
+    /// Dispatch tick of the outstanding attempt, per task kind, if any.
+    pub in_flight: [Option<u64>; 3],
+}
+
+impl NodeView {
+    pub fn fresh() -> Self {
+        Self {
+            alive: true,
+            last_update: [None; 3],
+            in_flight: [None; 3],
+        }
+    }
+}
+
+/// The scheduler's read-only window onto the fleet at one round.
+#[derive(Debug)]
+pub struct FleetView<'a> {
+    pub nodes: &'a [NodeView],
+    /// Current virtual tick.
+    pub now: u64,
+    /// Ticks after which an outstanding attempt is presumed lost and
+    /// the pair becomes schedulable again.
+    pub timeout_ticks: u64,
+}
+
+impl FleetView<'_> {
+    /// May `(node, kind)` be dispatched this round? Dead nodes never;
+    /// in-flight pairs only once their attempt has timed out.
+    pub fn eligible(&self, node: usize, kind: TaskKind) -> bool {
+        let v = &self.nodes[node];
+        v.alive
+            && match v.in_flight[kind.index()] {
+                None => true,
+                Some(t) => self.now.saturating_sub(t) >= self.timeout_ticks,
+            }
+    }
+}
+
+/// A measurement-scheduling policy. `assign` picks at most `capacity`
+/// distinct `(node, task)` pairs for this round; the engine dispatches
+/// them in the returned order.
+pub trait Scheduler {
+    fn name(&self) -> &'static str;
+    fn assign(&mut self, fleet: &FleetView<'_>, capacity: usize) -> Vec<(u32, TaskKind)>;
+}
+
+/// Baseline: walk the `(node, kind)` lattice in fixed order, resuming
+/// where the previous round left off. A pair whose dispatch was lost is
+/// not retried until the cursor has lapped the whole fleet — that lap
+/// is exactly the latency gap the utility policy closes.
+#[derive(Debug, Default, Clone)]
+pub struct RoundRobinScheduler {
+    cursor: usize,
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn assign(&mut self, fleet: &FleetView<'_>, capacity: usize) -> Vec<(u32, TaskKind)> {
+        let lattice = fleet.nodes.len() * TaskKind::ALL.len();
+        let mut out = Vec::new();
+        let mut scanned = 0usize;
+        while out.len() < capacity && scanned < lattice {
+            let slot = self.cursor;
+            self.cursor = (self.cursor + 1) % lattice;
+            scanned += 1;
+            let node = slot / TaskKind::ALL.len();
+            let kind = TaskKind::ALL[slot % TaskKind::ALL.len()];
+            if fleet.eligible(node, kind) {
+                out.push((node as u32, kind));
+            }
+        }
+        out
+    }
+}
+
+/// The paper's measurement-scheduling sketch: refresh the stalest
+/// frequency profile first. Never-measured pairs are infinitely stale;
+/// ties break by `(node, kind)` so the order is total and seedless.
+/// Because staleness is re-scored every round, a pair whose dispatch
+/// was lost jumps back to the head of the queue the moment its attempt
+/// times out, instead of waiting for a round-robin lap.
+#[derive(Debug, Default, Clone)]
+pub struct UtilityScheduler;
+
+impl Scheduler for UtilityScheduler {
+    fn name(&self) -> &'static str {
+        "utility"
+    }
+
+    fn assign(&mut self, fleet: &FleetView<'_>, capacity: usize) -> Vec<(u32, TaskKind)> {
+        let mut candidates: Vec<(u64, u32, TaskKind)> = Vec::new();
+        for (node, view) in fleet.nodes.iter().enumerate() {
+            for kind in TaskKind::ALL {
+                if !fleet.eligible(node, kind) {
+                    continue;
+                }
+                let staleness = match view.last_update[kind.index()] {
+                    None => u64::MAX,
+                    Some(t) => fleet.now.saturating_sub(t),
+                };
+                candidates.push((staleness, node as u32, kind));
+            }
+        }
+        candidates.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        candidates
+            .into_iter()
+            .take(capacity)
+            .map(|(_, node, kind)| (node, kind))
+            .collect()
+    }
+}
+
+/// Serializable policy selector, so configs (and proptest strategies)
+/// can name a policy without carrying trait objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    RoundRobin,
+    UtilityDriven,
+}
+
+impl SchedulerKind {
+    pub fn build(self) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::RoundRobin => Box::<RoundRobinScheduler>::default(),
+            SchedulerKind::UtilityDriven => Box::<UtilityScheduler>::default(),
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerKind::RoundRobin => "round-robin",
+            SchedulerKind::UtilityDriven => "utility",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(n: usize) -> Vec<NodeView> {
+        vec![NodeView::fresh(); n]
+    }
+
+    #[test]
+    fn round_robin_resumes_at_cursor_and_skips_ineligible() {
+        let mut nodes = fleet(3);
+        nodes[1].alive = false;
+        let view = FleetView {
+            nodes: &nodes,
+            now: 0,
+            timeout_ticks: 10,
+        };
+        let mut rr = RoundRobinScheduler::default();
+        let first = rr.assign(&view, 4);
+        // Node 1's three slots are skipped: 0/adsb, 0/tv, 0/cells, 2/adsb.
+        assert_eq!(
+            first,
+            vec![
+                (0, TaskKind::AdsbWindow),
+                (0, TaskKind::TvSweep),
+                (0, TaskKind::CellScan),
+                (2, TaskKind::AdsbWindow),
+            ]
+        );
+        let second = rr.assign(&view, 2);
+        assert_eq!(second, vec![(2, TaskKind::TvSweep), (2, TaskKind::CellScan)]);
+    }
+
+    #[test]
+    fn utility_prefers_stalest_and_respects_inflight_timeout() {
+        let mut nodes = fleet(3);
+        // Node 0 fully fresh at t=90; node 1 never measured; node 2
+        // measured long ago.
+        for k in 0..3 {
+            nodes[0].last_update[k] = Some(90);
+            nodes[2].last_update[k] = Some(10);
+        }
+        // Node 1's adsb is in flight and NOT yet timed out.
+        nodes[1].in_flight[0] = Some(95);
+        let view = FleetView {
+            nodes: &nodes,
+            now: 100,
+            timeout_ticks: 10,
+        };
+        let mut u = UtilityScheduler;
+        let picks = u.assign(&view, 3);
+        // Never-measured pairs of node 1 win, minus the in-flight one;
+        // then node 2's ancient profiles.
+        assert_eq!(
+            picks,
+            vec![
+                (1, TaskKind::TvSweep),
+                (1, TaskKind::CellScan),
+                (2, TaskKind::AdsbWindow),
+            ]
+        );
+
+        // Once the attempt times out the pair is schedulable again and,
+        // being never-measured, preempts everything.
+        nodes[1].in_flight[0] = Some(80);
+        let view = FleetView {
+            nodes: &nodes,
+            now: 100,
+            timeout_ticks: 10,
+        };
+        let picks = u.assign(&view, 1);
+        assert_eq!(picks, vec![(1, TaskKind::AdsbWindow)]);
+    }
+}

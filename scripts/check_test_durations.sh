@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Named-suite gate with per-suite wall-clock budgets: runs every tier-1
+# integration suite by name (so a deleted or renamed suite fails loudly
+# instead of silently shrinking coverage) and fails if any suite runs
+# longer than its ceiling in scripts/test_budget.json. The ceilings are
+# deliberately generous — they catch a suite quietly growing into a
+# ten-minute monster, not CI jitter.
+#
+#   scripts/check_test_durations.sh
+#
+# Exits non-zero if any suite fails OR overruns its budget.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUDGET_FILE=scripts/test_budget.json
+
+# Flat {"suite": seconds} map; extracted with sed so the gate needs
+# nothing beyond coreutils.
+budget_for() {
+  sed -n "s/.*\"$1\"[[:space:]]*:[[:space:]]*\([0-9][0-9]*\).*/\1/p" "$BUDGET_FILE"
+}
+
+fail=0
+
+run_suite() {
+  local name="$1"
+  shift
+  local budget
+  budget=$(budget_for "$name")
+  if [ -z "$budget" ]; then
+    echo "# TEST BUDGET: no entry for suite '$name' in $BUDGET_FILE" >&2
+    fail=1
+    return
+  fi
+  echo "== suite: $name (budget ${budget}s) =="
+  local start end elapsed
+  start=$(date +%s)
+  "$@"
+  end=$(date +%s)
+  elapsed=$((end - start))
+  if [ "$elapsed" -gt "$budget" ]; then
+    echo "# TEST BUDGET EXCEEDED: $name took ${elapsed}s (budget ${budget}s)" >&2
+    fail=1
+  else
+    echo "# test budget ok: $name took ${elapsed}s (budget ${budget}s)"
+  fi
+}
+
+run_suite chaos_network        cargo test --release -q --test chaos_network
+run_suite observability        cargo test --release -q --test observability
+run_suite properties           cargo test --release -q --test properties
+run_suite golden_vectors       cargo test --release -q --test golden_vectors
+run_suite geometry_equivalence cargo test --release -q -p aircal-env --test geometry_equivalence
+run_suite allocations          cargo test --release -q -p aircal-bench --test allocations
+run_suite byzantine            cargo test --release -q --test byzantine
+run_suite fleet_sim            cargo test --release -q --test fleet_sim
+run_suite protocol_fuzz        cargo test --release -q -p aircal-net --test protocol_fuzz
+
+exit $fail

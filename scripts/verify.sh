@@ -17,20 +17,11 @@ cargo test --workspace --release -q
 echo "== clippy (-D warnings) =="
 cargo clippy --workspace --all-targets --release -- -D warnings
 
-echo "== chaos (deterministic network fault injection) =="
-cargo test --release -q --test chaos_network
-
-echo "== observability (telemetry determinism + quarantine replay) =="
-cargo test --release -q --test observability
-
-echo "== properties (CPR roundtrip, CRC-24 distance, FIR equivalence) =="
-cargo test --release -q --test properties
-
-echo "== golden vectors (bit-exact fixtures) =="
-cargo test --release -q --test golden_vectors
-
-echo "== geometry equivalence (indexed/cached path bit-identity) =="
-cargo test --release -q -p aircal-env --test geometry_equivalence
+echo "== named suites + per-suite duration budgets (scripts/test_budget.json) =="
+# Runs chaos, observability, properties, golden vectors, geometry
+# equivalence, allocations, byzantine, fleet determinism, and protocol
+# fuzz by name, each timed against its checked-in wall-clock ceiling.
+scripts/check_test_durations.sh
 
 echo "== quickstart demo (calibration end-to-end) =="
 cargo run --release --example quickstart
@@ -38,13 +29,7 @@ cargo run --release --example quickstart
 echo "== fault injection demo (front-end + network chaos) =="
 cargo run --release --example fault_injection
 
-echo "== allocation gate (zero steady-state allocs + bit-identity) =="
-cargo test --release -q -p aircal-bench --test allocations
-
-echo "== byzantine gate (robust fusion, eviction timelines, crash/restore) =="
-cargo test --release -q --test byzantine
-
-echo "== perfreport (--quick, alloc + perf + robustness budgets enforced) =="
-cargo run --release -p aircal-bench --bin perfreport -- --quick --check-allocs --check-perf --check-robust
+echo "== perfreport (--quick, alloc + perf + robustness + scale budgets enforced) =="
+cargo run --release -p aircal-bench --bin perfreport -- --quick --check-allocs --check-perf --check-robust --check-scale
 
 echo "== verify: all gates passed =="

@@ -39,6 +39,7 @@ pub use aircal_net as net;
 pub use aircal_obs as obs;
 pub use aircal_rfprop as rfprop;
 pub use aircal_sdr as sdr;
+pub use aircal_sim as sim;
 pub use aircal_tv as tv;
 
 /// The most common imports for calibration workflows.

@@ -118,6 +118,26 @@ fn golden_tv_sweep() {
     check_golden("tv_sweep.json", &json);
 }
 
+/// A seeded 1000-node campaign through the discrete-event engine: the
+/// fixture pins the campaign digest (which folds every event-log line,
+/// the final trust table, and every node's health state) plus the
+/// headline counters. Any change to event ordering, fault semantics,
+/// scheduling, payload synthesis, auditing, or trust arithmetic lands
+/// here as a one-line diff. Worker count is deliberately ≥ 2: the
+/// fixture also pins the engine's parallelism-invariance claim against
+/// the digest a serial run produced when the fixture was generated.
+#[test]
+fn golden_fleet_campaign_digest() {
+    use aircal::sim::{run, CampaignConfig};
+    let mut cfg = CampaignConfig::paper_default(1000, SEED);
+    cfg.workers = 2;
+    cfg.faults.lossy_fraction = 0.3;
+    cfg.faults.drop_probability = 0.5;
+    let result = run(&cfg);
+    let json = result.summary_json() + "\n";
+    check_golden("fleet_campaign.json", &json);
+}
+
 /// One full cross-band frequency profile (cellular + TV sources) for the
 /// rooftop scenario — the artifact the cloud judges nodes against.
 #[test]
