@@ -46,21 +46,28 @@ pub fn gated_preamble_correlation_into(
     if iq.len() < m {
         return;
     }
-    mags.clear();
-    mags.extend(iq.iter().map(|s| s.norm_sq()));
+    let kernels = aircal_dsp::kernels();
+    mags.resize(iq.len(), 0.0);
+    (kernels.norm_sq_map)(iq, mags);
+    // Canonical lane reduction over the template yields exactly 4.0 (one
+    // unit pulse per contributing lane), so the closed form stays
+    // bit-identical to `normalized_correlation`'s `energy(template)`.
     let t_energy = ppm::PREAMBLE_PULSES.len() as f64;
     let thr_sq = threshold * threshold;
     let n = iq.len() - m + 1;
-    let mut w_energy: f64 = mags[..m].iter().sum();
+    // Lane-reduced like the ungated scan's `energy(&signal[..m])`: the
+    // per-element values are identical (`norm_sq_map` output), and the
+    // lane assignment and tree match, so the two inits agree bitwise.
+    let mut w_energy: f64 = (kernels.sum_f64)(&mags[..m]);
     for i in 0..n {
         let pulse_sum: f64 = ppm::PREAMBLE_PULSES.iter().map(|&k| mags[i + k]).sum();
         if pulse_sum < thr_sq * w_energy {
             out.push(0.0);
         } else {
-            let mut acc = Cplx::ZERO;
-            for &k in &ppm::PREAMBLE_PULSES {
-                acc += iq[i + k];
-            }
+            // The exact value must match the ungated scan bit-for-bit, so
+            // it runs the same matched-filter kernel over the full
+            // 16-chip template rather than the 4-pulse shortcut.
+            let acc = (kernels.cdot_conj)(&iq[i..i + m], &ppm::PREAMBLE_TEMPLATE);
             let denom = (t_energy * w_energy).sqrt();
             out.push(if denom < 1e-30 { 0.0 } else { acc.abs() / denom });
         }

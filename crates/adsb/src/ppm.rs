@@ -35,18 +35,26 @@ pub fn frame_duration_s() -> f64 {
     FRAME_SAMPLES as f64 / SAMPLE_RATE_HZ
 }
 
+/// The preamble as a fixed complex template (unit-amplitude pulses),
+/// usable without allocation by the gated scan's exact-correlation
+/// kernel; [`preamble_template`] is its `Vec` form.
+pub const PREAMBLE_TEMPLATE: [Cplx; PREAMBLE_CHIPS] = build_preamble_template();
+
+const fn build_preamble_template() -> [Cplx; PREAMBLE_CHIPS] {
+    let mut t = [Cplx::ZERO; PREAMBLE_CHIPS];
+    let mut i = 0;
+    while i < PREAMBLE_CHIPS {
+        if PREAMBLE_PATTERN[i] == 1 {
+            t[i] = Cplx::ONE;
+        }
+        i += 1;
+    }
+    t
+}
+
 /// The preamble as a complex template (unit amplitude), for correlation.
 pub fn preamble_template() -> Vec<Cplx> {
-    PREAMBLE_PATTERN
-        .iter()
-        .map(|&c| {
-            if c == 1 {
-                Cplx::ONE
-            } else {
-                Cplx::ZERO
-            }
-        })
-        .collect()
+    PREAMBLE_TEMPLATE.to_vec()
 }
 
 /// Samples in a modulated *short* (56-bit) frame at 2 Msps.
@@ -88,6 +96,8 @@ pub struct Demodulated {
     pub confidences: Vec<f64>,
     /// Mean pulse power (linear) — the dump1090-style RSSI numerator.
     pub signal_power: f64,
+    /// Reused `|chip|²` buffer, filled by the vectorized magnitude kernel.
+    chip_mags: Vec<f64>,
 }
 
 impl Demodulated {
@@ -120,11 +130,17 @@ pub fn demodulate_bits_into(samples: &[Cplx], n_bits: usize, out: &mut Demodulat
         return false;
     }
     out.bytes.resize(n_bits.div_ceil(8), 0u8);
+    // One vectorized magnitude pass over the data chips; the bit loop then
+    // reads plain f64s (same values as per-sample `norm_sq`).
+    out.chip_mags.resize(2 * n_bits, 0.0);
+    (aircal_dsp::kernels().norm_sq_map)(
+        &samples[PREAMBLE_CHIPS..PREAMBLE_CHIPS + 2 * n_bits],
+        &mut out.chip_mags,
+    );
     let mut pulse_power = 0.0;
     for bit_idx in 0..n_bits {
-        let base = PREAMBLE_CHIPS + 2 * bit_idx;
-        let first = samples[base].norm_sq();
-        let second = samples[base + 1].norm_sq();
+        let first = out.chip_mags[2 * bit_idx];
+        let second = out.chip_mags[2 * bit_idx + 1];
         let bit = first > second;
         if bit {
             out.bytes[bit_idx / 8] |= 1 << (7 - bit_idx % 8);

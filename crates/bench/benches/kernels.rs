@@ -1,0 +1,90 @@
+//! Criterion bench for the deterministic-lane SIMD kernels, scalar arm
+//! vs the runtime-dispatched arm on every workload the measurement
+//! chains actually run: burst magnitude-squared, short-tap direct FIR
+//! inner products, preamble correlation dots, and the windowed-PSD
+//! segment (window application + |FFT bin|² accumulation).
+//!
+//! Both arms compute in the same fixed 8-lane reduction order, so the
+//! pairs here differ only in issue width — any value divergence is a
+//! bug, and the `simd_equivalence` suite proves there is none.
+
+use aircal_dsp::simd::Kernels;
+use aircal_dsp::Cplx;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn arms() -> [(&'static str, &'static Kernels); 2] {
+    // `detect()` ignores `AIRCAL_FORCE_SCALAR`, so the pair stays a
+    // scalar-vs-vector comparison even on the forced-scalar CI leg.
+    [("scalar", Kernels::scalar()), ("dispatched", Kernels::detect())]
+}
+
+fn tone(n: usize, w: f64) -> Vec<Cplx> {
+    (0..n).map(|i| Cplx::phasor(w * i as f64)).collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    const N: usize = 4096;
+    let za = tone(N, 0.123);
+    let zb = tone(N, 0.071);
+    let taps: Vec<f64> = (0..N).map(|i| 0.5 - 0.5 * (0.002 * i as f64).cos()).collect();
+
+    // Burst magnitude-squared: the ADS-B PPM demod / TV band-power map.
+    let mut group = c.benchmark_group("kernels/mag2_4096");
+    group.throughput(Throughput::Elements(N as u64));
+    for (label, k) in arms() {
+        group.bench_function(label, |b| b.iter(|| black_box((k.energy)(black_box(&za)))));
+    }
+    group.finish();
+
+    // Direct FIR at a short tap count: 16-tap sliding inner products
+    // across the buffer — the `FirFilter::process_into` hot loop.
+    const TAPS: usize = 16;
+    let h = &zb[..TAPS];
+    let mut group = c.benchmark_group("kernels/fir_direct_16tap_4096");
+    group.throughput(Throughput::Elements((N - TAPS) as u64));
+    group.sample_size(20);
+    for (label, k) in arms() {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut acc = Cplx::ZERO;
+                for n in 0..N - TAPS {
+                    acc += (k.cdot)(black_box(&za[n..n + TAPS]), h);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+
+    // Correlation dot: one conjugated inner product over the full buffer
+    // — the preamble-scan kernel at template length.
+    let mut group = c.benchmark_group("kernels/corr_dot_4096");
+    group.throughput(Throughput::Elements(N as u64));
+    for (label, k) in arms() {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box((k.cdot_conj)(black_box(&za), black_box(&zb))))
+        });
+    }
+    group.finish();
+
+    // Windowed-PSD segment: apply taps, then accumulate |z|² — the Welch
+    // per-segment work around the FFT.
+    let mut group = c.benchmark_group("kernels/windowed_psd_seg_4096");
+    group.throughput(Throughput::Elements(N as u64));
+    for (label, k) in arms() {
+        let mut buf = vec![Cplx::ZERO; N];
+        let mut out = vec![0.0f64; N];
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                (k.scale_map)(black_box(&za), &taps, &mut buf);
+                (k.norm_sq_accum)(&buf, &mut out);
+                black_box(out[N - 1])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -8,6 +8,10 @@
 //!
 //! Sections:
 //!
+//! * **kernels** — the runtime-selected DSP dispatch arm
+//!   (`scalar`/`sse2`/`avx2`/`neon`) and per-kernel scalar-vs-dispatched
+//!   throughput with a bit-identity cross-check. `--check-perf` enforces
+//!   the simd-vs-scalar speedup floor when a vector ISA is dispatched;
 //! * **adsb_decode** — decoder throughput over a rendered capture,
 //!   Msamples/s;
 //! * **preamble_scan** — power-gated preamble correlation vs the exact
@@ -50,7 +54,7 @@ use aircal_adsb::decoder::gated_preamble_correlation;
 use aircal_adsb::{cpr, me::MePayload, AdsbFrame, DecodeScratch, Decoder, IcaoAddress};
 use aircal_aircraft::{TrafficConfig, TrafficSim};
 use aircal_bench::{parse_args, paper_traffic, AllocSnapshot, CountingAllocator};
-use aircal_cellular::{paper_towers, CellScanner};
+use aircal_cellular::{paper_towers, CellScanner, CellScratch};
 use aircal_core::engine::Calibrator;
 use aircal_core::survey::{run_survey, SurveyConfig};
 use aircal_dsp::corr::{find_peaks, normalized_correlation};
@@ -73,9 +77,24 @@ static ALLOC: CountingAllocator = CountingAllocator::new();
 #[derive(Serialize)]
 struct ThreadTiming {
     threads: usize,
-    host_cores: usize,
     seconds: f64,
     speedup_vs_serial: f64,
+}
+
+/// A 1/2/4/8-thread wall-clock sweep plus an explicit record of the
+/// clamp that shaped it: on a single-core host the 2/4/8 rows are
+/// skipped, and without this annotation the one-row table is
+/// indistinguishable from a scaling failure.
+#[derive(Serialize)]
+struct ThreadSweep {
+    /// True when the clamp removed at least one requested thread count.
+    clamped: bool,
+    /// The effective cap (host cores, or the `--threads` override).
+    thread_cap: usize,
+    host_cores: usize,
+    /// Requested thread counts the clamp skipped.
+    skipped_threads: Vec<usize>,
+    rows: Vec<ThreadTiming>,
 }
 
 #[derive(Serialize)]
@@ -160,6 +179,34 @@ struct PerfBudget {
     min_cached_speedup: f64,
     min_cache_hit_rate: f64,
     require_bit_identical: bool,
+    /// Floor on the simd-vs-scalar speedup a kernel must clear to count
+    /// toward `min_kernels_at_speedup`.
+    min_kernel_speedup: f64,
+    /// How many kernels must clear the speedup floor when a vector ISA
+    /// is dispatched. Ignored (with a note) when dispatch == "scalar".
+    min_kernels_at_speedup: usize,
+}
+
+/// One DSP kernel timed on both reduction arms. `bit_identical` is the
+/// checksum cross-check for this specific workload; the exhaustive proof
+/// lives in the `simd_equivalence` proptest suite.
+#[derive(Serialize)]
+struct KernelTiming {
+    kernel: &'static str,
+    elements: usize,
+    scalar_msamples_per_s: f64,
+    dispatched_msamples_per_s: f64,
+    speedup: f64,
+    bit_identical: bool,
+}
+
+/// The `kernels` section: the runtime-selected dispatch arm
+/// (`scalar`/`sse2`/`avx2`/`neon`) and per-kernel scalar-vs-dispatched
+/// throughput on an L1-resident workload.
+#[derive(Serialize)]
+struct KernelsReport {
+    dispatch: &'static str,
+    kernels: Vec<KernelTiming>,
 }
 
 /// One adversary's trip down the quarantine ladder during the campaign.
@@ -296,12 +343,13 @@ struct PipelineReport {
     /// `host_cores` (`null` when the host clamp applied).
     threads_override: Option<usize>,
     geometry: GeometryTiming,
+    kernels: KernelsReport,
     adsb_decode: DecodeTiming,
     preamble_scan: CorrTiming,
     fir: Vec<FirTiming>,
-    survey: Vec<ThreadTiming>,
-    tv_sweep: Vec<ThreadTiming>,
-    calibrator: Vec<ThreadTiming>,
+    survey: ThreadSweep,
+    tv_sweep: ThreadSweep,
+    calibrator: ThreadSweep,
     allocations: Vec<AllocComparison>,
     stage_latency: Vec<StageLatency>,
     span_summary: Vec<aircal_obs::SpanSummary>,
@@ -495,6 +543,134 @@ fn traced_calibration(quick: bool, s: &Scenario, seed: u64) -> (Vec<StageLatency
     (stage_latency, aircal_obs::trace::summarize(&spans))
 }
 
+/// Time one kernel on both arms. The closures return a bit checksum of
+/// the kernel's result so the optimizer cannot elide the call and the
+/// two arms can be cross-checked.
+fn bench_kernel(
+    reps: usize,
+    inner: usize,
+    elements: usize,
+    kernel: &'static str,
+    mut scalar_call: impl FnMut() -> u64,
+    mut dispatched_call: impl FnMut() -> u64,
+) -> KernelTiming {
+    let bit_identical = scalar_call() == dispatched_call();
+    let scalar_seconds = time_best(reps, || {
+        let mut acc = 0u64;
+        for _ in 0..inner {
+            acc ^= scalar_call();
+        }
+        acc
+    });
+    let dispatched_seconds = time_best(reps, || {
+        let mut acc = 0u64;
+        for _ in 0..inner {
+            acc ^= dispatched_call();
+        }
+        acc
+    });
+    let work = (elements * inner) as f64;
+    KernelTiming {
+        kernel,
+        elements,
+        scalar_msamples_per_s: work / scalar_seconds / 1e6,
+        dispatched_msamples_per_s: work / dispatched_seconds / 1e6,
+        speedup: scalar_seconds / dispatched_seconds,
+        bit_identical,
+    }
+}
+
+/// Throughput of the deterministic-lane kernels on an L1-resident 4096-
+/// element workload, scalar arm vs the runtime-detected arm. Both arms
+/// share the canonical 8-lane reduction order, so the dispatched column
+/// is the same math issued wider — any checksum divergence is a bug.
+fn kernel_timings(reps: usize) -> KernelsReport {
+    use aircal_dsp::simd::Kernels;
+    const N: usize = 4096;
+    let xs: Vec<f64> = (0..N).map(|i| (0.73 * i as f64).sin()).collect();
+    let za: Vec<Cplx> = (0..N).map(|i| Cplx::phasor(0.37 * i as f64)).collect();
+    let zb: Vec<Cplx> = (0..N).map(|i| Cplx::phasor(0.11 * i as f64 + 0.5)).collect();
+    let taps: Vec<f64> = (0..N).map(|i| 0.5 - 0.5 * (0.002 * i as f64).cos()).collect();
+    let scalar = Kernels::scalar();
+    // The env-aware dispatch table, so the dispatched column always
+    // describes the arm this process actually runs (an
+    // `AIRCAL_FORCE_SCALAR=1` run reports scalar-vs-scalar, ~1.0x).
+    let detected = aircal_dsp::kernels();
+    let inner = 1000;
+    let cplx_bits = |z: Cplx| z.re.to_bits() ^ z.im.to_bits().rotate_left(1);
+
+    let mut kernels = vec![
+        bench_kernel(
+            reps,
+            inner,
+            N,
+            "sum_f64",
+            || (scalar.sum_f64)(&xs).to_bits(),
+            || (detected.sum_f64)(&xs).to_bits(),
+        ),
+        bench_kernel(
+            reps,
+            inner,
+            N,
+            "energy",
+            || (scalar.energy)(&za).to_bits(),
+            || (detected.energy)(&za).to_bits(),
+        ),
+        bench_kernel(
+            reps,
+            inner,
+            N,
+            "cdot",
+            || cplx_bits((scalar.cdot)(&za, &zb)),
+            || cplx_bits((detected.cdot)(&za, &zb)),
+        ),
+        bench_kernel(
+            reps,
+            inner,
+            N,
+            "cdot_conj",
+            || cplx_bits((scalar.cdot_conj)(&za, &zb)),
+            || cplx_bits((detected.cdot_conj)(&za, &zb)),
+        ),
+    ];
+    let mut mags_s = vec![0.0f64; N];
+    let mut mags_d = vec![0.0f64; N];
+    kernels.push(bench_kernel(
+        reps,
+        inner,
+        N,
+        "norm_sq_map",
+        || {
+            (scalar.norm_sq_map)(&za, &mut mags_s);
+            mags_s[0].to_bits() ^ mags_s[N - 1].to_bits().rotate_left(1)
+        },
+        || {
+            (detected.norm_sq_map)(&za, &mut mags_d);
+            mags_d[0].to_bits() ^ mags_d[N - 1].to_bits().rotate_left(1)
+        },
+    ));
+    let mut win_s = vec![Cplx::ZERO; N];
+    let mut win_d = vec![Cplx::ZERO; N];
+    kernels.push(bench_kernel(
+        reps,
+        inner,
+        N,
+        "scale_map",
+        || {
+            (scalar.scale_map)(&za, &taps, &mut win_s);
+            cplx_bits(win_s[0]) ^ cplx_bits(win_s[N - 1]).rotate_left(7)
+        },
+        || {
+            (detected.scale_map)(&za, &taps, &mut win_d);
+            cplx_bits(win_d[0]) ^ cplx_bits(win_d[N - 1]).rotate_left(7)
+        },
+    ));
+    KernelsReport {
+        dispatch: aircal_dsp::dispatch_label(),
+        kernels,
+    }
+}
+
 /// Best-of-`reps` wall clock, seconds.
 fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
     let mut best = f64::INFINITY;
@@ -509,28 +685,37 @@ fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
 /// Time `run` at 1/2/4/8 worker threads, skipping counts beyond `cap` —
 /// an oversubscribed row measures scheduler noise, not scaling. The cap
 /// defaults to the host's core count; `--threads N` raises (or lowers)
-/// it explicitly. The serial row always survives the clamp.
+/// it explicitly. The serial row always survives the clamp, and the
+/// skipped counts are recorded so a one-row table on a one-core host
+/// reads as a clamp, not as missing data.
 fn thread_sweep(
     reps: usize,
     host_cores: usize,
     cap: usize,
     mut run: impl FnMut(usize),
-) -> Vec<ThreadTiming> {
-    let mut out: Vec<ThreadTiming> = Vec::new();
+) -> ThreadSweep {
+    let mut rows: Vec<ThreadTiming> = Vec::new();
+    let mut skipped_threads: Vec<usize> = Vec::new();
     for threads in [1usize, 2, 4, 8] {
         if threads > cap.max(1) {
+            skipped_threads.push(threads);
             continue;
         }
         let seconds = time_best(reps, || run(threads));
-        let serial = out.first().map(|t| t.seconds).unwrap_or(seconds);
-        out.push(ThreadTiming {
+        let serial = rows.first().map(|t| t.seconds).unwrap_or(seconds);
+        rows.push(ThreadTiming {
             threads,
-            host_cores,
             seconds,
             speedup_vs_serial: serial / seconds,
         });
     }
-    out
+    ThreadSweep {
+        clamped: !skipped_threads.is_empty(),
+        thread_cap: cap.max(1),
+        host_cores,
+        skipped_threads,
+        rows,
+    }
 }
 
 /// Run `f` once to warm pools/plans, then `rounds` more times with the
@@ -659,9 +844,9 @@ fn tv_channel_allocs(seed: u64) -> AllocComparison {
     }
 }
 
-/// Steady-state cellular sweep: `scan_into` reuses the measurement vector;
-/// the per-tower `tower_name: String` in the result is inherent, so the
-/// floor is ~1 alloc per tower rather than zero.
+/// Steady-state cellular sweep: `scan_with` rewrites warm measurement
+/// slots (name strings included) through a warm geometry accelerator,
+/// so the steady state performs zero allocations per tower.
 fn cellular_tower_allocs(seed: u64) -> AllocComparison {
     let s = Scenario::build(ScenarioKind::Rooftop);
     let db = paper_towers(&s.world.origin);
@@ -672,9 +857,11 @@ fn cellular_tower_allocs(seed: u64) -> AllocComparison {
         std::hint::black_box(scanner.scan(&s.world, &s.site, &db, seed).len());
     });
 
+    let mut accel = s.world.accel();
+    let mut scratch = CellScratch::default();
     let mut out = Vec::new();
     let scratch_stats = measure_allocs(n, 8, || {
-        scanner.scan_into(&s.world, &s.site, &db, seed, &mut out);
+        scanner.scan_with(&s.world, &mut accel, &s.site, &db, seed, &mut scratch, &mut out);
         std::hint::black_box(out.len());
     });
 
@@ -768,8 +955,9 @@ fn geometry_timings(quick: bool, reps: usize) -> GeometryTiming {
 
 /// Enforce `scripts/perf_budget.json`: the geometry accelerators must
 /// keep their speedup/hit-rate floors and stay bit-identical to brute
-/// force.
-fn check_perf_budget(g: &GeometryTiming) -> bool {
+/// force, and — when a vector ISA is dispatched — enough DSP kernels
+/// must clear the simd-vs-scalar speedup floor.
+fn check_perf_budget(g: &GeometryTiming, k: &KernelsReport) -> bool {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scripts/perf_budget.json");
     let text = std::fs::read_to_string(path).expect("read scripts/perf_budget.json");
     let budget: PerfBudget = serde_json::from_str(&text).expect("parse perf budget");
@@ -788,6 +976,41 @@ fn check_perf_budget(g: &GeometryTiming) -> bool {
     if budget.require_bit_identical && !g.bit_identical {
         eprintln!("# PERF BUDGET EXCEEDED: geometry outputs not bit-identical to brute force");
         ok = false;
+    }
+    if budget.require_bit_identical {
+        for t in &k.kernels {
+            if !t.bit_identical {
+                eprintln!(
+                    "# PERF BUDGET EXCEEDED: kernel {} diverged from the scalar arm",
+                    t.kernel
+                );
+                ok = false;
+            }
+        }
+    }
+    if k.dispatch == "scalar" {
+        eprintln!(
+            "# perf budget note: dispatch is scalar (no vector ISA or AIRCAL_FORCE_SCALAR); \
+             kernel speedup floor not applicable"
+        );
+    } else {
+        let fast = k
+            .kernels
+            .iter()
+            .filter(|t| t.bit_identical && t.speedup >= budget.min_kernel_speedup)
+            .count();
+        if fast < budget.min_kernels_at_speedup {
+            eprintln!(
+                "# PERF BUDGET EXCEEDED: only {fast} kernels at >= {:.2}x on {} (need {})",
+                budget.min_kernel_speedup, k.dispatch, budget.min_kernels_at_speedup
+            );
+            ok = false;
+        } else {
+            eprintln!(
+                "# perf budget ok: {fast} kernels at >= {:.2}x on {} (need {})",
+                budget.min_kernel_speedup, k.dispatch, budget.min_kernels_at_speedup
+            );
+        }
     }
     ok
 }
@@ -871,6 +1094,20 @@ fn main() {
         "# perfreport: quick={quick} seed={seed} host_cores={host_cores} thread_cap={thread_cap}"
     );
 
+    // --- DSP kernel dispatch (scalar vs vector arm) -----------------------
+    let kernels = kernel_timings(reps);
+    eprintln!("# kernels: dispatch={}", kernels.dispatch);
+    for t in &kernels.kernels {
+        eprintln!(
+            "# kernel {}: {:.0} -> {:.0} Msamples/s ({:.2}x, bits {})",
+            t.kernel,
+            t.scalar_msamples_per_s,
+            t.dispatched_msamples_per_s,
+            t.speedup,
+            if t.bit_identical { "identical" } else { "DIVERGED" }
+        );
+    }
+
     // --- ADS-B decode throughput -----------------------------------------
     let (windows, samples) = decode_capture(seed, if quick { 200 } else { 1_000 });
     let decoder = Decoder::default();
@@ -953,10 +1190,13 @@ fn main() {
         };
         std::hint::black_box(run_survey(&s.world, &s.site, &traffic, &cfg, seed));
     });
-    let widest = survey.last().expect("sweep includes serial row");
+    let widest = survey.rows.last().expect("sweep includes serial row");
     eprintln!(
-        "# survey: {:.3}s serial, {:.2}x at {} threads",
-        survey[0].seconds, widest.speedup_vs_serial, widest.threads
+        "# survey: {:.3}s serial, {:.2}x at {} threads{}",
+        survey.rows[0].seconds,
+        widest.speedup_vs_serial,
+        widest.threads,
+        if survey.clamped { " (clamped)" } else { "" }
     );
 
     // --- TV sweep vs threads ---------------------------------------------
@@ -968,7 +1208,7 @@ fn main() {
         });
         std::hint::black_box(probe.sweep(&s.world, &s.site, &towers, seed));
     });
-    eprintln!("# tv_sweep: {:.3}s serial", tv_sweep[0].seconds);
+    eprintln!("# tv_sweep: {:.3}s serial", tv_sweep.rows[0].seconds);
 
     // --- Full calibrator vs threads --------------------------------------
     let calibrator = thread_sweep(if quick { 1 } else { 2 }, host_cores, thread_cap, |threads| {
@@ -976,7 +1216,7 @@ fn main() {
             .with_parallelism(threads);
         std::hint::black_box(cal.calibrate(&s.world, &s.site, seed));
     });
-    eprintln!("# calibrator: {:.3}s serial", calibrator[0].seconds);
+    eprintln!("# calibrator: {:.3}s serial", calibrator.rows[0].seconds);
 
     // --- Geometry acceleration (dense world) -----------------------------
     let geometry = geometry_timings(quick, reps);
@@ -1041,6 +1281,7 @@ fn main() {
         host_cores,
         threads_override,
         geometry,
+        kernels,
         adsb_decode,
         preamble_scan,
         fir,
@@ -1064,7 +1305,7 @@ fn main() {
     if check_allocs && !check_alloc_budget(&report.allocations) {
         failed = true;
     }
-    if check_perf && !check_perf_budget(&report.geometry) {
+    if check_perf && !check_perf_budget(&report.geometry, &report.kernels) {
         failed = true;
     }
     if check_robust && !check_robust_budget(&report.robustness) {

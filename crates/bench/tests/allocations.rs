@@ -10,7 +10,7 @@
 
 use aircal_adsb::{cpr, me::MePayload, AdsbFrame, DecodeScratch, DecodedMessage, Decoder, IcaoAddress};
 use aircal_bench::{AllocSnapshot, CountingAllocator};
-use aircal_cellular::{paper_towers, CellScanner};
+use aircal_cellular::{paper_towers, CellScanner, CellScratch};
 use aircal_dsp::psd::{welch_psd, welch_psd_into};
 use aircal_dsp::window::Window;
 use aircal_dsp::{derive_stream_seed, par_map_with, Cplx, DspScratch};
@@ -241,6 +241,36 @@ fn cellular_scan_into_matches_scan_bit_identically() {
         scanner.scan_into(&s.world, &s.site, &db, seed, &mut out);
         assert_eq!(reference, out);
     }
+}
+
+/// Cellular: `scan_with` rewrites warm measurement slots (name strings
+/// included) through a warm geometry accelerator — bit-identical to
+/// `scan`, and the steady-state sweep performs zero allocations.
+#[test]
+fn cellular_scan_with_matches_scan_and_stops_allocating() {
+    let _g = lock();
+    let s = Scenario::build(ScenarioKind::Rooftop);
+    let db = paper_towers(&s.world.origin);
+    let scanner = CellScanner::default();
+    let mut accel = s.world.accel();
+    let mut scratch = CellScratch::default();
+    let mut out = Vec::new();
+    for seed in [1u64, SEED] {
+        let reference = scanner.scan(&s.world, &s.site, &db, seed);
+        scanner.scan_with(&s.world, &mut accel, &s.site, &db, seed, &mut scratch, &mut out);
+        assert_eq!(reference, out);
+    }
+
+    let reference = scanner.scan(&s.world, &s.site, &db, SEED);
+    let before = AllocSnapshot::now();
+    scanner.scan_with(&s.world, &mut accel, &s.site, &db, SEED, &mut scratch, &mut out);
+    let delta = AllocSnapshot::now() - before;
+    assert_eq!(reference, out);
+    assert_eq!(
+        delta.allocs, 0,
+        "warm cellular scan_with allocated {} times ({} bytes)",
+        delta.allocs, delta.bytes
+    );
 }
 
 /// Geometry: after one warm-up sweep, an indexed obstruction sweep with

@@ -41,7 +41,7 @@ impl Default for ScanConfig {
 }
 
 /// One cell-search result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CellMeasurement {
     /// Tower name (for reports; a real UE would only know PCI/EARFCN).
     pub tower_name: String,
@@ -59,6 +59,14 @@ pub struct CellMeasurement {
     /// Deterministic obstruction loss on this path (diffraction +
     /// penetration), dB — diagnostic, not observable by a real UE.
     pub obstruction_db: f64,
+}
+
+/// Reusable working memory for a cell sweep: the linear-power fading
+/// draws averaged into each tower's RSRP. Reusing one scratch across
+/// sweeps keeps the steady-state scan allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct CellScratch {
+    draws: Vec<f64>,
 }
 
 /// The scanner.
@@ -97,6 +105,26 @@ impl CellScanner {
         tower: &CellTower,
         seed: u64,
     ) -> CellMeasurement {
+        let mut scratch = CellScratch::default();
+        let mut out = CellMeasurement::default();
+        self.measure_into(path, site, tower, seed, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`CellScanner::measure_with_path`] into caller-owned working memory
+    /// and result slot: the fading draws land in `scratch` and the fields
+    /// of `out` (including its name `String`) are rewritten in place, so a
+    /// warm sweep performs no allocation at all. Every `measure` variant
+    /// routes through here, keeping all paths bit-identical.
+    pub fn measure_into(
+        &self,
+        path: &PathProfile,
+        site: &SensorSite,
+        tower: &CellTower,
+        seed: u64,
+        scratch: &mut CellScratch,
+        out: &mut CellMeasurement,
+    ) {
         let freq = tower.dl_freq_hz();
         let bearing = site.position.bearing_deg(&tower.position);
         let elevation = site.position.elevation_deg(&tower.position);
@@ -104,26 +132,27 @@ impl CellScanner {
         let budget = LinkBudget::new(tower.rs_eirp_per_re_dbm(), 0.0, rx_gain);
 
         // RSRP averages power across subframes: average fading draws in
-        // the linear domain.
+        // the linear domain, reduced in the canonical lane order of
+        // `aircal_dsp::simd` so every dispatch arm agrees bitwise.
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ tower.pci as u64);
         let draws = self.config.averaging_draws.max(1);
-        let mean_lin: f64 = (0..draws)
-            .map(|_| 10f64.powf(budget.sample_rx_dbm(path, &mut rng) / 10.0))
-            .sum::<f64>()
-            / draws as f64;
+        scratch.draws.clear();
+        scratch
+            .draws
+            .extend((0..draws).map(|_| 10f64.powf(budget.sample_rx_dbm(path, &mut rng) / 10.0)));
+        let mean_lin = (aircal_dsp::kernels().sum_f64)(&scratch.draws) / draws as f64;
         let rsrp = 10.0 * mean_lin.log10() - self.config.fault.loss_db(freq);
 
         let synced = rsrp >= self.config.sync_rsrp_floor_dbm;
         let rs_snr = rsrp - noise_floor_dbm(15_000.0, site.noise_figure_db);
-        CellMeasurement {
-            tower_name: tower.name.clone(),
-            pci: tower.pci,
-            earfcn: tower.earfcn,
-            freq_hz: freq,
-            rsrp_dbm: synced.then_some(rsrp),
-            rs_snr_db: synced.then_some(rs_snr),
-            obstruction_db: path.diffraction_db + path.penetration_db,
-        }
+        out.tower_name.clear();
+        out.tower_name.push_str(&tower.name);
+        out.pci = tower.pci;
+        out.earfcn = tower.earfcn;
+        out.freq_hz = freq;
+        out.rsrp_dbm = synced.then_some(rsrp);
+        out.rs_snr_db = synced.then_some(rs_snr);
+        out.obstruction_db = path.diffraction_db + path.penetration_db;
     }
 
     /// Scan every tower in the database (the srsUE "cell search sweep").
@@ -175,6 +204,36 @@ impl CellScanner {
             let path = accel.profile(world, site, &t.position, t.dl_freq_hz());
             self.measure_with_path(&path, site, t, seed)
         }));
+    }
+
+    /// [`CellScanner::scan_with_geo`] with reused working memory *and*
+    /// reused result slots: measurements are rewritten in place (name
+    /// strings included), so a warm sweep over static towers performs
+    /// zero allocations. Bit-identical to [`CellScanner::scan`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn scan_with(
+        &self,
+        world: &World,
+        accel: &mut GeoAccel,
+        site: &SensorSite,
+        db: &TowerDatabase,
+        seed: u64,
+        scratch: &mut CellScratch,
+        out: &mut Vec<CellMeasurement>,
+    ) {
+        let _span = aircal_obs::span!("cell_scan");
+        let towers = db.all();
+        out.truncate(towers.len());
+        for (i, t) in towers.iter().enumerate() {
+            let path = accel.profile(world, site, &t.position, t.dl_freq_hz());
+            if i < out.len() {
+                self.measure_into(&path, site, t, seed, scratch, &mut out[i]);
+            } else {
+                let mut m = CellMeasurement::default();
+                self.measure_into(&path, site, t, seed, scratch, &mut m);
+                out.push(m);
+            }
+        }
     }
 }
 

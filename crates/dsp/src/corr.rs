@@ -24,14 +24,10 @@ pub fn cross_correlate_into(signal: &[Cplx], template: &[Cplx], out: &mut Vec<Cp
     if template.is_empty() || signal.len() < template.len() {
         return;
     }
-    let n = signal.len() - template.len() + 1;
-    out.extend((0..n).map(|i| {
-        let mut acc = Cplx::ZERO;
-        for (k, t) in template.iter().enumerate() {
-            acc += signal[i + k] * t.conj();
-        }
-        acc
-    }));
+    let k = crate::simd::kernels();
+    let m = template.len();
+    let n = signal.len() - m + 1;
+    out.extend((0..n).map(|i| (k.cdot_conj)(&signal[i..i + m], template)));
 }
 
 /// Normalized correlation magnitude in `[0, 1]` at each lag: the cosine
@@ -50,19 +46,18 @@ pub fn normalized_correlation_into(signal: &[Cplx], template: &[Cplx], out: &mut
     if template.is_empty() || signal.len() < template.len() {
         return;
     }
-    let t_energy: f64 = template.iter().map(|t| t.norm_sq()).sum();
+    let k = crate::simd::kernels();
+    let m = template.len();
+    let t_energy = (k.energy)(template);
     if t_energy < 1e-30 {
-        out.resize(signal.len() - template.len() + 1, 0.0);
+        out.resize(signal.len() - m + 1, 0.0);
         return;
     }
-    let n = signal.len() - template.len() + 1;
+    let n = signal.len() - m + 1;
     // Running window energy for O(N) instead of O(N·M) energy computation.
-    let mut w_energy: f64 = signal[..template.len()].iter().map(|s| s.norm_sq()).sum();
+    let mut w_energy = (k.energy)(&signal[..m]);
     for i in 0..n {
-        let mut acc = Cplx::ZERO;
-        for (k, t) in template.iter().enumerate() {
-            acc += signal[i + k] * t.conj();
-        }
+        let acc = (k.cdot_conj)(&signal[i..i + m], template);
         let denom = (t_energy * w_energy).sqrt();
         out.push(if denom < 1e-30 { 0.0 } else { acc.abs() / denom });
         if i + template.len() < signal.len() {

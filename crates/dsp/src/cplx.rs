@@ -9,7 +9,11 @@
 use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A complex sample: `re + j·im`.
+///
+/// `repr(C)` guarantees the `[re, im]` memory order that the vectorized
+/// kernels in [`crate::simd`] rely on when loading interleaved IQ blocks.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Cplx {
     pub re: f64,
     pub im: f64,
@@ -147,16 +151,20 @@ impl From<f64> for Cplx {
 }
 
 /// Mean power (average `|z|²`) of a sample block; zero for an empty block.
+///
+/// Reduces in the canonical lane order of [`crate::simd`], so the result
+/// is bit-identical across dispatch arms.
 pub fn mean_power(samples: &[Cplx]) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
-    samples.iter().map(|s| s.norm_sq()).sum::<f64>() / samples.len() as f64
+    (crate::simd::kernels().energy)(samples) / samples.len() as f64
 }
 
-/// Total energy (sum of `|z|²`) of a sample block.
+/// Total energy (sum of `|z|²`) of a sample block, in canonical lane
+/// order (bit-identical across dispatch arms).
 pub fn energy(samples: &[Cplx]) -> f64 {
-    samples.iter().map(|s| s.norm_sq()).sum()
+    (crate::simd::kernels().energy)(samples)
 }
 
 #[cfg(test)]

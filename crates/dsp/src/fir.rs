@@ -67,11 +67,18 @@ pub fn design_bandpass(
 /// A streaming FIR filter over complex samples (direct form, complex taps).
 ///
 /// Keeps its own delay line so it can be fed sample blocks of any size.
+/// Each output is a contiguous dot product `work[n..n+T] · taps_rev`
+/// through the dispatched [`crate::simd`] kernel, so the direct form
+/// rides the vector units too.
 #[derive(Debug, Clone)]
 pub struct FirFilter {
     taps: Vec<Cplx>,
-    delay: Vec<Cplx>,
-    pos: usize,
+    /// Taps reversed so every output is a forward contiguous dot.
+    taps_rev: Vec<Cplx>,
+    /// The last `T-1` inputs, oldest first.
+    hist: Vec<Cplx>,
+    /// `[hist | input block]`, assembled per call and reused.
+    work: Vec<Cplx>,
 }
 
 impl FirFilter {
@@ -81,10 +88,12 @@ impl FirFilter {
             return Err(DspError::EmptyDesign);
         }
         let n = taps.len();
+        let taps_rev: Vec<Cplx> = taps.iter().rev().copied().collect();
         Ok(Self {
             taps,
-            delay: vec![Cplx::ZERO; n],
-            pos: 0,
+            taps_rev,
+            hist: vec![Cplx::ZERO; n - 1],
+            work: Vec::new(),
         })
     }
 
@@ -110,16 +119,16 @@ impl FirFilter {
 
     /// Push one sample, get one output sample.
     pub fn push(&mut self, x: Cplx) -> Cplx {
-        let n = self.taps.len();
-        self.delay[self.pos] = x;
-        let mut acc = Cplx::ZERO;
-        let mut idx = self.pos;
-        for tap in &self.taps {
-            acc += self.delay[idx] * *tap;
-            idx = if idx == 0 { n - 1 } else { idx - 1 };
+        self.work.clear();
+        self.work.extend_from_slice(&self.hist);
+        self.work.push(x);
+        let y = (crate::simd::kernels().cdot)(&self.work, &self.taps_rev);
+        if !self.hist.is_empty() {
+            self.hist.copy_within(1.., 0);
+            let h = self.hist.len();
+            self.hist[h - 1] = x;
         }
-        self.pos = (self.pos + 1) % n;
-        acc
+        y
     }
 
     /// Filter a whole block into a caller-owned buffer (cleared first),
@@ -127,7 +136,15 @@ impl FirFilter {
     /// the block loop allocation-free.
     pub fn process_into(&mut self, input: &[Cplx], out: &mut Vec<Cplx>) {
         out.clear();
-        out.extend(input.iter().map(|&x| self.push(x)));
+        let t = self.taps.len();
+        let k = crate::simd::kernels();
+        self.work.clear();
+        self.work.extend_from_slice(&self.hist);
+        self.work.extend_from_slice(input);
+        out.extend((0..input.len()).map(|n| (k.cdot)(&self.work[n..n + t], &self.taps_rev)));
+        let w = self.work.len();
+        let h = self.hist.len();
+        self.hist.copy_from_slice(&self.work[w - h..]);
     }
 
     /// Filter a whole block, producing one output per input. Thin
@@ -140,8 +157,7 @@ impl FirFilter {
 
     /// Reset the delay line to zeros.
     pub fn reset(&mut self) {
-        self.delay.fill(Cplx::ZERO);
-        self.pos = 0;
+        self.hist.fill(Cplx::ZERO);
     }
 
     /// Frequency response at a normalized frequency (fraction of Fs).
@@ -259,9 +275,7 @@ impl FastFirFilter {
             self.plan
                 .process(&mut self.scratch, Direction::Forward)
                 .expect("scratch length matches plan");
-            for (s, h) in self.scratch.iter_mut().zip(&self.h_spec) {
-                *s *= *h;
-            }
+            (crate::simd::kernels().cmul_assign)(&mut self.scratch, &self.h_spec);
             self.plan
                 .process(&mut self.scratch, Direction::Inverse)
                 .expect("scratch length matches plan");

@@ -25,6 +25,7 @@ pub mod prbs;
 pub mod psd;
 pub mod resample;
 pub mod scratch;
+pub mod simd;
 pub mod window;
 
 pub use cplx::Cplx;
@@ -34,6 +35,7 @@ pub use par::{derive_stream_seed, par_map, par_map_with, resolve_parallelism};
 pub use scratch::DspScratch;
 pub use power::{db_to_lin, lin_to_db, BandPowerMeter, MovingAverage};
 pub use prbs::Lfsr;
+pub use simd::{dispatch_label, kernels, Kernels};
 
 /// Errors produced by DSP routines.
 #[derive(Debug, Clone, PartialEq, Eq)]

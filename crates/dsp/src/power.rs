@@ -114,6 +114,8 @@ pub struct BandPowerMeter {
     warmup_remaining: usize,
     /// Reused filter-output buffer so steady-state blocks don't allocate.
     scratch: Vec<Cplx>,
+    /// Reused `|y|²` buffer, filled by the vectorized magnitude kernel.
+    mags: Vec<f64>,
 }
 
 impl BandPowerMeter {
@@ -157,6 +159,7 @@ impl BandPowerMeter {
             avg: MovingAverage::new(average_len)?,
             warmup_remaining: warmup,
             scratch: Vec::new(),
+            mags: Vec::new(),
         })
     }
 
@@ -168,13 +171,15 @@ impl BandPowerMeter {
     pub fn process(&mut self, iq: &[Cplx]) -> Option<f64> {
         let mut buf = std::mem::take(&mut self.scratch);
         self.filter.process_into(iq, &mut buf);
+        self.mags.resize(buf.len(), 0.0);
+        (crate::simd::kernels().norm_sq_map)(&buf, &mut self.mags);
         let mut latest = None;
-        for y in &buf {
+        for &m in &self.mags {
             if self.warmup_remaining > 0 {
                 self.warmup_remaining -= 1;
                 continue;
             }
-            latest = Some(self.avg.push(y.norm_sq()));
+            latest = Some(self.avg.push(m));
         }
         self.scratch = buf;
         latest.or_else(|| self.avg.mean())

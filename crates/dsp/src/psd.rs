@@ -53,9 +53,10 @@ pub fn welch_psd_into(
     }
     let overlap = overlap.clamp(0.0, 0.95);
     let hop = ((segment_len as f64) * (1.0 - overlap)).max(1.0) as usize;
+    let k = crate::simd::kernels();
     let mut taps = scratch.take_real(0);
     window.taps_into(segment_len, &mut taps);
-    let win_power: f64 = taps.iter().map(|t| t * t).sum::<f64>() / segment_len as f64;
+    let win_power: f64 = (k.sum_sq_f64)(&taps) / segment_len as f64;
 
     out.clear();
     out.resize(segment_len, 0.0);
@@ -64,16 +65,12 @@ pub fn welch_psd_into(
     let mut buf = scratch.take_cplx(segment_len);
     let mut result = Ok(());
     while start + segment_len <= samples.len() {
-        for (i, b) in buf.iter_mut().enumerate() {
-            *b = samples[start + i].scale(taps[i]);
-        }
+        (k.scale_map)(&samples[start..start + segment_len], &taps, &mut buf);
         if let Err(e) = fft_in_place(&mut buf, Direction::Forward) {
             result = Err(e);
             break;
         }
-        for (a, b) in out.iter_mut().zip(&buf) {
-            *a += b.norm_sq();
-        }
+        (k.norm_sq_accum)(&buf, out);
         segments += 1;
         start += hop;
     }
@@ -109,19 +106,20 @@ pub fn spectrogram(
     }
     let overlap = overlap.clamp(0.0, 0.95);
     let hop = ((segment_len as f64) * (1.0 - overlap)).max(1.0) as usize;
+    let k = crate::simd::kernels();
     let taps = window.taps(segment_len);
-    let win_power: f64 = taps.iter().map(|t| t * t).sum::<f64>() / segment_len as f64;
+    let win_power: f64 = (k.sum_sq_f64)(&taps) / segment_len as f64;
     let norm = 1.0 / ((segment_len * segment_len) as f64 * win_power.max(1e-30));
 
     let mut rows = Vec::new();
     let mut start = 0usize;
     let mut buf = vec![Cplx::ZERO; segment_len];
+    let mut mags = vec![0.0f64; segment_len];
     while start + segment_len <= samples.len() {
-        for (i, b) in buf.iter_mut().enumerate() {
-            *b = samples[start + i].scale(taps[i]);
-        }
+        crate::window::apply_taps(&samples[start..start + segment_len], &taps, &mut buf);
         fft_in_place(&mut buf, Direction::Forward)?;
-        rows.push(buf.iter().map(|b| b.norm_sq() * norm).collect());
+        (k.norm_sq_map)(&buf, &mut mags);
+        rows.push(mags.iter().map(|m| m * norm).collect());
         start += hop;
     }
     Ok(rows)

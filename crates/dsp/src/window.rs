@@ -53,6 +53,13 @@ impl Window {
     }
 }
 
+/// Apply materialized window taps to a sample block: `dst[i] = src[i]·taps[i]`
+/// through the dispatched [`crate::simd`] kernel (bit-identical across
+/// arms — the taper is purely elementwise).
+pub fn apply_taps(src: &[crate::Cplx], taps: &[f64], dst: &mut [crate::Cplx]) {
+    (crate::simd::kernels().scale_map)(src, taps, dst);
+}
+
 /// Modified Bessel function of the first kind, order zero, by power series.
 ///
 /// Converges quickly for the β ≤ 20 range used in window design.
