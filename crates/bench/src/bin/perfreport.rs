@@ -3,7 +3,7 @@
 //!
 //! ```sh
 //! cargo run --release -p aircal-bench --bin perfreport \
-//!     [-- --quick] [--seed N] [--threads N] [--check-allocs] [--check-perf] [--check-robust] [--check-scale]
+//!     [-- --quick] [--seed N] [--threads N] [--check-allocs] [--check-perf] [--check-robust] [--check-scale] [--check-recovery]
 //! ```
 //!
 //! Sections:
@@ -335,6 +335,147 @@ fn check_scale_budget(scale: &[ScaleTiming]) -> bool {
     ok
 }
 
+/// Crash-recovery drill: a 1000-node campaign through the engine with
+/// periodic cloud crashes, duplicate/reorder delivery faults, and a
+/// fault-free twin to diff the final cloud digest against, plus a
+/// journal-replay micro-benchmark (records/s through
+/// [`aircal::core::wal::Journal::open`]) that prices the recovery path
+/// itself.
+#[derive(Serialize)]
+struct RecoverySection {
+    nodes: usize,
+    crashes: u64,
+    wal_appends: u64,
+    wal_syncs: u64,
+    replayed_records: u64,
+    recovery_ticks: u64,
+    deduped_reports: u64,
+    duplicated_deliveries: u64,
+    reordered_deliveries: u64,
+    campaign_seconds: f64,
+    /// Final cloud digest of the faulted campaign equals the fault-free
+    /// twin's, bit for bit.
+    bit_identical: bool,
+    invariant_violations: usize,
+    journal_replay_records: u64,
+    journal_replay_seconds: f64,
+    journal_replay_records_per_sec: f64,
+}
+
+/// Floors on the recovery section, from `scripts/recovery_budget.json`.
+#[derive(Deserialize)]
+struct RecoveryBudget {
+    min_crashes: u64,
+    require_bit_identical: bool,
+    max_invariant_violations: u64,
+    min_replay_records_per_sec: f64,
+}
+
+fn recovery_drill(seed: u64, reps: usize) -> RecoverySection {
+    use aircal::core::wal::{Journal, WalRecord};
+    use aircal::sim::{run, CampaignConfig};
+
+    let nodes = 1000usize;
+    let mut cfg = CampaignConfig::paper_default(nodes, seed);
+    cfg.recovery.crash_ticks = (1..cfg.max_ticks / 120).map(|i| i * 120).collect();
+    cfg.recovery.duplicate_fraction = 0.3;
+    cfg.recovery.reorder_fraction = 0.3;
+    let t0 = Instant::now();
+    let faulted = run(&cfg);
+    let campaign_seconds = t0.elapsed().as_secs_f64();
+    let clean = run(&CampaignConfig::paper_default(nodes, seed));
+    let bit_identical = faulted.state_digest == clean.state_digest
+        && faulted.trust_table == clean.trust_table;
+
+    // Journal replay micro-benchmark: a synced journal of dispatch +
+    // report frames, reopened cold — the dominant cost of a real
+    // recovery is exactly this scan.
+    let replay_records = 200_000u64;
+    let mut journal = Journal::new(1 << 20);
+    for i in 0..replay_records / 2 {
+        journal.append(&WalRecord::Dispatch {
+            node: i % nodes as u64,
+            kind: (i % 3) as u8,
+            seq: i,
+            tick: i,
+        });
+        journal.append(&WalRecord::ReportApplied {
+            node: i % nodes as u64,
+            kind: (i % 3) as u8,
+            seq: i,
+            value_bits: (i as f64).to_bits(),
+            tick: i + 1,
+        });
+    }
+    journal.sync();
+    let bytes = journal.to_bytes();
+    let journal_replay_seconds = time_best(reps, || {
+        let (j, report) = Journal::open(&bytes, 1 << 20);
+        assert_eq!(report.recovered, replay_records);
+        std::hint::black_box(j.len_bytes())
+    });
+
+    RecoverySection {
+        nodes,
+        crashes: faulted.recoveries,
+        wal_appends: faulted.wal_appends,
+        wal_syncs: faulted.wal_syncs,
+        replayed_records: faulted.replayed_records,
+        recovery_ticks: faulted.recovery_ticks,
+        deduped_reports: faulted.deduped_reports,
+        duplicated_deliveries: faulted.duplicated_deliveries,
+        reordered_deliveries: faulted.reordered_deliveries,
+        campaign_seconds,
+        bit_identical,
+        invariant_violations: faulted.invariant_violations.len(),
+        journal_replay_records: replay_records,
+        journal_replay_seconds,
+        journal_replay_records_per_sec: replay_records as f64 / journal_replay_seconds,
+    }
+}
+
+/// Enforce `scripts/recovery_budget.json`: the drill must actually
+/// crash, recovery must be bit-identical with zero invariant
+/// violations, and journal replay must clear its throughput floor.
+fn check_recovery_budget(r: &RecoverySection) -> bool {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scripts/recovery_budget.json");
+    let text = std::fs::read_to_string(path).expect("read scripts/recovery_budget.json");
+    let budget: RecoveryBudget = serde_json::from_str(&text).expect("parse recovery budget");
+    let mut ok = true;
+    if r.crashes < budget.min_crashes {
+        eprintln!(
+            "# RECOVERY BUDGET EXCEEDED: only {} crashes (floor {})",
+            r.crashes, budget.min_crashes
+        );
+        ok = false;
+    }
+    if budget.require_bit_identical && !r.bit_identical {
+        eprintln!("# RECOVERY BUDGET EXCEEDED: faulted digest diverged from fault-free twin");
+        ok = false;
+    }
+    if r.invariant_violations as u64 > budget.max_invariant_violations {
+        eprintln!(
+            "# RECOVERY BUDGET EXCEEDED: {} invariant violations (ceiling {})",
+            r.invariant_violations, budget.max_invariant_violations
+        );
+        ok = false;
+    }
+    if r.journal_replay_records_per_sec < budget.min_replay_records_per_sec {
+        eprintln!(
+            "# RECOVERY BUDGET EXCEEDED: journal replay at {:.0} records/s (floor {:.0})",
+            r.journal_replay_records_per_sec, budget.min_replay_records_per_sec
+        );
+        ok = false;
+    }
+    if ok {
+        eprintln!(
+            "# recovery budget ok: {} crashes, bit_identical={}, replay {:.0} records/s",
+            r.crashes, r.bit_identical, r.journal_replay_records_per_sec
+        );
+    }
+    ok
+}
+
 #[derive(Serialize)]
 struct PipelineReport {
     quick: bool,
@@ -355,6 +496,7 @@ struct PipelineReport {
     span_summary: Vec<aircal_obs::SpanSummary>,
     robustness: RobustnessReport,
     scale: Vec<ScaleTiming>,
+    recovery: RecoverySection,
 }
 
 /// The same f < n/2 fleet the byzantine integration suite pins down: six
@@ -1078,6 +1220,7 @@ fn main() {
     let check_perf = positional.iter().any(|a| a == "--check-perf");
     let check_robust = positional.iter().any(|a| a == "--check-robust");
     let check_scale = positional.iter().any(|a| a == "--check-scale");
+    let check_recovery = positional.iter().any(|a| a == "--check-recovery");
     let mut threads_override: Option<usize> = None;
     let mut args_it = positional.iter();
     while let Some(a) = args_it.next() {
@@ -1276,6 +1419,17 @@ fn main() {
         );
     }
 
+    // --- Crash recovery drill ---------------------------------------------
+    let recovery = recovery_drill(seed, reps);
+    eprintln!(
+        "# recovery: {} crashes over {} nodes, {} replayed records, bit_identical={}, replay {:.0} records/s",
+        recovery.crashes,
+        recovery.nodes,
+        recovery.replayed_records,
+        recovery.bit_identical,
+        recovery.journal_replay_records_per_sec
+    );
+
     let report = PipelineReport {
         quick,
         host_cores,
@@ -1293,6 +1447,7 @@ fn main() {
         span_summary,
         robustness,
         scale,
+        recovery,
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PIPELINE.json");
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -1312,6 +1467,9 @@ fn main() {
         failed = true;
     }
     if check_scale && !check_scale_budget(&report.scale) {
+        failed = true;
+    }
+    if check_recovery && !check_recovery_budget(&report.recovery) {
         failed = true;
     }
     if failed {

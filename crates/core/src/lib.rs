@@ -42,8 +42,10 @@ pub mod robust;
 pub mod scheduler;
 pub mod survey;
 pub mod trust;
+pub mod wal;
 
 pub use engine::Calibrator;
 pub use fov::{FovEstimate, FovEstimator};
 pub use report::CalibrationReport;
 pub use survey::{run_survey, SurveyConfig, SurveyPoint, SurveyResult};
+pub use wal::{Journal, OpenReport, WalError, WalRecord};

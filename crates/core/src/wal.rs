@@ -1,0 +1,787 @@
+//! Write-ahead journal for the cloud calibration service.
+//!
+//! The cloud must survive a crash mid-campaign without double-applying
+//! trust deltas or losing audit progress. The discipline is classic
+//! write-ahead logging: every audit-round effect (a step outcome, a
+//! trust delta, a ladder transition, a profile update, an applied
+//! report) is appended to the journal — and synced — *before* it is
+//! applied to the in-memory registry. Recovery restores the latest
+//! registry snapshot and replays the journal's suffix on top, arriving
+//! at a bit-identical state.
+//!
+//! # Frame format
+//!
+//! The journal is a sequence of segments; each segment is a byte stream
+//! of CRC-framed, length-prefixed records:
+//!
+//! ```text
+//! 0xA7 marker u8 | payload_len u32 | crc32 u32 | payload …
+//! ```
+//!
+//! (integers little-endian; the CRC covers the payload only, the marker
+//! and length guard the frame structure itself). A crash can tear the
+//! tail of the last segment mid-write; [`Journal::open`] therefore
+//! truncates at the first invalid frame — bad marker, impossible
+//! length, CRC mismatch, or undecodable payload — and recovers the
+//! longest valid prefix. It never panics on arbitrary bytes.
+//!
+//! # Segment rotation
+//!
+//! Appends rotate to a fresh segment once the active one exceeds
+//! [`Journal::segment_cap`] bytes. [`Journal::truncate_before_seal`]
+//! drops every sealed segment — the rotation point is where a registry
+//! snapshot makes the prefix redundant.
+
+use std::fmt;
+
+/// Frame marker byte. Not a magic string: a single byte keeps the
+/// frame overhead small while still catching most torn/garbled tails
+/// before the CRC has to.
+pub const FRAME_MARKER: u8 = 0xA7;
+
+/// Frame header bytes before the payload: marker + len + crc.
+pub const FRAME_HEADER: usize = 1 + 4 + 4;
+
+/// Hard per-record payload ceiling. A length field above this is
+/// corruption, not an allocation request.
+pub const MAX_RECORD_LEN: usize = 1 << 24;
+
+/// CRC-32 (IEEE 802.3, reflected), bitwise — same codec as the ACSN
+/// snapshots, duplicated here so `aircal-core` stays dependency-free.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for b in bytes {
+        crc ^= *b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Why a journal record failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// The byte stream ended before the record structure did.
+    Truncated,
+    /// An enum tag or field decoded to an impossible value.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Truncated => write!(f, "journal record truncated"),
+            WalError::Malformed(what) => write!(f, "malformed journal field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+// ---------------------------------------------------------------------------
+// Typed records
+// ---------------------------------------------------------------------------
+
+/// One durable audit-round effect, journaled before it is applied.
+///
+/// Node identity is carried two ways, matching the two cloud
+/// implementations: the threaded `aircal-net` cloud keys its registry
+/// by name (`String`), the discrete-event engine by index (`u64`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// An audit round began: its commission seed and virtual tick.
+    RoundStarted { seed: u64, tick: u64 },
+    /// One audit step finished (or failed) against a named node.
+    StepOutcome {
+        node: String,
+        step: String,
+        ok: bool,
+        /// Wire attempts the step consumed, retries included.
+        attempts: u64,
+    },
+    /// A trust movement for a named node: final score and the penalty
+    /// delta, both as IEEE-754 bit patterns (bit-exact replay).
+    TrustDelta {
+        node: String,
+        score_bits: u64,
+        delta_bits: u64,
+    },
+    /// A health-ladder transition, as severities.
+    LadderTransition {
+        node: String,
+        from: u8,
+        to: u8,
+        consecutive: u32,
+    },
+    /// A node's frequency profile was (re)assembled; `fingerprint` is
+    /// the canonical report fingerprint.
+    ProfileUpdate { node: String, fingerprint: u64 },
+    /// Upsert of one node's full registry state, as opaque codec-owned
+    /// bytes (the `aircal-net` ACSN per-node encoding). Replaying the
+    /// suffix of these after a snapshot reproduces the registry
+    /// bit-for-bit.
+    NodeState { node: String, state: Vec<u8> },
+    /// A measurement dispatch left the cloud (engine-side, by index).
+    Dispatch {
+        node: u64,
+        kind: u8,
+        seq: u64,
+        tick: u64,
+    },
+    /// A measurement report passed the dedup window and was applied.
+    ReportApplied {
+        node: u64,
+        kind: u8,
+        seq: u64,
+        value_bits: u64,
+        tick: u64,
+    },
+    /// An audit round's per-node effect was applied (engine-side).
+    AuditApplied {
+        node: u64,
+        trust_bits: u64,
+        health: u8,
+    },
+    /// A registry snapshot was taken; the journal prefix before this
+    /// point is redundant. `state_crc` is the CRC-32 of the snapshot
+    /// bytes, chaining journal and snapshot together.
+    SnapshotTaken { tick: u64, state_crc: u32 },
+    /// An audit round finished, with how many effects it journaled.
+    RoundCompleted { seed: u64, effects: u32 },
+    /// A delivery reached the cloud garbled and was discarded; the
+    /// dispatch it answers is known-dead (immediately reschedulable),
+    /// which is cloud state and so must survive a crash.
+    DeliveryFailed {
+        node: u64,
+        kind: u8,
+        seq: u64,
+        tick: u64,
+    },
+}
+
+// Variant tags. New variants append; tags are never reused.
+const TAG_ROUND_STARTED: u8 = 1;
+const TAG_STEP_OUTCOME: u8 = 2;
+const TAG_TRUST_DELTA: u8 = 3;
+const TAG_LADDER_TRANSITION: u8 = 4;
+const TAG_PROFILE_UPDATE: u8 = 5;
+const TAG_NODE_STATE: u8 = 6;
+const TAG_DISPATCH: u8 = 7;
+const TAG_REPORT_APPLIED: u8 = 8;
+const TAG_AUDIT_APPLIED: u8 = 9;
+const TAG_SNAPSHOT_TAKEN: u8 = 10;
+const TAG_ROUND_COMPLETED: u8 = 11;
+const TAG_DELIVERY_FAILED: u8 = 12;
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_u32(buf, b.len() as u32);
+    buf.extend_from_slice(b);
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WalError> {
+        if self.buf.len() - self.pos < n {
+            return Err(WalError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, WalError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, WalError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, WalError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn str(&mut self) -> Result<String, WalError> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() {
+            return Err(WalError::Truncated);
+        }
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|_| WalError::Malformed("utf-8 string"))
+    }
+    fn bytes(&mut self) -> Result<Vec<u8>, WalError> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() {
+            return Err(WalError::Truncated);
+        }
+        Ok(self.take(n)?.to_vec())
+    }
+    fn done(&self) -> Result<(), WalError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WalError::Malformed("trailing bytes in record"))
+        }
+    }
+}
+
+impl WalRecord {
+    /// Serialize the record payload (frame applied by the journal).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(48);
+        match self {
+            WalRecord::RoundStarted { seed, tick } => {
+                b.push(TAG_ROUND_STARTED);
+                put_u64(&mut b, *seed);
+                put_u64(&mut b, *tick);
+            }
+            WalRecord::StepOutcome {
+                node,
+                step,
+                ok,
+                attempts,
+            } => {
+                b.push(TAG_STEP_OUTCOME);
+                put_str(&mut b, node);
+                put_str(&mut b, step);
+                b.push(*ok as u8);
+                put_u64(&mut b, *attempts);
+            }
+            WalRecord::TrustDelta {
+                node,
+                score_bits,
+                delta_bits,
+            } => {
+                b.push(TAG_TRUST_DELTA);
+                put_str(&mut b, node);
+                put_u64(&mut b, *score_bits);
+                put_u64(&mut b, *delta_bits);
+            }
+            WalRecord::LadderTransition {
+                node,
+                from,
+                to,
+                consecutive,
+            } => {
+                b.push(TAG_LADDER_TRANSITION);
+                put_str(&mut b, node);
+                b.push(*from);
+                b.push(*to);
+                put_u32(&mut b, *consecutive);
+            }
+            WalRecord::ProfileUpdate { node, fingerprint } => {
+                b.push(TAG_PROFILE_UPDATE);
+                put_str(&mut b, node);
+                put_u64(&mut b, *fingerprint);
+            }
+            WalRecord::NodeState { node, state } => {
+                b.push(TAG_NODE_STATE);
+                put_str(&mut b, node);
+                put_bytes(&mut b, state);
+            }
+            WalRecord::Dispatch {
+                node,
+                kind,
+                seq,
+                tick,
+            } => {
+                b.push(TAG_DISPATCH);
+                put_u64(&mut b, *node);
+                b.push(*kind);
+                put_u64(&mut b, *seq);
+                put_u64(&mut b, *tick);
+            }
+            WalRecord::ReportApplied {
+                node,
+                kind,
+                seq,
+                value_bits,
+                tick,
+            } => {
+                b.push(TAG_REPORT_APPLIED);
+                put_u64(&mut b, *node);
+                b.push(*kind);
+                put_u64(&mut b, *seq);
+                put_u64(&mut b, *value_bits);
+                put_u64(&mut b, *tick);
+            }
+            WalRecord::AuditApplied {
+                node,
+                trust_bits,
+                health,
+            } => {
+                b.push(TAG_AUDIT_APPLIED);
+                put_u64(&mut b, *node);
+                put_u64(&mut b, *trust_bits);
+                b.push(*health);
+            }
+            WalRecord::SnapshotTaken { tick, state_crc } => {
+                b.push(TAG_SNAPSHOT_TAKEN);
+                put_u64(&mut b, *tick);
+                put_u32(&mut b, *state_crc);
+            }
+            WalRecord::RoundCompleted { seed, effects } => {
+                b.push(TAG_ROUND_COMPLETED);
+                put_u64(&mut b, *seed);
+                put_u32(&mut b, *effects);
+            }
+            WalRecord::DeliveryFailed {
+                node,
+                kind,
+                seq,
+                tick,
+            } => {
+                b.push(TAG_DELIVERY_FAILED);
+                put_u64(&mut b, *node);
+                b.push(*kind);
+                put_u64(&mut b, *seq);
+                put_u64(&mut b, *tick);
+            }
+        }
+        b
+    }
+
+    /// Decode one record payload. Every failure is a typed error; this
+    /// never panics on arbitrary bytes.
+    pub fn decode(payload: &[u8]) -> Result<WalRecord, WalError> {
+        let mut c = Cursor {
+            buf: payload,
+            pos: 0,
+        };
+        let rec = match c.u8()? {
+            TAG_ROUND_STARTED => WalRecord::RoundStarted {
+                seed: c.u64()?,
+                tick: c.u64()?,
+            },
+            TAG_STEP_OUTCOME => WalRecord::StepOutcome {
+                node: c.str()?,
+                step: c.str()?,
+                ok: match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WalError::Malformed("bool")),
+                },
+                attempts: c.u64()?,
+            },
+            TAG_TRUST_DELTA => WalRecord::TrustDelta {
+                node: c.str()?,
+                score_bits: c.u64()?,
+                delta_bits: c.u64()?,
+            },
+            TAG_LADDER_TRANSITION => WalRecord::LadderTransition {
+                node: c.str()?,
+                from: c.u8()?,
+                to: c.u8()?,
+                consecutive: c.u32()?,
+            },
+            TAG_PROFILE_UPDATE => WalRecord::ProfileUpdate {
+                node: c.str()?,
+                fingerprint: c.u64()?,
+            },
+            TAG_NODE_STATE => WalRecord::NodeState {
+                node: c.str()?,
+                state: c.bytes()?,
+            },
+            TAG_DISPATCH => WalRecord::Dispatch {
+                node: c.u64()?,
+                kind: c.u8()?,
+                seq: c.u64()?,
+                tick: c.u64()?,
+            },
+            TAG_REPORT_APPLIED => WalRecord::ReportApplied {
+                node: c.u64()?,
+                kind: c.u8()?,
+                seq: c.u64()?,
+                value_bits: c.u64()?,
+                tick: c.u64()?,
+            },
+            TAG_AUDIT_APPLIED => WalRecord::AuditApplied {
+                node: c.u64()?,
+                trust_bits: c.u64()?,
+                health: c.u8()?,
+            },
+            TAG_SNAPSHOT_TAKEN => WalRecord::SnapshotTaken {
+                tick: c.u64()?,
+                state_crc: c.u32()?,
+            },
+            TAG_ROUND_COMPLETED => WalRecord::RoundCompleted {
+                seed: c.u64()?,
+                effects: c.u32()?,
+            },
+            TAG_DELIVERY_FAILED => WalRecord::DeliveryFailed {
+                node: c.u64()?,
+                kind: c.u8()?,
+                seq: c.u64()?,
+                tick: c.u64()?,
+            },
+            _ => return Err(WalError::Malformed("record tag")),
+        };
+        c.done()?;
+        Ok(rec)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The journal
+// ---------------------------------------------------------------------------
+
+/// What [`Journal::open`] found in a byte stream.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OpenReport {
+    /// Records recovered (the longest valid prefix).
+    pub recovered: u64,
+    /// Bytes discarded from the torn tail (0 for a clean journal).
+    pub truncated_bytes: u64,
+}
+
+/// A segmented, CRC-framed write-ahead journal.
+///
+/// Storage is plain byte vectors so the same machinery backs both the
+/// in-process engine (bytes live in memory) and a file-backed
+/// deployment (each segment is one file). Durability is modeled by
+/// [`Journal::sync`]: effects must not be applied before the sync that
+/// covers their append returns.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    /// Sealed segments (oldest first) plus the active tail segment.
+    segments: Vec<Vec<u8>>,
+    /// Rotate the active segment once it exceeds this many bytes.
+    pub segment_cap: usize,
+    /// Records appended over this journal's lifetime.
+    appends: u64,
+    /// Sync barriers issued.
+    syncs: u64,
+    /// Appends not yet covered by a sync.
+    unsynced: u64,
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Self::new(64 * 1024)
+    }
+}
+
+impl Journal {
+    /// An empty journal with the given segment-rotation threshold.
+    pub fn new(segment_cap: usize) -> Self {
+        Self {
+            segments: vec![Vec::new()],
+            segment_cap: segment_cap.max(FRAME_HEADER + 1),
+            appends: 0,
+            syncs: 0,
+            unsynced: 0,
+        }
+    }
+
+    /// Frame and append one record, rotating segments at the cap.
+    pub fn append(&mut self, record: &WalRecord) {
+        let payload = record.encode();
+        let active = self.segments.last_mut().expect("journal has a tail");
+        if !active.is_empty() && active.len() + FRAME_HEADER + payload.len() > self.segment_cap {
+            self.segments.push(Vec::new());
+        }
+        let active = self.segments.last_mut().expect("journal has a tail");
+        active.push(FRAME_MARKER);
+        active.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        active.extend_from_slice(&crc32(&payload).to_le_bytes());
+        active.extend_from_slice(&payload);
+        self.appends += 1;
+        self.unsynced += 1;
+    }
+
+    /// Durability barrier: everything appended so far survives a crash.
+    /// Returns how many appends this sync covered.
+    pub fn sync(&mut self) -> u64 {
+        self.syncs += 1;
+        std::mem::take(&mut self.unsynced)
+    }
+
+    /// Records appended over this journal's lifetime.
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// Sync barriers issued.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+
+    /// Segments currently held (sealed + active tail).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total framed bytes across all segments.
+    pub fn len_bytes(&self) -> usize {
+        self.segments.iter().map(Vec::len).sum()
+    }
+
+    /// The journal as one contiguous byte stream (what a crash leaves
+    /// on disk, segments concatenated oldest-first).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len_bytes());
+        for s in &self.segments {
+            out.extend_from_slice(s);
+        }
+        out
+    }
+
+    /// Drop every sealed segment, keeping only the active tail. Call
+    /// after persisting a registry snapshot: the sealed prefix is
+    /// redundant from that point on.
+    pub fn truncate_before_seal(&mut self) {
+        let tail = self.segments.pop().expect("journal has a tail");
+        self.segments.clear();
+        self.segments.push(tail);
+    }
+
+    /// Drop everything: the snapshot just taken covers the entire
+    /// journal contents (used at clean checkpoint boundaries).
+    pub fn reset(&mut self) {
+        self.segments.clear();
+        self.segments.push(Vec::new());
+    }
+
+    /// Decode every record in order. The journal's own frames are
+    /// always valid (it wrote them); this cannot fail.
+    pub fn records(&self) -> Vec<WalRecord> {
+        let (records, _) = scan(&self.to_bytes());
+        records
+    }
+
+    /// Open a journal from a possibly torn byte stream: recover the
+    /// longest valid prefix of records, truncating the tail at the
+    /// first bad frame. Never panics, whatever the bytes.
+    pub fn open(bytes: &[u8], segment_cap: usize) -> (Journal, OpenReport) {
+        let (records, valid_len) = scan(bytes);
+        let report = OpenReport {
+            recovered: records.len() as u64,
+            truncated_bytes: (bytes.len() - valid_len) as u64,
+        };
+        let mut journal = Journal::new(segment_cap);
+        for r in &records {
+            journal.append(r);
+        }
+        // Reopened records are already durable.
+        journal.sync();
+        (journal, report)
+    }
+}
+
+/// Scan a byte stream for valid frames; returns the decoded records and
+/// the byte length of the valid prefix.
+fn scan(bytes: &[u8]) -> (Vec<WalRecord>, usize) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let rest = &bytes[pos..];
+        if rest.len() < FRAME_HEADER || rest[0] != FRAME_MARKER {
+            break;
+        }
+        let len = u32::from_le_bytes(rest[1..5].try_into().unwrap()) as usize;
+        if len > MAX_RECORD_LEN || rest.len() < FRAME_HEADER + len {
+            break;
+        }
+        let crc_stored = u32::from_le_bytes(rest[5..9].try_into().unwrap());
+        let payload = &rest[FRAME_HEADER..FRAME_HEADER + len];
+        if crc32(payload) != crc_stored {
+            break;
+        }
+        match WalRecord::decode(payload) {
+            Ok(r) => records.push(r),
+            Err(_) => break,
+        }
+        pos += FRAME_HEADER + len;
+    }
+    (records, pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::RoundStarted { seed: 777, tick: 50 },
+            WalRecord::StepOutcome {
+                node: "rooftop".into(),
+                step: "survey".into(),
+                ok: true,
+                attempts: 3,
+            },
+            WalRecord::TrustDelta {
+                node: "rooftop".into(),
+                score_bits: 0.875f64.to_bits(),
+                delta_bits: (-0.05f64).to_bits(),
+            },
+            WalRecord::LadderTransition {
+                node: "flaky".into(),
+                from: 0,
+                to: 2,
+                consecutive: 1,
+            },
+            WalRecord::ProfileUpdate {
+                node: "rooftop".into(),
+                fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+            },
+            WalRecord::NodeState {
+                node: "rooftop".into(),
+                state: vec![1, 2, 3, 4, 5],
+            },
+            WalRecord::Dispatch {
+                node: 17,
+                kind: 2,
+                seq: 9,
+                tick: 95,
+            },
+            WalRecord::ReportApplied {
+                node: 17,
+                kind: 2,
+                seq: 9,
+                value_bits: (-61.25f64).to_bits(),
+                tick: 97,
+            },
+            WalRecord::AuditApplied {
+                node: 17,
+                trust_bits: 0.53f64.to_bits(),
+                health: 1,
+            },
+            WalRecord::SnapshotTaken {
+                tick: 100,
+                state_crc: 0x1234_5678,
+            },
+            WalRecord::RoundCompleted {
+                seed: 777,
+                effects: 9,
+            },
+            WalRecord::DeliveryFailed {
+                node: 17,
+                kind: 1,
+                seq: 10,
+                tick: 99,
+            },
+        ]
+    }
+
+    #[test]
+    fn records_round_trip() {
+        for r in sample_records() {
+            let bytes = r.encode();
+            assert_eq!(WalRecord::decode(&bytes).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn journal_append_and_replay() {
+        let mut j = Journal::new(1 << 16);
+        for r in sample_records() {
+            j.append(&r);
+        }
+        assert_eq!(j.sync(), sample_records().len() as u64);
+        assert_eq!(j.records(), sample_records());
+        assert_eq!(j.appends(), sample_records().len() as u64);
+        assert_eq!(j.syncs(), 1);
+    }
+
+    #[test]
+    fn segments_rotate_at_the_cap_and_seal_truncation_keeps_the_tail() {
+        let mut j = Journal::new(64);
+        for _ in 0..20 {
+            j.append(&WalRecord::RoundStarted { seed: 1, tick: 2 });
+        }
+        assert!(j.segment_count() > 1, "64-byte cap must force rotation");
+        let before = j.records().len();
+        j.truncate_before_seal();
+        assert_eq!(j.segment_count(), 1);
+        assert!(j.records().len() < before, "sealed segments dropped");
+    }
+
+    #[test]
+    fn open_recovers_a_clean_journal_bit_identically() {
+        let mut j = Journal::new(128);
+        for r in sample_records() {
+            j.append(&r);
+        }
+        let (back, report) = Journal::open(&j.to_bytes(), 128);
+        assert_eq!(report.recovered, sample_records().len() as u64);
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(back.records(), j.records());
+    }
+
+    #[test]
+    fn every_truncation_recovers_the_longest_valid_prefix() {
+        let mut j = Journal::new(1 << 16);
+        for r in sample_records() {
+            j.append(&r);
+        }
+        let bytes = j.to_bytes();
+        // Frame boundaries: prefix sums of framed record sizes.
+        let mut boundaries = vec![0usize];
+        for r in sample_records() {
+            boundaries.push(boundaries.last().unwrap() + FRAME_HEADER + r.encode().len());
+        }
+        for n in 0..bytes.len() {
+            let (back, report) = Journal::open(&bytes[..n], 1 << 16);
+            // Longest valid prefix: every whole frame before the cut.
+            let expect = boundaries.iter().filter(|&&b| b > 0 && b <= n).count();
+            assert_eq!(
+                back.records().len(),
+                expect,
+                "truncation to {n} bytes recovered wrong prefix"
+            );
+            assert_eq!(report.recovered as usize, expect);
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_never_panics_and_never_gains_records() {
+        let mut j = Journal::new(1 << 16);
+        for r in sample_records().into_iter().take(4) {
+            j.append(&r);
+        }
+        let bytes = j.to_bytes();
+        let clean = sample_records().len().min(4);
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[i] ^= 1 << bit;
+                let (back, _) = Journal::open(&bad, 1 << 16);
+                assert!(
+                    back.records().len() <= clean,
+                    "bit flip at byte {i} bit {bit} grew the journal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arbitrary_garbage_opens_empty() {
+        let garbage: Vec<u8> = (0..512u32).map(|i| (i * 37 % 251) as u8).collect();
+        let (j, report) = Journal::open(&garbage, 1 << 16);
+        assert!(j.records().is_empty());
+        assert_eq!(report.truncated_bytes, garbage.len() as u64);
+    }
+
+    #[test]
+    fn oversized_length_field_is_corruption_not_allocation() {
+        let mut bytes = vec![FRAME_MARKER];
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 64]);
+        let (j, _) = Journal::open(&bytes, 1 << 16);
+        assert!(j.records().is_empty());
+    }
+}

@@ -17,8 +17,9 @@
 //! re-admission on the next clean audit.
 
 use crate::protocol::{NodeClaims, Request, Response};
-use crate::snapshot::{RegistryNodeState, SnapshotError};
+use crate::snapshot::{decode_node_state, encode_node_state, RegistryNodeState, SnapshotError};
 use crate::transport::{Link, LinkError, LinkStats, RetryPolicy};
+use aircal_core::wal::{Journal, WalRecord};
 use aircal_aircraft::TrafficSim;
 use aircal_cellular::{paper_towers, CellMeasurement, CellScanner};
 use aircal_core::classifier::{IndoorOutdoorClassifier, InstallFeatures, InstallVerdict};
@@ -402,6 +403,19 @@ pub struct NodeRecord {
     pub forensics: NodeForensics,
 }
 
+/// What [`Cloud::recover`] found and did: how much of the journal was
+/// readable, how much of a torn tail was discarded, and how many node
+/// upserts were replayed onto the snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Valid journal records recovered (torn tail excluded).
+    pub recovered_records: u64,
+    /// Bytes discarded from the journal's torn tail.
+    pub truncated_bytes: u64,
+    /// `NodeState` upserts actually applied to the registry.
+    pub applied_upserts: u64,
+}
+
 /// The aggregator.
 pub struct Cloud {
     /// Ground truth the cloud can consult independently (the tracking
@@ -430,6 +444,50 @@ pub struct Cloud {
     registry: parking_lot::Mutex<std::collections::BTreeMap<String, NodeRecord>>,
     /// The fleet's fused consensus profile from the last audit round.
     fused: parking_lot::Mutex<Option<FusedProfile>>,
+    /// Write-ahead journal of audit-round effects. Effect records
+    /// (trust deltas, ladder transitions, profile updates) are appended
+    /// at their effect points; each round commits with per-node state
+    /// upserts and a sync barrier, so [`Cloud::recover`] can replay a
+    /// crash-torn journal onto the latest snapshot bit-identically.
+    journal: parking_lot::Mutex<Journal>,
+}
+
+/// One node's durable registry state, as persisted by snapshots and the
+/// write-ahead journal's per-round upsert records.
+fn registry_state_of(name: &str, rec: &NodeRecord) -> RegistryNodeState {
+    RegistryNodeState {
+        name: name.to_string(),
+        health: rec.health.severity(),
+        reachable: rec.reachable,
+        consecutive_failures: rec.consecutive_failures,
+        consecutive_anomalies: rec.consecutive_anomalies,
+        last_seed: rec.forensics.last_seed,
+        survey_fp: rec.forensics.survey_fp,
+        cells_fp: rec.forensics.cells_fp,
+        tv_fp: rec.forensics.tv_fp,
+        baseline: rec.forensics.baseline.clone(),
+        attested: rec.forensics.attested,
+        eviction_reason: rec.forensics.eviction_reason.clone(),
+    }
+}
+
+/// Overlay one durable node state onto a live registry record.
+fn apply_node_state(rec: &mut NodeRecord, st: RegistryNodeState) -> Result<(), SnapshotError> {
+    rec.health =
+        NodeHealth::from_severity(st.health).ok_or(SnapshotError::Malformed("health rung"))?;
+    rec.reachable = st.reachable;
+    rec.consecutive_failures = st.consecutive_failures;
+    rec.consecutive_anomalies = st.consecutive_anomalies;
+    rec.forensics = NodeForensics {
+        last_seed: st.last_seed,
+        survey_fp: st.survey_fp,
+        cells_fp: st.cells_fp,
+        tv_fp: st.tv_fp,
+        baseline: st.baseline,
+        attested: st.attested,
+        eviction_reason: st.eviction_reason,
+    };
+    Ok(())
 }
 
 /// FNV-1a over a payload's canonical JSON — the report fingerprint used
@@ -461,7 +519,7 @@ fn common_band_count(profile: &FrequencyProfile, fused: &FusedProfile) -> usize 
 
 /// Per-kind wire-counter deltas between two [`LinkStats`] snapshots, in a
 /// fixed publication order.
-fn wire_delta(before: &LinkStats, after: &LinkStats) -> [(&'static str, u64); 8] {
+fn wire_delta(before: &LinkStats, after: &LinkStats) -> [(&'static str, u64); 11] {
     [
         ("attempts", after.attempts - before.attempts),
         ("ok", after.ok - before.ok),
@@ -471,6 +529,9 @@ fn wire_delta(before: &LinkStats, after: &LinkStats) -> [(&'static str, u64); 8]
         ("dropped", after.dropped - before.dropped),
         ("timeouts", after.timeouts - before.timeouts),
         ("send_failed", after.send_failed - before.send_failed),
+        ("first_try_ok", after.first_try_ok - before.first_try_ok),
+        ("retried_ok", after.retried_ok - before.retried_ok),
+        ("stale_drained", after.stale_drained - before.stale_drained),
     ]
 }
 
@@ -576,7 +637,33 @@ impl Cloud {
             obs: Obs::disabled(),
             registry: parking_lot::Mutex::new(std::collections::BTreeMap::new()),
             fused: parking_lot::Mutex::new(None),
+            journal: parking_lot::Mutex::new(Journal::default()),
         }
+    }
+
+    /// Append one effect record to the write-ahead journal (counted as
+    /// `wal.append`).
+    fn wal_append(&self, record: WalRecord) {
+        self.journal.lock().append(&record);
+        self.obs.incr("wal.append", 1);
+    }
+
+    /// Issue a journal durability barrier (counted as `wal.sync`).
+    fn wal_sync(&self) {
+        self.journal.lock().sync();
+        self.obs.incr("wal.sync", 1);
+    }
+
+    /// The journal as one contiguous byte stream — what a crash leaves
+    /// behind for [`Cloud::recover`].
+    pub fn journal_bytes(&self) -> Vec<u8> {
+        self.journal.lock().to_bytes()
+    }
+
+    /// Lifetime `(appends, syncs)` counters of the journal.
+    pub fn journal_stats(&self) -> (u64, u64) {
+        let j = self.journal.lock();
+        (j.appends(), j.syncs())
     }
 
     /// Register a node by asking it to describe itself (with retries).
@@ -646,6 +733,10 @@ impl Cloud {
     pub fn audit_all(&self, base_seed: u64) -> Vec<(String, Option<VerificationVerdict>)> {
         let _span = aircal_obs::span!("audit_all");
         self.obs.incr("audit.rounds", 1);
+        self.wal_append(WalRecord::RoundStarted {
+            seed: base_seed,
+            tick: 0,
+        });
         let mut registry = self.registry.lock();
         let mut out = Vec::new();
         for (i, (name, record)) in registry.iter_mut().enumerate() {
@@ -694,12 +785,29 @@ impl Cloud {
                 out.push((name.clone(), None));
                 continue;
             }
+            let wire_before = record.link.stats().attempts;
             let verdict = self.audit_one_named(name, &mut record.link, seed);
             record.reachable = verdict.is_some();
             if verdict.is_none() {
                 self.obs.incr("audit.unreachable", 1);
             }
             let clean = verdict.as_ref().is_some_and(|v| v.is_complete());
+            if let Some(v) = &verdict {
+                for f in &v.failed_steps {
+                    self.wal_append(WalRecord::StepOutcome {
+                        node: name.clone(),
+                        step: f.step.clone(),
+                        ok: false,
+                        attempts: f.attempts as u64,
+                    });
+                }
+            }
+            self.wal_append(WalRecord::StepOutcome {
+                node: name.clone(),
+                step: "audit".to_string(),
+                ok: clean,
+                attempts: record.link.stats().attempts - wire_before,
+            });
             if clean {
                 // Re-admission: one clean audit clears the link ladder
                 // (the anomaly ladder is walked in the consistency pass).
@@ -718,6 +826,23 @@ impl Cloud {
             out.push((name.clone(), verdict));
         }
         self.consistency_pass(&mut registry, base_seed, &mut out);
+        // Round commit: journal every node's post-round registry state
+        // as an upsert, then sync. Replay after a crash applies these
+        // onto the last snapshot, so a torn round re-runs from its
+        // RoundStarted instead of half-applying.
+        let mut effects = 0u32;
+        for (name, rec) in registry.iter() {
+            self.wal_append(WalRecord::NodeState {
+                node: name.clone(),
+                state: encode_node_state(&registry_state_of(name, rec)),
+            });
+            effects += 1;
+        }
+        self.wal_append(WalRecord::RoundCompleted {
+            seed: base_seed,
+            effects,
+        });
+        self.wal_sync();
         out
     }
 
@@ -875,7 +1000,14 @@ impl Cloud {
                         }
                     }
                 }
-                // Record this round's evidence for the next one.
+                // Record this round's evidence for the next one (the
+                // profile update is journaled before the overwrite).
+                if let Some(fingerprint) = fp.survey {
+                    self.wal_append(WalRecord::ProfileUpdate {
+                        node: name.clone(),
+                        fingerprint,
+                    });
+                }
                 record.forensics.last_seed = Some(seed);
                 record.forensics.survey_fp = fp.survey;
                 record.forensics.cells_fp = fp.cells;
@@ -947,6 +1079,13 @@ impl Cloud {
             return;
         }
         let previous = record.health;
+        // Journal the transition before applying it to the registry.
+        self.wal_append(WalRecord::LadderTransition {
+            node: name.to_string(),
+            from: previous.severity(),
+            to: effective.severity(),
+            consecutive: record.consecutive_failures.max(record.consecutive_anomalies),
+        });
         record.health = effective;
         self.obs.incr("health.transitions", 1);
         self.obs.emit(
@@ -1145,6 +1284,13 @@ impl Cloud {
         }
         // Approval must reflect the penalized trust score.
         verdict.approved = verdict.trust.is_trustworthy() && verdict.outdoor_claim_verified;
+        // Journal the trust movement before it is surfaced anywhere: a
+        // replay can then verify no delta was applied twice.
+        self.wal_append(WalRecord::TrustDelta {
+            node: name.to_string(),
+            score_bits: verdict.trust.score.to_bits(),
+            delta_bits: (verdict.trust.score - unpenalized).to_bits(),
+        });
         self.obs.emit(
             name,
             AuditEventKind::TrustDelta {
@@ -1405,6 +1551,15 @@ impl Cloud {
             };
             out.push((name.clone(), ok));
         }
+        // Attestation moves durable state (checkpoints, possibly the
+        // anomaly ladder): commit it like an audit round.
+        for (name, rec) in registry.iter() {
+            self.wal_append(WalRecord::NodeState {
+                node: name.clone(),
+                state: encode_node_state(&registry_state_of(name, rec)),
+            });
+        }
+        self.wal_sync();
         out
     }
 
@@ -1416,20 +1571,7 @@ impl Cloud {
         let registry = self.registry.lock();
         let states: Vec<RegistryNodeState> = registry
             .iter()
-            .map(|(name, rec)| RegistryNodeState {
-                name: name.clone(),
-                health: rec.health.severity(),
-                reachable: rec.reachable,
-                consecutive_failures: rec.consecutive_failures,
-                consecutive_anomalies: rec.consecutive_anomalies,
-                last_seed: rec.forensics.last_seed,
-                survey_fp: rec.forensics.survey_fp,
-                cells_fp: rec.forensics.cells_fp,
-                tv_fp: rec.forensics.tv_fp,
-                baseline: rec.forensics.baseline.clone(),
-                attested: rec.forensics.attested,
-                eviction_reason: rec.forensics.eviction_reason.clone(),
-            })
+            .map(|(name, rec)| registry_state_of(name, rec))
             .collect();
         crate::snapshot::snapshot_registry(&states)
     }
@@ -1446,23 +1588,130 @@ impl Cloud {
             let Some(rec) = registry.get_mut(&st.name) else {
                 continue;
             };
-            rec.health = NodeHealth::from_severity(st.health)
-                .ok_or(SnapshotError::Malformed("health rung"))?;
-            rec.reachable = st.reachable;
-            rec.consecutive_failures = st.consecutive_failures;
-            rec.consecutive_anomalies = st.consecutive_anomalies;
-            rec.forensics = NodeForensics {
-                last_seed: st.last_seed,
-                survey_fp: st.survey_fp,
-                cells_fp: st.cells_fp,
-                tv_fp: st.tv_fp,
-                baseline: st.baseline,
-                attested: st.attested,
-                eviction_reason: st.eviction_reason,
-            };
+            apply_node_state(rec, st)?;
             applied += 1;
         }
         Ok(applied)
+    }
+
+    /// Checkpoint: serialize the registry snapshot, reset the journal
+    /// (the snapshot now covers everything it recorded), and open the
+    /// fresh journal with a [`WalRecord::SnapshotTaken`] record carrying
+    /// the snapshot's CRC — chaining journal and snapshot together so
+    /// [`Cloud::recover`] can refuse a mismatched pair.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let bytes = self.snapshot_registry();
+        let crc = crate::snapshot::crc32(&bytes);
+        {
+            let mut journal = self.journal.lock();
+            journal.reset();
+            journal.append(&WalRecord::SnapshotTaken {
+                tick: 0,
+                state_crc: crc,
+            });
+            journal.sync();
+        }
+        self.obs.incr("wal.append", 1);
+        self.obs.incr("wal.sync", 1);
+        self.obs.incr("wal.checkpoints", 1);
+        bytes
+    }
+
+    /// FNV-1a digest over every node's durable registry state, in name
+    /// order — the bit-identity witness for crash/recovery tests.
+    pub fn registry_digest(&self) -> u64 {
+        let registry = self.registry.lock();
+        let mut h = crate::node::CHAIN_EMPTY;
+        for (name, rec) in registry.iter() {
+            h = crate::node::fnv1a_step(h, &encode_node_state(&registry_state_of(name, rec)));
+        }
+        h
+    }
+
+    /// Simulate a cloud crash: the aggregator process dies, the node
+    /// daemons keep running. Consumes the cloud and hands back the still
+    /// -live links plus whatever the journal managed to persist — all
+    /// in-memory registry state is lost, exactly as in a real crash.
+    pub fn crash(self) -> (Vec<(String, Link)>, Vec<u8>) {
+        let journal_bytes = self.journal.lock().to_bytes();
+        let mut registry = self.registry.into_inner();
+        let mut links = Vec::new();
+        while let Some((name, record)) = registry.pop_first() {
+            links.push((name, record.link));
+        }
+        (links, journal_bytes)
+    }
+
+    /// Rebuild a crashed cloud from the latest checkpoint snapshot plus
+    /// the (possibly torn) journal, re-attaching the surviving links.
+    /// The journal's tail is truncated at the first invalid frame and
+    /// every per-node upsert in the valid prefix is replayed onto the
+    /// snapshot, arriving at the exact registry state the crashed cloud
+    /// had at its last sync. Counted as `wal.replay.*` in `obs`.
+    pub fn recover(
+        sky: Arc<TrafficSim>,
+        snapshot: Option<&[u8]>,
+        journal_bytes: &[u8],
+        links: Vec<(String, Link)>,
+        obs: Obs,
+    ) -> Result<(Cloud, RecoveryReport), SnapshotError> {
+        let mut cloud = Cloud::new(sky);
+        cloud.obs = obs;
+        {
+            let mut registry = cloud.registry.lock();
+            for (name, link) in links {
+                registry.insert(
+                    name,
+                    NodeRecord {
+                        link,
+                        verdict: None,
+                        reachable: true,
+                        health: NodeHealth::Healthy,
+                        consecutive_failures: 0,
+                        consecutive_anomalies: 0,
+                        forensics: NodeForensics::default(),
+                    },
+                );
+            }
+        }
+        if let Some(bytes) = snapshot {
+            cloud.restore_registry(bytes)?;
+        }
+        let (journal, open) = Journal::open(journal_bytes, 64 * 1024);
+        // If the journal opens on a checkpoint marker, it must belong to
+        // the snapshot we were handed.
+        if let (Some(WalRecord::SnapshotTaken { state_crc, .. }), Some(bytes)) =
+            (journal.records().first(), snapshot)
+        {
+            let computed = crate::snapshot::crc32(bytes);
+            if *state_crc != computed {
+                return Err(SnapshotError::ChecksumMismatch {
+                    stored: *state_crc,
+                    computed,
+                });
+            }
+        }
+        let mut report = RecoveryReport {
+            recovered_records: open.recovered,
+            truncated_bytes: open.truncated_bytes,
+            applied_upserts: 0,
+        };
+        {
+            let mut registry = cloud.registry.lock();
+            for record in journal.records() {
+                cloud.obs.incr("wal.replay", 1);
+                if let WalRecord::NodeState { node, state } = record {
+                    let st = decode_node_state(&state)?;
+                    if let Some(rec) = registry.get_mut(&node) {
+                        apply_node_state(rec, st)?;
+                        report.applied_upserts += 1;
+                    }
+                }
+            }
+        }
+        cloud.obs.incr("wal.recoveries", 1);
+        *cloud.journal.lock() = journal;
+        Ok((cloud, report))
     }
 
     /// Per-node wire counters, sorted by name.

@@ -43,12 +43,12 @@ pub mod transport;
 pub use adversary::{Adversary, AdversaryKind};
 pub use cloud::{
     Cloud, ConsistencyPolicy, HealthLadder, HealthPolicy, NodeForensics, NodeHealth, NodeRecord,
-    ReportFingerprints, SpotCheck, StepFailure, StepOutcome, VerificationVerdict,
+    RecoveryReport, ReportFingerprints, SpotCheck, StepFailure, StepOutcome, VerificationVerdict,
 };
 pub use node::{NodeAgent, NodeBehavior, ServiceLedger, ServiceOutcome};
-pub use protocol::{NodeClaims, Request, Response};
+pub use protocol::{Envelope, NodeClaims, Request, Response, Sequenced};
 pub use snapshot::{RegistryNodeState, SnapshotError};
 pub use transport::{
-    spawn_node, spawn_node_with_faults, AttemptVerdict, BurstOutage, Link, LinkError, LinkFaults,
-    LinkStats, NodeVerdict, RetryPolicy, TimeoutBudgets,
+    node_id_for, spawn_node, spawn_node_with_faults, AttemptVerdict, BurstOutage, Link, LinkError,
+    LinkFaults, LinkStats, NodeVerdict, RetryPolicy, TimeoutBudgets,
 };

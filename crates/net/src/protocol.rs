@@ -28,6 +28,39 @@ pub struct NodeClaims {
     pub price_per_hour: f64,
 }
 
+/// Delivery envelope stamped on every request and echoed verbatim on its
+/// reply: the link's stable node id plus a per-link monotonic sequence
+/// number (the wire-attempt index).
+///
+/// The envelope is what makes at-least-once delivery safe. Retries,
+/// duplicated frames and reordered frames all surface as replies whose
+/// `seq` is not the one currently in flight; the cloud's per-node dedup
+/// window drops them before any trust or profile effect is applied, so
+/// delivery effort never changes calibration state — exactly-once
+/// effects over an at-least-once wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Stable per-node identifier (FNV-1a of the registered name).
+    pub node_id: u64,
+    /// Per-link monotonic sequence number, assigned at send time.
+    pub seq: u64,
+}
+
+/// A message together with its delivery envelope. The transport carries
+/// `Sequenced<Request>` down and `Sequenced<Response>` back; the node
+/// service loop echoes the request envelope on the reply unchanged.
+///
+/// Not serde-derived (the vendored derive shim has no generics
+/// support); a networked deployment serializes the [`Envelope`] and the
+/// body side by side, both of which round-trip through JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sequenced<T> {
+    /// Delivery envelope (who, and which attempt).
+    pub env: Envelope,
+    /// The protocol message itself.
+    pub body: T,
+}
+
 /// A request from the cloud to a node.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {

@@ -453,41 +453,110 @@ pub struct RegistryNodeState {
     pub eviction_reason: Option<String>,
 }
 
+fn write_node_state(w: &mut Writer, n: &RegistryNodeState) {
+    w.str(&n.name);
+    w.u8(n.health);
+    w.bool(n.reachable);
+    w.u32(n.consecutive_failures);
+    w.u32(n.consecutive_anomalies);
+    w.opt_u64(n.last_seed);
+    w.opt_u64(n.survey_fp);
+    w.opt_u64(n.cells_fp);
+    w.opt_u64(n.tv_fp);
+    w.u32(n.baseline.len() as u32);
+    for (tag, label, db) in &n.baseline {
+        w.u8(*tag);
+        w.str(label);
+        w.f64(*db);
+    }
+    match n.attested {
+        Some((served, chain)) => {
+            w.u8(1);
+            w.u64(served);
+            w.u64(chain);
+        }
+        None => w.u8(0),
+    }
+    match &n.eviction_reason {
+        Some(reason) => {
+            w.u8(1);
+            w.str(reason);
+        }
+        None => w.u8(0),
+    }
+}
+
+fn read_node_state(r: &mut Reader<'_>, payload_len: usize) -> Result<RegistryNodeState, SnapshotError> {
+    let name = r.str()?;
+    let health = r.u8()?;
+    if health > 4 {
+        return Err(SnapshotError::Malformed("health rung"));
+    }
+    let reachable = r.bool()?;
+    let consecutive_failures = r.u32()?;
+    let consecutive_anomalies = r.u32()?;
+    let last_seed = r.opt_u64()?;
+    let survey_fp = r.opt_u64()?;
+    let cells_fp = r.opt_u64()?;
+    let tv_fp = r.opt_u64()?;
+    let nb = r.u32()? as usize;
+    if nb > payload_len {
+        return Err(SnapshotError::Truncated);
+    }
+    let mut baseline = Vec::with_capacity(nb);
+    for _ in 0..nb {
+        baseline.push((r.u8()?, r.str()?, r.f64()?));
+    }
+    let attested = match r.u8()? {
+        0 => None,
+        1 => Some((r.u64()?, r.u64()?)),
+        _ => return Err(SnapshotError::Malformed("attested tag")),
+    };
+    let eviction_reason = match r.u8()? {
+        0 => None,
+        1 => Some(r.str()?),
+        _ => return Err(SnapshotError::Malformed("eviction tag")),
+    };
+    Ok(RegistryNodeState {
+        name,
+        health,
+        reachable,
+        consecutive_failures,
+        consecutive_anomalies,
+        last_seed,
+        survey_fp,
+        cells_fp,
+        tv_fp,
+        baseline,
+        attested,
+        eviction_reason,
+    })
+}
+
+/// Encode one node's registry state as a bare payload (no `ACSN`
+/// envelope) — the write-ahead journal embeds these in its `NodeState`
+/// records, where the journal's own CRC framing provides integrity.
+pub fn encode_node_state(n: &RegistryNodeState) -> Vec<u8> {
+    let mut w = Writer::default();
+    write_node_state(&mut w, n);
+    w.buf
+}
+
+/// Decode one node's registry state from a bare payload produced by
+/// [`encode_node_state`]. Fails with a typed error on any corruption.
+pub fn decode_node_state(bytes: &[u8]) -> Result<RegistryNodeState, SnapshotError> {
+    let mut r = Reader::new(bytes);
+    let state = read_node_state(&mut r, bytes.len())?;
+    r.done()?;
+    Ok(state)
+}
+
 /// Serialize the cloud's registry state.
 pub fn snapshot_registry(nodes: &[RegistryNodeState]) -> Vec<u8> {
     let mut w = Writer::default();
     w.u32(nodes.len() as u32);
     for n in nodes {
-        w.str(&n.name);
-        w.u8(n.health);
-        w.bool(n.reachable);
-        w.u32(n.consecutive_failures);
-        w.u32(n.consecutive_anomalies);
-        w.opt_u64(n.last_seed);
-        w.opt_u64(n.survey_fp);
-        w.opt_u64(n.cells_fp);
-        w.opt_u64(n.tv_fp);
-        w.u32(n.baseline.len() as u32);
-        for (tag, label, db) in &n.baseline {
-            w.u8(*tag);
-            w.str(label);
-            w.f64(*db);
-        }
-        match n.attested {
-            Some((served, chain)) => {
-                w.u8(1);
-                w.u64(served);
-                w.u64(chain);
-            }
-            None => w.u8(0),
-        }
-        match &n.eviction_reason {
-            Some(reason) => {
-                w.u8(1);
-                w.str(reason);
-            }
-            None => w.u8(0),
-        }
+        write_node_state(&mut w, n);
     }
     seal(KIND_REGISTRY, &w.buf)
 }
@@ -503,50 +572,7 @@ pub fn restore_registry(bytes: &[u8]) -> Result<Vec<RegistryNodeState>, Snapshot
     }
     let mut nodes = Vec::with_capacity(count);
     for _ in 0..count {
-        let name = r.str()?;
-        let health = r.u8()?;
-        if health > 4 {
-            return Err(SnapshotError::Malformed("health rung"));
-        }
-        let reachable = r.bool()?;
-        let consecutive_failures = r.u32()?;
-        let consecutive_anomalies = r.u32()?;
-        let last_seed = r.opt_u64()?;
-        let survey_fp = r.opt_u64()?;
-        let cells_fp = r.opt_u64()?;
-        let tv_fp = r.opt_u64()?;
-        let nb = r.u32()? as usize;
-        if nb > payload.len() {
-            return Err(SnapshotError::Truncated);
-        }
-        let mut baseline = Vec::with_capacity(nb);
-        for _ in 0..nb {
-            baseline.push((r.u8()?, r.str()?, r.f64()?));
-        }
-        let attested = match r.u8()? {
-            0 => None,
-            1 => Some((r.u64()?, r.u64()?)),
-            _ => return Err(SnapshotError::Malformed("attested tag")),
-        };
-        let eviction_reason = match r.u8()? {
-            0 => None,
-            1 => Some(r.str()?),
-            _ => return Err(SnapshotError::Malformed("eviction tag")),
-        };
-        nodes.push(RegistryNodeState {
-            name,
-            health,
-            reachable,
-            consecutive_failures,
-            consecutive_anomalies,
-            last_seed,
-            survey_fp,
-            cells_fp,
-            tv_fp,
-            baseline,
-            attested,
-            eviction_reason,
-        });
+        nodes.push(read_node_state(&mut r, payload.len())?);
     }
     r.done()?;
     Ok(nodes)
@@ -643,6 +669,26 @@ mod tests {
                     "bit flip at byte {i} bit {bit} restored silently"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn bare_node_state_roundtrips() {
+        for n in sample_registry() {
+            let bytes = encode_node_state(&n);
+            assert_eq!(decode_node_state(&bytes).unwrap(), n);
+        }
+    }
+
+    #[test]
+    fn bare_node_state_truncations_fail_loudly() {
+        let n = &sample_registry()[0];
+        let bytes = encode_node_state(n);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_node_state(&bytes[..cut]).is_err(),
+                "truncation to {cut} bytes decoded silently"
+            );
         }
     }
 

@@ -11,13 +11,30 @@
 //! happened on the wire.
 
 use crate::node::NodeAgent;
-use crate::protocol::{Request, Response};
+use crate::protocol::{Envelope, Request, Response, Sequenced};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// How many accepted sequence numbers the per-node dedup window
+/// remembers. Far larger than any reply that could still be in flight
+/// (the link is half-duplex: at most one request outstanding).
+const DEDUP_WINDOW: usize = 64;
+
+/// Stable node id for the envelope: FNV-1a over the registered name, so
+/// the id survives restarts and is identical on every machine.
+pub fn node_id_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// Why a [`Link::call`] failed. The variants matter to the caller: a dead
 /// node thread is permanent, everything else is worth a retry.
@@ -77,6 +94,38 @@ pub struct LinkStats {
     pub timeouts: u64,
     /// Attempts that found the node thread dead.
     pub send_failed: u64,
+    /// Calls answered on the very first attempt. Split from
+    /// [`retried_ok`](Self::retried_ok) so a flaky link that limps
+    /// through on retries is distinguishable from a clean one — before
+    /// the split, a retry success was indistinguishable from a clean
+    /// call and flaky links hid inside healthy `health_report` rows.
+    pub first_try_ok: u64,
+    /// Calls that failed at least once and then succeeded on a retry.
+    pub retried_ok: u64,
+    /// Stale replies discarded by the dedup window: duplicated frames,
+    /// reordered (late) frames, and replies to attempts that already
+    /// timed out. These are *not* wire attempts, so the per-attempt
+    /// identity `attempts == ok + dropped + timeouts + send_failed +
+    /// wrong_kind` is unaffected.
+    pub stale_drained: u64,
+}
+
+impl LinkStats {
+    /// Calls that completed successfully, however many attempts it took.
+    pub fn calls_ok(&self) -> u64 {
+        self.first_try_ok + self.retried_ok
+    }
+
+    /// Fraction of successful calls that needed at least one retry —
+    /// the flakiness signal `health_report` consumers sort by.
+    pub fn retried_fraction(&self) -> f64 {
+        let calls = self.calls_ok();
+        if calls == 0 {
+            0.0
+        } else {
+            self.retried_ok as f64 / calls as f64
+        }
+    }
 }
 
 /// A contiguous run of wire attempts during which the link is down:
@@ -131,6 +180,18 @@ pub struct LinkFaults {
     /// Wire-attempt indices whose reply is replaced with a parseable but
     /// wrong-kind message (garbled frame).
     pub corrupt_on: Vec<u64>,
+    /// Wire-attempt indices whose reply is *duplicated*: the matching
+    /// copy is delivered normally and a second identical copy arrives
+    /// later (drained by the dedup window as stale). Wire-attempt
+    /// indexed, cloud side, like `burst_outages`/`corrupt_on`.
+    pub duplicate_on: Vec<u64>,
+    /// Wire-attempt indices whose reply is *reordered*: it arrives
+    /// after the caller's deadline, behind newer traffic. The caller
+    /// eats a timeout, retries, and the late original is drained as
+    /// stale by the dedup window. Wire-attempt indexed, cloud side.
+    /// Note the node *did* service the request — a retried call costs a
+    /// second serviced request, exactly like a real at-least-once wire.
+    pub reorder_on: Vec<u64>,
 }
 
 impl LinkFaults {
@@ -173,6 +234,16 @@ impl LinkFaults {
         if self.corrupt_on.contains(&idx) {
             return AttemptVerdict::Corrupted;
         }
+        if self.duplicate_on.contains(&idx) {
+            return AttemptVerdict::Duplicated {
+                latency_ms: self.latency_ms,
+            };
+        }
+        if self.reorder_on.contains(&idx) {
+            return AttemptVerdict::Reordered {
+                latency_ms: self.latency_ms,
+            };
+        }
         AttemptVerdict::Deliver {
             latency_ms: self.latency_ms,
         }
@@ -210,6 +281,20 @@ pub enum AttemptVerdict {
     DroppedResponse,
     /// The reply arrives garbled: parseable, wrong kind.
     Corrupted,
+    /// The reply is delivered *and* an identical duplicate copy arrives
+    /// one delivery slot later. Only the dedup window stands between the
+    /// duplicate and a double-applied report.
+    Duplicated {
+        /// Extra one-way latency the plan adds, ms.
+        latency_ms: u64,
+    },
+    /// The reply is delivered late, behind newer traffic: by the time it
+    /// arrives the caller has timed out and moved on, so it lands as a
+    /// stale retransmission of an already-superseded sequence number.
+    Reordered {
+        /// Extra one-way latency the plan adds, ms.
+        latency_ms: u64,
+    },
 }
 
 /// What the node-side service loop does with a received request,
@@ -350,8 +435,8 @@ impl RetryPolicy {
 /// The cloud's handle to one node.
 pub struct Link {
     /// `None` once a clean [`Link::shutdown`] has closed the channel.
-    tx: Option<Sender<Request>>,
-    rx: Receiver<Response>,
+    tx: Option<Sender<Sequenced<Request>>>,
+    rx: Receiver<Sequenced<Response>>,
     /// Cloud-side fault plan (drops, bursts, latency, corruption). The
     /// node-side knobs (`hang_on`, `crash_after`) were cloned into the
     /// service thread at spawn time.
@@ -359,10 +444,22 @@ pub struct Link {
     /// Fallback reply deadline for bare [`Link::call`]; retry paths use
     /// the policy's per-kind budgets instead.
     pub timeout: Duration,
+    /// Envelope node id (FNV-1a of the node name), stamped on every
+    /// request.
+    node_id: u64,
     rng: ChaCha8Rng,
     handle: Option<JoinHandle<()>>,
     sent: u64,
     stats: LinkStats,
+    /// Replies the fault plan held back (duplicates, reordered frames);
+    /// they "arrive" at the next attempt and are drained as stale.
+    stale_pending: Vec<Sequenced<Response>>,
+    /// Per-node dedup window: the most recent sequence numbers whose
+    /// reply was accepted. A reply whose seq is not the one in flight —
+    /// or is already in this window — is stale and never reaches a
+    /// cloud handler, which is what makes every handler idempotent
+    /// under at-least-once delivery.
+    accepted: VecDeque<u64>,
 }
 
 impl Link {
@@ -370,7 +467,11 @@ impl Link {
     /// reply, using the link's default [`timeout`](Self::timeout).
     pub fn call(&mut self, request: Request) -> Result<Response, LinkError> {
         let timeout = self.timeout;
-        self.attempt(request, timeout)
+        let out = self.attempt(request, timeout);
+        if out.is_ok() {
+            self.stats.first_try_ok += 1;
+        }
+        out
     }
 
     /// One wire attempt with an explicit reply deadline.
@@ -379,7 +480,11 @@ impl Link {
         request: Request,
         timeout: Duration,
     ) -> Result<Response, LinkError> {
-        self.attempt(request, timeout)
+        let out = self.attempt(request, timeout);
+        if out.is_ok() {
+            self.stats.first_try_ok += 1;
+        }
+        out
     }
 
     /// Call with retries under `policy`: per-kind timeout budget,
@@ -403,7 +508,14 @@ impl Link {
                 }
             }
             match self.attempt(request.clone(), timeout) {
-                Ok(resp) => return Ok(resp),
+                Ok(resp) => {
+                    if attempt == 0 {
+                        self.stats.first_try_ok += 1;
+                    } else {
+                        self.stats.retried_ok += 1;
+                    }
+                    return Ok(resp);
+                }
                 Err(e) => {
                     let retryable = e.is_retryable();
                     last = e;
@@ -417,14 +529,27 @@ impl Link {
         Err(last)
     }
 
+    /// Record a seq as accepted in the bounded dedup window.
+    fn mark_accepted(&mut self, seq: u64) {
+        self.accepted.push_back(seq);
+        while self.accepted.len() > DEDUP_WINDOW {
+            self.accepted.pop_front();
+        }
+    }
+
     fn attempt(&mut self, request: Request, timeout: Duration) -> Result<Response, LinkError> {
         let idx = self.sent;
         self.sent += 1;
         self.stats.attempts += 1;
-        // A previous attempt may have timed out with the reply still in
-        // flight; drain anything stale so replies stay paired with
-        // requests.
-        while self.rx.try_recv().is_ok() {}
+        // Drain the dedup window's backlog: duplicated or reordered
+        // replies the fault plan held back, plus anything still sitting
+        // in the channel from an attempt that timed out. Every discard
+        // is counted — these are exactly the frames that would have
+        // double-applied effects without the envelope.
+        self.stats.stale_drained += self.stale_pending.drain(..).count() as u64;
+        while self.rx.try_recv().is_ok() {
+            self.stats.stale_drained += 1;
+        }
         let expected = request.expected_response_kind();
 
         if self.faults.burst_outages.iter().any(|b| b.covers(idx)) {
@@ -439,21 +564,45 @@ impl Link {
         if self.faults.latency_ms > 0 {
             std::thread::sleep(Duration::from_millis(self.faults.latency_ms));
         }
+        let env = Envelope {
+            node_id: self.node_id,
+            seq: idx,
+        };
         let tx = self.tx.as_ref().expect("link still open");
-        if tx.send(request).is_err() {
+        if tx
+            .send(Sequenced {
+                env,
+                body: request,
+            })
+            .is_err()
+        {
             self.stats.send_failed += 1;
             return Err(LinkError::SendFailed);
         }
-        let resp = match self.rx.recv_timeout(timeout) {
-            Ok(r) => r,
-            Err(RecvTimeoutError::Timeout) => {
-                self.stats.timeouts += 1;
-                return Err(LinkError::Timeout);
-            }
-            Err(RecvTimeoutError::Disconnected) => {
-                // The node thread died between our send and its reply.
-                self.stats.send_failed += 1;
-                return Err(LinkError::SendFailed);
+        // Wait for the reply whose envelope matches this attempt's seq;
+        // anything else that arrives inside the deadline is stale
+        // (late reply to an earlier attempt) and is drained, counted,
+        // and never surfaced to a handler.
+        let deadline = Instant::now() + timeout;
+        let sequenced = loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.rx.recv_timeout(remaining) {
+                Ok(r) => {
+                    if r.env.seq != idx || self.accepted.contains(&r.env.seq) {
+                        self.stats.stale_drained += 1;
+                        continue;
+                    }
+                    break r;
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    self.stats.timeouts += 1;
+                    return Err(LinkError::Timeout);
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // The node thread died between our send and its reply.
+                    self.stats.send_failed += 1;
+                    return Err(LinkError::SendFailed);
+                }
             }
         };
         let p_resp = self.faults.response_drop.clamp(0.0, 0.999);
@@ -461,10 +610,28 @@ impl Link {
             self.stats.dropped += 1;
             return Err(LinkError::Dropped);
         }
+        // Fault priority mirrors the offline `attempt_verdict`: corrupt,
+        // then duplicate, then reorder.
+        if !self.faults.corrupt_on.contains(&idx) {
+            if self.faults.duplicate_on.contains(&idx) {
+                // The wire delivers the reply twice; the second copy
+                // lands at the next attempt and is drained as stale.
+                self.stale_pending.push(sequenced.clone());
+            } else if self.faults.reorder_on.contains(&idx) {
+                // The reply exists but is stuck behind newer traffic: it
+                // misses this attempt's deadline and resurfaces — stale —
+                // at the next one. The node serviced the request, so a
+                // retried call costs a second serviced request, exactly
+                // as on a real at-least-once wire.
+                self.stale_pending.push(sequenced);
+                self.stats.timeouts += 1;
+                return Err(LinkError::Timeout);
+            }
+        }
         let resp = if self.faults.corrupt_on.contains(&idx) {
-            garble(resp)
+            garble(sequenced.body)
         } else {
-            resp
+            sequenced.body
         };
         if resp.kind() != expected {
             self.stats.wrong_kind += 1;
@@ -472,6 +639,7 @@ impl Link {
                 got: resp.kind().to_string(),
             });
         }
+        self.mark_accepted(idx);
         self.stats.ok += 1;
         Ok(resp)
     }
@@ -481,12 +649,24 @@ impl Link {
         self.stats
     }
 
+    /// The envelope node id this link stamps on requests.
+    pub fn node_id(&self) -> u64 {
+        self.node_id
+    }
+
     /// Shut the node down cleanly and join its thread. After this, the
     /// `Drop` impl has nothing left to do (the request channel is closed
     /// and the thread joined here).
     pub fn shutdown(mut self) {
         if let Some(tx) = &self.tx {
-            let _ = tx.send(Request::Shutdown);
+            let env = Envelope {
+                node_id: self.node_id,
+                seq: self.sent,
+            };
+            let _ = tx.send(Sequenced {
+                env,
+                body: Request::Shutdown,
+            });
         }
         // Drain the Bye; capped so a node that swallowed the Shutdown (a
         // hang fault) cannot wedge us for the full call timeout.
@@ -508,7 +688,14 @@ impl Drop for Link {
         // gone and this is a no-op.
         let Some(h) = self.handle.take() else { return };
         if let Some(tx) = self.tx.take() {
-            let _ = tx.send(Request::Shutdown);
+            let env = Envelope {
+                node_id: self.node_id,
+                seq: self.sent,
+            };
+            let _ = tx.send(Sequenced {
+                env,
+                body: Request::Shutdown,
+            });
             // Dropping `tx` disconnects the channel, so the node exits
             // even if a fault swallowed the Shutdown request.
         }
@@ -528,8 +715,9 @@ fn garble(resp: Response) -> Response {
 /// Start a node agent on its own thread under a fault plan and return
 /// the cloud-side link.
 pub fn spawn_node_with_faults(agent: NodeAgent, faults: LinkFaults, link_seed: u64) -> Link {
-    let (req_tx, req_rx) = bounded::<Request>(4);
-    let (resp_tx, resp_rx) = bounded::<Response>(4);
+    let (req_tx, req_rx) = bounded::<Sequenced<Request>>(4);
+    let (resp_tx, resp_rx) = bounded::<Sequenced<Response>>(4);
+    let node_id = node_id_for(&agent.claims.name);
     let crash_after = faults.crash_after;
     let hang_on = faults.hang_on.clone();
     let handle = std::thread::Builder::new()
@@ -545,9 +733,15 @@ pub fn spawn_node_with_faults(agent: NodeAgent, faults: LinkFaults, link_seed: u
                 if hang_on.contains(&idx) {
                     continue; // wedged mid-request: swallow, never reply
                 }
-                let shutdown = matches!(req, Request::Shutdown);
-                let resp = agent.handle(&req);
-                if resp_tx.send(resp).is_err() || shutdown {
+                let shutdown = matches!(req.body, Request::Shutdown);
+                let resp = agent.handle(&req.body);
+                // Echo the request envelope verbatim: the cloud matches
+                // replies to attempts by seq.
+                let sequenced = Sequenced {
+                    env: req.env,
+                    body: resp,
+                };
+                if resp_tx.send(sequenced).is_err() || shutdown {
                     break;
                 }
             }
@@ -558,10 +752,13 @@ pub fn spawn_node_with_faults(agent: NodeAgent, faults: LinkFaults, link_seed: u
         rx: resp_rx,
         faults,
         timeout: Duration::from_secs(120),
+        node_id,
         rng: ChaCha8Rng::seed_from_u64(link_seed),
         handle: Some(handle),
         sent: 0,
         stats: LinkStats::default(),
+        stale_pending: Vec::new(),
+        accepted: VecDeque::new(),
     }
 }
 
@@ -767,6 +964,100 @@ mod tests {
         assert_eq!(sched[1], Duration::from_millis(200));
         assert_eq!(sched[2], Duration::from_millis(400));
         assert_eq!(sched[3], Duration::from_millis(800));
+    }
+
+    #[test]
+    fn duplicated_reply_is_drained_not_double_applied() {
+        let faults = LinkFaults {
+            duplicate_on: vec![0],
+            ..LinkFaults::none()
+        };
+        let mut link = spawn_node_with_faults(agent(ScenarioKind::OpenField), faults, 20);
+        let resp = link.call(Request::Describe).expect("original delivered");
+        assert_eq!(resp.kind(), "description");
+        // The duplicate copy surfaces at the next attempt and is drained
+        // by the dedup window instead of being surfaced as a reply.
+        let resp = link.call(Request::Describe).expect("second call clean");
+        assert_eq!(resp.kind(), "description");
+        let stats = link.stats();
+        assert_eq!(stats.ok, 2);
+        assert_eq!(stats.stale_drained, 1, "the duplicate was discarded");
+        assert_eq!(stats.first_try_ok, 2);
+        link.shutdown();
+    }
+
+    #[test]
+    fn reordered_reply_times_out_then_retry_succeeds() {
+        let faults = LinkFaults {
+            reorder_on: vec![0],
+            ..LinkFaults::none()
+        };
+        let mut link = spawn_node_with_faults(agent(ScenarioKind::OpenField), faults, 21);
+        let policy = RetryPolicy::quick();
+        let resp = link
+            .call_with_retry(Request::Describe, &policy)
+            .expect("retry lands after the reordered original");
+        assert_eq!(resp.kind(), "description");
+        let stats = link.stats();
+        assert_eq!(stats.attempts, 2);
+        assert_eq!(stats.timeouts, 1, "the reordered reply missed its deadline");
+        assert_eq!(stats.ok, 1);
+        assert_eq!(stats.stale_drained, 1, "the late original was discarded");
+        assert_eq!(stats.retried_ok, 1);
+        assert_eq!(stats.first_try_ok, 0);
+        link.shutdown();
+    }
+
+    #[test]
+    fn first_try_and_retried_successes_counted_apart() {
+        let faults = LinkFaults {
+            burst_outages: vec![BurstOutage { start: 1, len: 1 }],
+            ..LinkFaults::none()
+        };
+        let mut link = spawn_node_with_faults(agent(ScenarioKind::OpenField), faults, 22);
+        let policy = RetryPolicy::quick();
+        link.call_with_retry(Request::Describe, &policy)
+            .expect("attempt 0 clean");
+        link.call_with_retry(Request::Describe, &policy)
+            .expect("attempt 1 dropped, attempt 2 succeeds");
+        let stats = link.stats();
+        assert_eq!(stats.first_try_ok, 1);
+        assert_eq!(stats.retried_ok, 1);
+        assert_eq!(stats.calls_ok(), 2);
+        assert!((stats.retried_fraction() - 0.5).abs() < 1e-12);
+        link.shutdown();
+    }
+
+    #[test]
+    fn offline_verdicts_cover_duplicate_and_reorder() {
+        let faults = LinkFaults {
+            duplicate_on: vec![1],
+            reorder_on: vec![2],
+            latency_ms: 3,
+            ..LinkFaults::none()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(
+            faults.attempt_verdict(0, &mut rng),
+            AttemptVerdict::Deliver { latency_ms: 3 }
+        );
+        assert_eq!(
+            faults.attempt_verdict(1, &mut rng),
+            AttemptVerdict::Duplicated { latency_ms: 3 }
+        );
+        assert_eq!(
+            faults.attempt_verdict(2, &mut rng),
+            AttemptVerdict::Reordered { latency_ms: 3 }
+        );
+    }
+
+    #[test]
+    fn envelope_node_id_is_stable() {
+        assert_eq!(node_id_for("rooftop"), node_id_for("rooftop"));
+        assert_ne!(node_id_for("rooftop"), node_id_for("indoor"));
+        let link = spawn_node(agent(ScenarioKind::OpenField), 0.0, 23);
+        assert_eq!(link.node_id(), node_id_for("open-field"));
+        link.shutdown();
     }
 
     #[test]

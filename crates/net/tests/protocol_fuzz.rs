@@ -9,7 +9,9 @@
 //!
 //! The corpus under `tests/corpus/` commits one well-formed frame per
 //! message kind plus hand-written adversarial seeds (extreme numbers,
-//! wrong types, trailing garbage, truncation, invalid UTF-8). Each seed
+//! wrong types, trailing garbage, truncation, invalid UTF-8), and
+//! `wal_`-prefixed binary seeds exercising the write-ahead journal's
+//! crash-recovery scan ([`Journal::open`] must be total too). Each seed
 //! is then pushed through a fixed budget of deterministic mutations —
 //! byte flips, truncations, splices, insertions — from a ChaCha8 stream
 //! keyed by the file name, so every CI run fuzzes the exact same
@@ -17,6 +19,7 @@
 //! budget keeps the whole suite a bounded tier-1 `cargo test`, per the
 //! deterministic-simulation-testing posture of the repo.
 
+use aircal_core::wal::{Journal, WalRecord};
 use aircal_net::{Request, Response};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -155,5 +158,192 @@ fn mutated_frames_never_panic_the_decoder() {
     assert!(
         decoded >= 25,
         "only {decoded} mutants decoded — mutations too destructive to cover success paths"
+    );
+}
+
+/// Salt separating the WAL mutation streams from the JSON ones, so the
+/// two fuzz tests never share mutants for a same-named seed.
+const WAL_STREAM_SALT: u64 = 0x0057_414C; // "WAL"
+
+/// The committed WAL seeds, built in code: a canonical journal holding
+/// one record per variant the cloud writes (small segment cap, so the
+/// frames span several segments), a torn-tail copy cut mid-frame, and a
+/// copy with one bit flipped in the middle (CRC mismatch partway in).
+fn wal_seed_journals() -> Vec<(&'static str, Vec<u8>)> {
+    let mut j = Journal::new(96);
+    j.append(&WalRecord::RoundStarted { seed: 0xA1B2, tick: 7 });
+    j.append(&WalRecord::StepOutcome {
+        node: "node-3".into(),
+        step: "survey".into(),
+        ok: true,
+        attempts: 2,
+    });
+    j.append(&WalRecord::TrustDelta {
+        node: "node-3".into(),
+        score_bits: 0.875f64.to_bits(),
+        delta_bits: (-0.125f64).to_bits(),
+    });
+    j.append(&WalRecord::LadderTransition {
+        node: "node-3".into(),
+        from: 0,
+        to: 1,
+        consecutive: 2,
+    });
+    j.append(&WalRecord::ProfileUpdate {
+        node: "node-3".into(),
+        fingerprint: 0xDEAD_BEEF,
+    });
+    j.append(&WalRecord::NodeState {
+        node: "node-3".into(),
+        state: vec![1, 2, 3, 4, 5],
+    });
+    j.append(&WalRecord::Dispatch {
+        node: 3,
+        kind: 1,
+        seq: 9,
+        tick: 11,
+    });
+    j.append(&WalRecord::ReportApplied {
+        node: 3,
+        kind: 1,
+        seq: 9,
+        value_bits: (-61.5f64).to_bits(),
+        tick: 14,
+    });
+    j.append(&WalRecord::AuditApplied {
+        node: 3,
+        trust_bits: 1.0f64.to_bits(),
+        health: 0,
+    });
+    j.append(&WalRecord::SnapshotTaken {
+        tick: 14,
+        state_crc: 0x1234_5678,
+    });
+    j.append(&WalRecord::RoundCompleted {
+        seed: 0xA1B2,
+        effects: 4,
+    });
+    j.append(&WalRecord::DeliveryFailed {
+        node: 3,
+        kind: 2,
+        seq: 10,
+        tick: 15,
+    });
+    j.sync();
+    let clean = j.to_bytes();
+
+    let mut torn = clean.clone();
+    torn.truncate(clean.len() - 5);
+    let mut flipped = clean.clone();
+    let mid = clean.len() / 2;
+    flipped[mid] ^= 0x40;
+
+    vec![
+        ("wal_clean_journal.bin", clean),
+        ("wal_torn_tail.bin", torn),
+        ("wal_bitflip_mid.bin", flipped),
+    ]
+}
+
+/// The committed `wal_` seeds must match what the in-code builder
+/// produces — a codec change that silently re-frames the journal would
+/// otherwise leave the corpus fuzzing stale bytes. Regenerate with
+/// `UPDATE_CORPUS=1 cargo test -p aircal-net --test protocol_fuzz`.
+#[test]
+fn wal_corpus_seeds_match_committed() {
+    for (name, bytes) in wal_seed_journals() {
+        let path = corpus_dir().join(name);
+        if std::env::var_os("UPDATE_CORPUS").is_some() {
+            std::fs::write(&path, &bytes).unwrap();
+            continue;
+        }
+        let committed = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("{name}: missing committed seed (run UPDATE_CORPUS=1): {e}"));
+        assert_eq!(committed, bytes, "{name}: committed WAL seed diverged from the codec");
+    }
+}
+
+/// WAL crash-recovery fuzz: [`Journal::open`] over every `wal_` seed,
+/// every byte-truncation of every seed, and the per-seed mutation
+/// budget. It must be total (no panic), recover only frame-boundary
+/// prefixes (truncating the input never yields records the full input
+/// didn't), and be idempotent (reopening its own recovered bytes loses
+/// nothing).
+#[test]
+fn wal_frames_recover_longest_valid_prefix_and_never_panic() {
+    let wal_seeds: Vec<(String, Vec<u8>)> = corpus()
+        .into_iter()
+        .filter(|(n, _)| n.starts_with("wal_"))
+        .collect();
+    assert!(
+        wal_seeds.len() >= 3,
+        "WAL corpus went missing: only {} wal_ seeds",
+        wal_seeds.len()
+    );
+
+    for (name, bytes) in &wal_seeds {
+        let full = Journal::open(bytes, 96).0.records();
+
+        // Every truncation recovers a (monotonically growing) prefix of
+        // the full recovery: the scan can only stop earlier, never
+        // invent records past a cut.
+        let mut prev = 0usize;
+        for cut in 0..=bytes.len() {
+            let (j, report) = Journal::open(&bytes[..cut], 96);
+            let records = j.records();
+            assert_eq!(
+                report.recovered as usize,
+                records.len(),
+                "{name}@{cut}: open report disagrees with the journal it built"
+            );
+            assert!(
+                records.len() >= prev,
+                "{name}@{cut}: recovery went backwards as bytes were added"
+            );
+            assert_eq!(
+                records.as_slice(),
+                &full[..records.len()],
+                "{name}@{cut}: truncated input recovered a non-prefix"
+            );
+            prev = records.len();
+        }
+    }
+
+    // The fuzz proper: deterministic mutants, on a stream salted away
+    // from the JSON decoder's mutants for the same file names.
+    let mut mutants = 0u64;
+    let mut recovered_some = 0u64;
+    for (name, bytes) in &wal_seeds {
+        let mut rng = ChaCha8Rng::seed_from_u64(fnv(name.as_bytes()) ^ WAL_STREAM_SALT);
+        for _ in 0..MUTATIONS_PER_SEED {
+            let mutant = mutate(bytes, &mut rng);
+            let (j, report) = Journal::open(&mutant, 96);
+            let records = j.records();
+            assert_eq!(
+                report.recovered as usize,
+                records.len(),
+                "{name}: open report disagrees with the journal it built"
+            );
+            // Idempotence: the recovered prefix is itself fully valid.
+            let (j2, report2) = Journal::open(&j.to_bytes(), 96);
+            assert_eq!(
+                report2.truncated_bytes, 0,
+                "{name}: recovered bytes were not self-clean"
+            );
+            assert_eq!(j2.records(), records, "{name}: recovery is not idempotent");
+            if report.recovered > 0 {
+                recovered_some += 1;
+            }
+            mutants += 1;
+        }
+    }
+    assert_eq!(
+        mutants,
+        wal_seeds.len() as u64 * MUTATIONS_PER_SEED as u64,
+        "bounded budget: every WAL seed gets exactly its share"
+    );
+    assert!(
+        recovered_some >= 25,
+        "only {recovered_some} mutants recovered any records — mutations too destructive"
     );
 }

@@ -31,6 +31,7 @@
 
 use crate::event::{EventKind, EventQueue, SimEvent, TaskKind};
 use crate::scheduler::{FleetView, NodeView, Scheduler, SchedulerKind};
+use aircal_core::wal::{Journal, WalRecord};
 use aircal_dsp::{derive_stream_seed, par_map};
 use aircal_net::{AttemptVerdict, HealthLadder, HealthPolicy, LinkFaults, NodeHealth, NodeVerdict};
 use aircal_obs::Obs;
@@ -48,6 +49,20 @@ const FAULT_SALT: u64 = 0xFA17_C0DE_0000_0001;
 const LINK_SALT: u64 = 0x4C49_4E4B_0000_0001; // "LINK"
 const MEAS_SALT: u64 = 0x4D45_4153_5552_4531; // "MEASURE1"
 
+/// Stable tie-break key salts (see [`EventQueue::push_keyed`]): every
+/// event is keyed by *what it is*, never by creation order, so a run
+/// with injected duplicates/replays/backlog re-pushes orders its shared
+/// events identically to a fault-free run — the foundation of the
+/// exactly-once bit-identity property.
+const KEY_SCHED: u64 = 0x5343_4845_4400_0001; // "SCHED"
+const KEY_AUDIT: u64 = 0x4155_4449_5400_0001; // "AUDIT"
+const KEY_TASK: u64 = 0x5441_534B_0000_0001; // "TASK"
+const KEY_REPLAY: u64 = 0x5245_504C_4159_0001; // "REPLAY"
+const KEY_BACKLOG: u64 = 0x4241_434B_4C4F_4701; // "BACKLOG"
+const KEY_PART: u64 = 0x5041_5254_0000_0001; // "PART"
+const KEY_CRASH: u64 = 0x4352_4153_4800_0001; // "CRASH"
+const KEY_END: u64 = 0x454E_4400_0000_0001; // "END"
+
 /// FNV-1a offset basis / prime, for the event-log digest chain.
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -60,11 +75,24 @@ fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
     h
 }
 
-/// A measurement payload: pure function of `(campaign seed, event id,
-/// node truth)`. Safe to compute on any worker thread — it derives its
-/// own RNG stream from the event id.
-fn measure_payload(meas_seed: u64, event_id: u64, base: &[f64], offset_db: f64) -> Vec<f64> {
-    let mut rng = ChaCha8Rng::seed_from_u64(derive_stream_seed(meas_seed, event_id));
+/// Stable identity of one delivered report: a pure hash of `(node,
+/// kind, seq)`. Used both as the event's tie-break key and (with
+/// [`KEY_REPLAY`]/[`KEY_BACKLOG`] folded in) for its injected copies.
+fn task_key(node: u32, kind: TaskKind, seq: u64) -> u64 {
+    let mut h = fnv1a(KEY_TASK, &node.to_le_bytes());
+    h = fnv1a(h, &[kind.index() as u8]);
+    fnv1a(h, &seq.to_le_bytes())
+}
+
+/// A measurement payload: pure function of `(campaign seed, node,
+/// dispatch seq, node truth)`. Safe to compute on any worker thread —
+/// it derives its own RNG stream from the dispatch identity, so a
+/// duplicated or retransmitted delivery of the same `(node, seq)`
+/// carries bit-identical data (as a retransmission of one capture
+/// does), and injecting extra events never shifts any other payload.
+fn measure_payload(meas_seed: u64, node: u32, seq: u64, base: &[f64], offset_db: f64) -> Vec<f64> {
+    let node_stream = derive_stream_seed(meas_seed, node as u64);
+    let mut rng = ChaCha8Rng::seed_from_u64(derive_stream_seed(node_stream, seq));
     base.iter()
         .map(|b| {
             // Sum of two uniforms: triangular, sigma ~ 0.4 dB.
@@ -110,6 +138,58 @@ impl Default for FleetFaultsConfig {
     }
 }
 
+/// One scheduled network partition: the node subset `id % modulus ==
+/// remainder` is severed from the cloud between `start_tick` and
+/// `heal_tick`. Partitioned nodes are skipped by the scheduler; reports
+/// already in flight toward the cloud are backlogged and drain at the
+/// heal tick.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionSpec {
+    pub start_tick: u64,
+    pub heal_tick: u64,
+    /// Subset selector modulus (0 is treated as "no nodes").
+    pub modulus: u32,
+    /// Subset selector remainder.
+    pub remainder: u32,
+}
+
+/// Cloud-side failure schedule: process crashes, restart delay, and
+/// network partitions, plus per-node at-least-once delivery chaos
+/// (duplicated frames and stale retransmissions). All empty by default
+/// — a config with `RecoveryFaultsConfig::default()` runs exactly the
+/// fault profile earlier revisions ran.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryFaultsConfig {
+    /// Virtual ticks at which the cloud process dies and recovers from
+    /// snapshot + journal.
+    pub crash_ticks: Vec<u64>,
+    /// Ticks of downtime before a crashed cloud resumes scheduling and
+    /// audits. With 0 the recovery is transparent to the virtual
+    /// schedule (state is still torn down and rebuilt from the journal,
+    /// and the safety invariant still checks recovered ≡ live).
+    pub restart_delay_ticks: u64,
+    /// Scheduled network partitions.
+    pub partitions: Vec<PartitionSpec>,
+    /// Fraction of nodes whose link duplicates one seeded delivery
+    /// (the report arrives twice; the dedup guard must drop the copy).
+    pub duplicate_fraction: f64,
+    /// Fraction of nodes whose link retransmits one stale,
+    /// already-applied report out of order.
+    pub reorder_fraction: f64,
+}
+
+impl Default for RecoveryFaultsConfig {
+    fn default() -> Self {
+        Self {
+            crash_ticks: Vec::new(),
+            restart_delay_ticks: 0,
+            partitions: Vec::new(),
+            duplicate_fraction: 0.0,
+            reorder_fraction: 0.0,
+        }
+    }
+}
+
 /// Everything that defines a campaign. Two equal configs replay
 /// bit-identically; `workers` is explicitly *not* part of the outcome.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -134,6 +214,12 @@ pub struct CampaignConfig {
     /// always computed either way.
     pub record_log: bool,
     pub faults: FleetFaultsConfig,
+    /// Cloud crash/partition/at-least-once delivery schedule.
+    pub recovery: RecoveryFaultsConfig,
+    /// Check safety invariants (exactly-once accounting, journal chain
+    /// continuity, recovered ≡ live state) during the run; violations
+    /// land in [`CampaignResult::invariant_violations`].
+    pub monitor_invariants: bool,
 }
 
 impl CampaignConfig {
@@ -153,6 +239,8 @@ impl CampaignConfig {
             max_ticks: 1200,
             record_log: false,
             faults: FleetFaultsConfig::default(),
+            recovery: RecoveryFaultsConfig::default(),
+            monitor_invariants: true,
         }
     }
 }
@@ -183,6 +271,30 @@ pub struct CampaignResult {
     pub crashed_nodes: usize,
     /// Audit rounds that flagged at least one anomalous profile.
     pub anomaly_flags: u64,
+    /// FNV-1a digest over the final *cloud-side* state only (trust,
+    /// ladders, profiles, dedup high-water marks, scheduler views).
+    /// Unlike `digest` it ignores the event log, so a run with injected
+    /// duplicates/replays/crashes must match its fault-free twin here
+    /// bit-for-bit — the exactly-once acceptance property.
+    pub state_digest: String,
+    /// Cloud crash/recovery cycles completed.
+    pub recoveries: u64,
+    /// Journal records replayed across all recoveries.
+    pub replayed_records: u64,
+    /// Virtual ticks of cloud downtime across all crashes.
+    pub recovery_ticks: u64,
+    /// Journal appends / sync barriers over the whole campaign.
+    pub wal_appends: u64,
+    pub wal_syncs: u64,
+    /// Reports deferred by a partition or cloud downtime, drained later.
+    pub backlogged_reports: u64,
+    /// At-least-once re-deliveries dropped by the dedup guard.
+    pub deduped_reports: u64,
+    /// Deliveries the link layer duplicated / retransmitted stale.
+    pub duplicated_deliveries: u64,
+    pub reordered_deliveries: u64,
+    /// Safety-invariant violations (empty on a correct engine).
+    pub invariant_violations: Vec<String>,
     /// Final health state census, keyed by state name.
     pub health_counts: BTreeMap<String, usize>,
     /// Final per-node trust scores as IEEE-754 bit patterns, indexed by
@@ -216,6 +328,9 @@ impl CampaignResult {
         s.push_str(&format!("  \"corrupt_deliveries\": {},\n", self.corrupt_deliveries));
         s.push_str(&format!("  \"crashed_nodes\": {},\n", self.crashed_nodes));
         s.push_str(&format!("  \"anomaly_flags\": {},\n", self.anomaly_flags));
+        s.push_str(&format!("  \"state_digest\": \"{}\",\n", self.state_digest));
+        s.push_str(&format!("  \"recoveries\": {},\n", self.recoveries));
+        s.push_str(&format!("  \"deduped_reports\": {},\n", self.deduped_reports));
         let health: Vec<String> = self
             .health_counts
             .iter()
@@ -253,6 +368,69 @@ struct SimNode {
     completed_since_audit: u32,
     /// Kinds ever completed (coverage accounting).
     covered: [bool; 3],
+    /// Cloud-assigned per-node dispatch sequence counter.
+    next_seq: u64,
+    /// Highest applied sequence number per kind — the dedup high-water
+    /// mark that turns at-least-once delivery into exactly-once effects.
+    last_applied_seq: [Option<u64>; 3],
+    /// Last applied report `(kind, seq)`, the thing a reordering link
+    /// retransmits stale.
+    last_report: Option<(TaskKind, u64)>,
+    /// Severed from the cloud until this tick, if partitioned
+    /// (network-side truth; survives cloud crashes).
+    partitioned_until: Option<u64>,
+}
+
+/// Cloud-side slice of one node's state, as captured by a checkpoint
+/// snapshot. Everything here is lost when the cloud process crashes and
+/// must be rebuilt from snapshot + journal; everything *not* here
+/// (link fault schedules, RNG streams, daemon liveness, the true
+/// calibration offset) lives on the node/network side and survives.
+#[derive(Clone)]
+struct CloudNodeState {
+    ladder: HealthLadder,
+    trust: f64,
+    profile_mean: [Option<f64>; 3],
+    fresh: [bool; 3],
+    dispatched_since_audit: u32,
+    completed_since_audit: u32,
+    covered: [bool; 3],
+    next_seq: u64,
+    last_applied_seq: [Option<u64>; 3],
+    last_report: Option<(TaskKind, u64)>,
+}
+
+/// A checkpoint of the whole cloud process, taken after every audit
+/// round (and once at campaign start). [`Campaign::recover_cloud`]
+/// restores the latest snapshot and replays the journal's records onto
+/// it.
+#[derive(Clone)]
+struct CloudSnapshot {
+    nodes: Vec<CloudNodeState>,
+    views: Vec<NodeView>,
+    scheduler_cursor: u64,
+    covered_count: usize,
+    coverage90_tick: Option<u64>,
+    /// Running FNV chain over every journal record ever appended, at
+    /// snapshot time. Replay must extend this to the live chain value —
+    /// the "ledger hash-chain unbroken across restarts" invariant.
+    journal_chain: u64,
+}
+
+/// Safety monitor: collects invariant violations instead of panicking,
+/// so a campaign result can report them and tests/gates can assert the
+/// list is empty.
+#[derive(Debug, Default)]
+struct InvariantMonitor {
+    violations: Vec<String>,
+}
+
+impl InvariantMonitor {
+    fn violation(&mut self, msg: String) {
+        if self.violations.len() < 64 {
+            self.violations.push(msg);
+        }
+    }
 }
 
 struct Campaign<'a> {
@@ -277,6 +455,27 @@ struct Campaign<'a> {
     corrupt_deliveries: u64,
     crashed_nodes: usize,
     anomaly_flags: u64,
+    /// Write-ahead journal of cloud-side effects since the last
+    /// checkpoint (reset at every snapshot, like a real WAL after a
+    /// checkpoint fsync).
+    journal: Journal,
+    /// Running FNV chain over every record ever appended to the journal.
+    journal_chain: u64,
+    last_snapshot: Option<CloudSnapshot>,
+    /// While `Some(t)`, the cloud is down until tick `t`: scheduling
+    /// and audits are skipped and arriving reports are backlogged.
+    cloud_down_until: Option<u64>,
+    monitor: InvariantMonitor,
+    recoveries: u64,
+    replayed_records: u64,
+    recovery_ticks: u64,
+    backlogged_reports: u64,
+    deduped_reports: u64,
+    duplicated_deliveries: u64,
+    reordered_deliveries: u64,
+    /// Replay deliveries injected (duplicate copies + stale
+    /// retransmissions); every one must be deduped, none applied.
+    injected_replays: u64,
 }
 
 impl<'a> Campaign<'a> {
@@ -303,6 +502,16 @@ impl<'a> Campaign<'a> {
             let miscal = rng.gen_range(0.0..1.0) < f.miscalibrated_fraction;
             let crash_after = 2 + (rng.gen_range(0.0..1.0) * 30.0) as u64;
             let corrupt_idx = (rng.gen_range(0.0..1.0) * 8.0) as u64;
+            // At-least-once delivery chaos (drawn after the legacy
+            // faults so their streams are untouched): which nodes get a
+            // duplicated or stale-retransmitted delivery, and at which
+            // wire attempt. Membership checks draw no RNG, so enabling
+            // these never shifts any other node's fault verdicts.
+            let r = &cfg.recovery;
+            let duplicating = rng.gen_range(0.0..1.0) < r.duplicate_fraction;
+            let duplicate_idx = (rng.gen_range(0.0..1.0) * 12.0) as u64;
+            let reordering = rng.gen_range(0.0..1.0) < r.reorder_fraction;
+            let reorder_idx = 1 + (rng.gen_range(0.0..1.0) * 12.0) as u64;
             let faults = LinkFaults {
                 request_drop: if lossy { f.drop_probability * 0.7 } else { 0.0 },
                 response_drop: if lossy { f.drop_probability * 0.3 } else { 0.0 },
@@ -311,6 +520,8 @@ impl<'a> Campaign<'a> {
                 crash_after: if crashy { Some(crash_after) } else { None },
                 hang_on: Vec::new(),
                 corrupt_on: if corrupting { vec![corrupt_idx] } else { Vec::new() },
+                duplicate_on: if duplicating { vec![duplicate_idx] } else { Vec::new() },
+                reorder_on: if reordering { vec![reorder_idx] } else { Vec::new() },
             };
             nodes.push(SimNode {
                 faults,
@@ -326,6 +537,10 @@ impl<'a> Campaign<'a> {
                 dispatched_since_audit: 0,
                 completed_since_audit: 0,
                 covered: [false; 3],
+                next_seq: 0,
+                last_applied_seq: [None; 3],
+                last_report: None,
+                partitioned_until: None,
             });
         }
         let views = vec![NodeView::fresh(); cfg.nodes];
@@ -352,6 +567,19 @@ impl<'a> Campaign<'a> {
             corrupt_deliveries: 0,
             crashed_nodes: 0,
             anomaly_flags: 0,
+            journal: Journal::default(),
+            journal_chain: FNV_OFFSET,
+            last_snapshot: None,
+            cloud_down_until: None,
+            monitor: InvariantMonitor::default(),
+            recoveries: 0,
+            replayed_records: 0,
+            recovery_ticks: 0,
+            backlogged_reports: 0,
+            deduped_reports: 0,
+            duplicated_deliveries: 0,
+            reordered_deliveries: 0,
+            injected_replays: 0,
         }
     }
 
@@ -361,6 +589,190 @@ impl<'a> Campaign<'a> {
         if self.cfg.record_log {
             self.log.push(line);
         }
+    }
+
+    /// Append one effect record to the write-ahead journal, extending
+    /// the hash chain. Called *before* the effect is applied.
+    fn journal_append(&mut self, record: WalRecord) {
+        self.journal_chain = fnv1a(self.journal_chain, &record.encode());
+        self.journal.append(&record);
+    }
+
+    /// Is the cloud process down (crashed, restart pending) at `now`?
+    fn cloud_down(&self, now: u64) -> bool {
+        self.cloud_down_until.is_some_and(|t| now < t)
+    }
+
+    /// If deliveries from `node` cannot reach a live cloud at `now`,
+    /// the tick they should be deferred to.
+    fn deferred_until(&self, node: u32, now: u64) -> Option<u64> {
+        let partition = self.nodes[node as usize]
+            .partitioned_until
+            .filter(|&t| now < t);
+        let down = self.cloud_down_until.filter(|&t| now < t);
+        partition.max(down)
+    }
+
+    fn cloud_node_state_of(n: &SimNode) -> CloudNodeState {
+        CloudNodeState {
+            ladder: n.ladder,
+            trust: n.trust,
+            profile_mean: n.profile_mean,
+            fresh: n.fresh,
+            dispatched_since_audit: n.dispatched_since_audit,
+            completed_since_audit: n.completed_since_audit,
+            covered: n.covered,
+            next_seq: n.next_seq,
+            last_applied_seq: n.last_applied_seq,
+            last_report: n.last_report,
+        }
+    }
+
+    /// FNV digest over every cloud-side structure — the witness for
+    /// both the recovery safety check (recovered ≡ live) and the
+    /// cross-run exactly-once property (faulty ≡ fault-free).
+    fn cloud_state_digest(&self) -> u64 {
+        fn fold_opt_u64(h: u64, v: Option<u64>) -> u64 {
+            match v {
+                Some(x) => fnv1a(fnv1a(h, &[1]), &x.to_le_bytes()),
+                None => fnv1a(h, &[0]),
+            }
+        }
+        let mut h = FNV_OFFSET;
+        for (n, v) in self.nodes.iter().zip(&self.views) {
+            h = fnv1a(h, &n.trust.to_bits().to_le_bytes());
+            h = fnv1a(h, &n.ladder.consecutive_failures.to_le_bytes());
+            h = fnv1a(h, &n.ladder.consecutive_anomalies.to_le_bytes());
+            h = fnv1a(h, &[n.ladder.health().severity()]);
+            for ki in 0..3 {
+                h = fold_opt_u64(h, n.profile_mean[ki].map(f64::to_bits));
+                h = fold_opt_u64(h, n.last_applied_seq[ki]);
+                h = fnv1a(h, &[n.fresh[ki] as u8, n.covered[ki] as u8]);
+                h = fold_opt_u64(h, v.last_update[ki]);
+                h = fold_opt_u64(h, v.in_flight[ki]);
+            }
+            h = fnv1a(h, &n.dispatched_since_audit.to_le_bytes());
+            h = fnv1a(h, &n.completed_since_audit.to_le_bytes());
+            h = fnv1a(h, &n.next_seq.to_le_bytes());
+            h = match n.last_report {
+                Some((k, s)) => fnv1a(fnv1a(h, &[1, k.index() as u8]), &s.to_le_bytes()),
+                None => fnv1a(h, &[0]),
+            };
+            h = fnv1a(h, &[v.alive as u8]);
+        }
+        h = fnv1a(h, &self.scheduler.cursor_state().to_le_bytes());
+        h = fnv1a(h, &(self.covered_count as u64).to_le_bytes());
+        fold_opt_u64(h, self.coverage90_tick)
+    }
+
+    /// Checkpoint: commit the journal, snapshot every cloud-side
+    /// structure, and reset the journal (the snapshot now covers all of
+    /// it) — opening the fresh journal with a `SnapshotTaken` marker.
+    fn checkpoint(&mut self, now: u64) {
+        self.journal.sync();
+        let snap = CloudSnapshot {
+            nodes: self.nodes.iter().map(Self::cloud_node_state_of).collect(),
+            views: self.views.clone(),
+            scheduler_cursor: self.scheduler.cursor_state(),
+            covered_count: self.covered_count,
+            coverage90_tick: self.coverage90_tick,
+            journal_chain: self.journal_chain,
+        };
+        let state_crc = self.cloud_state_digest() as u32;
+        self.last_snapshot = Some(snap);
+        self.journal.reset();
+        self.journal_append(WalRecord::SnapshotTaken { tick: now, state_crc });
+        self.journal.sync();
+    }
+
+    /// Replay one journal record onto the restored snapshot. Only the
+    /// between-checkpoint effect records (dispatches and applied
+    /// reports) ever need replaying: audit effects are always followed
+    /// by a checkpoint in the same event, so they never sit in the
+    /// journal's live tail.
+    fn replay_record(&mut self, record: &WalRecord) {
+        match *record {
+            WalRecord::Dispatch { node, kind, seq, tick } => {
+                let ni = node as usize;
+                let ki = kind as usize;
+                self.views[ni].in_flight[ki] = Some(tick);
+                let n = &mut self.nodes[ni];
+                n.dispatched_since_audit += 1;
+                n.next_seq = n.next_seq.max(seq + 1);
+            }
+            WalRecord::ReportApplied { node, kind, seq, value_bits, tick } => {
+                let ni = node as usize;
+                let ki = kind as usize;
+                self.views[ni].in_flight[ki] = None;
+                self.views[ni].last_update[ki] = Some(tick);
+                let n = &mut self.nodes[ni];
+                n.profile_mean[ki] = Some(f64::from_bits(value_bits));
+                n.fresh[ki] = true;
+                n.completed_since_audit += 1;
+                n.last_applied_seq[ki] = Some(n.last_applied_seq[ki].map_or(seq, |h| h.max(seq)));
+                n.last_report = Some((TaskKind::ALL[ki], seq));
+                if !n.covered[ki] {
+                    n.covered[ki] = true;
+                    if n.covered.iter().all(|&c| c) {
+                        self.covered_count += 1;
+                        if self.coverage90_tick.is_none()
+                            && self.covered_count * 10 >= self.cfg.nodes * 9
+                        {
+                            self.coverage90_tick = Some(tick);
+                        }
+                    }
+                }
+            }
+            WalRecord::DeliveryFailed { node, kind, .. } => {
+                self.views[node as usize].in_flight[kind as usize] = None;
+            }
+            // Checkpoint markers and audit records need no replay (see
+            // above); they still extend the hash chain.
+            _ => {}
+        }
+    }
+
+    /// Rebuild the cloud from the latest snapshot plus the journal —
+    /// the recovery path a real crashed aggregator would take. Returns
+    /// the number of records replayed.
+    fn recover_cloud(&mut self, now: u64) -> u64 {
+        let snap = self
+            .last_snapshot
+            .clone()
+            .expect("a checkpoint is taken at campaign start");
+        for (n, st) in self.nodes.iter_mut().zip(&snap.nodes) {
+            n.ladder = st.ladder;
+            n.trust = st.trust;
+            n.profile_mean = st.profile_mean;
+            n.fresh = st.fresh;
+            n.dispatched_since_audit = st.dispatched_since_audit;
+            n.completed_since_audit = st.completed_since_audit;
+            n.covered = st.covered;
+            n.next_seq = st.next_seq;
+            n.last_applied_seq = st.last_applied_seq;
+            n.last_report = st.last_report;
+        }
+        self.views = snap.views;
+        self.scheduler = self.cfg.scheduler.build();
+        self.scheduler.restore_cursor(snap.scheduler_cursor);
+        self.covered_count = snap.covered_count;
+        self.coverage90_tick = snap.coverage90_tick;
+        self.journal_chain = snap.journal_chain;
+        let records = self.journal.records();
+        let replayed = records.len() as u64;
+        for record in &records {
+            self.journal_chain = fnv1a(self.journal_chain, &record.encode());
+            self.replay_record(record);
+        }
+        // Liveness knowledge the cloud re-derives on contact rather
+        // than from the journal: daemon deaths and active partitions.
+        for ni in 0..self.nodes.len() {
+            self.views[ni].alive = self.schedulable(ni);
+            self.views[ni].partitioned =
+                self.nodes[ni].partitioned_until.is_some_and(|t| now < t);
+        }
+        self.obs.incr("wal.replay", replayed);
+        replayed
     }
 
     /// Compute payloads for every `TaskComplete` in the batch, possibly
@@ -373,7 +785,14 @@ impl<'a> Campaign<'a> {
             .iter()
             .enumerate()
             .filter_map(|(i, ev)| match ev.kind {
-                EventKind::TaskComplete { node, kind } => Some((i, node, kind, ev.id)),
+                // Replay deliveries never need a payload: the dedup
+                // guard drops them before the data is looked at.
+                EventKind::TaskComplete {
+                    node,
+                    kind,
+                    seq,
+                    replay: false,
+                } => Some((i, node, kind, seq)),
                 _ => None,
             })
             .collect();
@@ -381,10 +800,11 @@ impl<'a> Campaign<'a> {
         let meas_seed = self.cfg.seed ^ MEAS_SALT;
         let base = &self.base;
         let nodes = &self.nodes;
-        let compute = move |&(bi, node, kind, id): &(usize, u32, TaskKind, u64)| {
+        let compute = move |&(bi, node, kind, seq): &(usize, u32, TaskKind, u64)| {
             let payload = measure_payload(
                 meas_seed,
-                id,
+                node,
+                seq,
                 &base[kind.index()],
                 nodes[node as usize].offset_db,
             );
@@ -421,13 +841,27 @@ impl<'a> Campaign<'a> {
         for (node, kind) in assignments {
             let ni = node as usize;
             self.views[ni].in_flight[kind.index()] = Some(now);
-            let (verdict, daemon_alive) = {
+            let (verdict, daemon_alive, seq) = {
                 let n = &mut self.nodes[ni];
                 n.dispatched_since_audit += 1;
+                let seq = n.next_seq;
+                n.next_seq += 1;
                 let idx = n.attempts;
                 n.attempts += 1;
-                (n.faults.attempt_verdict(idx, &mut n.link_rng), n.daemon_alive)
+                (
+                    n.faults.attempt_verdict(idx, &mut n.link_rng),
+                    n.daemon_alive,
+                    seq,
+                )
             };
+            // Write-ahead: the dispatch is journaled before any of its
+            // effects exist, so a crash mid-round replays it exactly.
+            self.journal_append(WalRecord::Dispatch {
+                node: node as u64,
+                kind: kind.index() as u8,
+                seq,
+                tick: now,
+            });
             let outcome: &str;
             match verdict {
                 AttemptVerdict::DroppedRequest => {
@@ -466,16 +900,89 @@ impl<'a> Campaign<'a> {
                         }
                         NodeVerdict::Service => {
                             let arrival = now + kind.duration_ticks() + latency;
+                            let key = task_key(node, kind, seq);
                             match verdict {
                                 AttemptVerdict::Deliver { .. } => {
                                     self.obs.incr("sim.dispatch.delivered", 1);
-                                    self.queue
-                                        .push(arrival, EventKind::TaskComplete { node, kind });
+                                    self.queue.push_keyed(
+                                        arrival,
+                                        key,
+                                        EventKind::TaskComplete {
+                                            node,
+                                            kind,
+                                            seq,
+                                            replay: false,
+                                        },
+                                    );
                                     outcome = "deliver";
                                 }
+                                AttemptVerdict::Duplicated { .. } => {
+                                    // The report arrives intact — twice.
+                                    // The copy lands a tick later and
+                                    // must die at the dedup guard.
+                                    self.obs.incr("sim.dispatch.duplicated", 1);
+                                    self.duplicated_deliveries += 1;
+                                    self.injected_replays += 1;
+                                    self.queue.push_keyed(
+                                        arrival,
+                                        key,
+                                        EventKind::TaskComplete {
+                                            node,
+                                            kind,
+                                            seq,
+                                            replay: false,
+                                        },
+                                    );
+                                    self.queue.push_keyed(
+                                        arrival + 1,
+                                        key ^ KEY_REPLAY,
+                                        EventKind::TaskComplete {
+                                            node,
+                                            kind,
+                                            seq,
+                                            replay: true,
+                                        },
+                                    );
+                                    outcome = "duplicate";
+                                }
+                                AttemptVerdict::Reordered { .. } => {
+                                    // The fresh report arrives normally,
+                                    // but the link also retransmits the
+                                    // node's previous (already-applied)
+                                    // report out of order behind it.
+                                    self.obs.incr("sim.dispatch.reordered", 1);
+                                    self.reordered_deliveries += 1;
+                                    self.queue.push_keyed(
+                                        arrival,
+                                        key,
+                                        EventKind::TaskComplete {
+                                            node,
+                                            kind,
+                                            seq,
+                                            replay: false,
+                                        },
+                                    );
+                                    if let Some((lk, lseq)) = self.nodes[ni].last_report {
+                                        self.injected_replays += 1;
+                                        self.queue.push_keyed(
+                                            arrival + 1,
+                                            task_key(node, lk, lseq) ^ KEY_REPLAY,
+                                            EventKind::TaskComplete {
+                                                node,
+                                                kind: lk,
+                                                seq: lseq,
+                                                replay: true,
+                                            },
+                                        );
+                                    }
+                                    outcome = "reorder";
+                                }
                                 AttemptVerdict::Corrupted => {
-                                    self.queue
-                                        .push(arrival, EventKind::DeliveryCorrupt { node, kind });
+                                    self.queue.push_keyed(
+                                        arrival,
+                                        key,
+                                        EventKind::DeliveryCorrupt { node, kind, seq },
+                                    );
                                     outcome = "corrupt";
                                 }
                                 AttemptVerdict::DroppedResponse => {
@@ -504,16 +1011,63 @@ impl<'a> Campaign<'a> {
         self.log_line(format!("t={} id={} ev=sched assigned={}", now, ev.id, assigned));
         let next = now + self.cfg.schedule_period;
         if next < self.cfg.max_ticks {
-            self.queue.push(next, EventKind::ScheduleRound);
+            self.queue
+                .push_keyed(next, KEY_SCHED ^ next, EventKind::ScheduleRound);
         }
     }
 
-    fn apply_task_complete(&mut self, ev: &SimEvent, node: u32, kind: TaskKind, payload: Vec<f64>) {
+    fn apply_task_complete(
+        &mut self,
+        ev: &SimEvent,
+        node: u32,
+        kind: TaskKind,
+        seq: u64,
+        replay: bool,
+        payload: Option<Vec<f64>>,
+    ) {
         let ni = node as usize;
         let ki = kind.index();
+        // Dedup guard: the per-(node, kind) high-water mark turns
+        // at-least-once delivery into exactly-once effects. The guard
+        // judges purely by sequence number — the `replay` flag is only
+        // ground truth for the safety monitor, never an input to the
+        // decision.
+        let stale = self.nodes[ni].last_applied_seq[ki].is_some_and(|high| seq <= high);
+        if stale || replay {
+            if replay && !stale {
+                // An injected re-delivery slipped past the sequence
+                // accounting: the guard would have double-applied it.
+                self.monitor.violation(format!(
+                    "dedup miss: replay node={} kind={} seq={} not below high-water",
+                    node,
+                    kind.label(),
+                    seq
+                ));
+            }
+            self.deduped_reports += 1;
+            self.obs.incr("sim.dedup.dropped", 1);
+            self.log_line(format!(
+                "t={} id={} ev=dedup node={} kind={} seq={}",
+                ev.time,
+                ev.id,
+                node,
+                kind.label(),
+                seq
+            ));
+            return;
+        }
+        let payload = payload.expect("payload computed for every first delivery");
         self.views[ni].in_flight[ki] = None;
         self.views[ni].last_update[ki] = Some(ev.time);
         let mean = payload.iter().sum::<f64>() / payload.len() as f64;
+        // Write-ahead: journal the effect before applying it.
+        self.journal_append(WalRecord::ReportApplied {
+            node: node as u64,
+            kind: ki as u8,
+            seq,
+            value_bits: mean.to_bits(),
+            tick: ev.time,
+        });
         // Fold the payload bits into the digest so the digest witnesses
         // measurement *values*, not just event order.
         let mut fp = FNV_OFFSET;
@@ -524,6 +1078,8 @@ impl<'a> Campaign<'a> {
         n.profile_mean[ki] = Some(mean);
         n.fresh[ki] = true;
         n.completed_since_audit += 1;
+        n.last_applied_seq[ki] = Some(seq);
+        n.last_report = Some((kind, seq));
         if !n.covered[ki] {
             n.covered[ki] = true;
             if n.covered.iter().all(|&c| c) {
@@ -548,10 +1104,18 @@ impl<'a> Campaign<'a> {
         ));
     }
 
-    fn apply_delivery_corrupt(&mut self, ev: &SimEvent, node: u32, kind: TaskKind) {
+    fn apply_delivery_corrupt(&mut self, ev: &SimEvent, node: u32, kind: TaskKind, seq: u64) {
         // A garbled reply still tells the cloud the attempt is dead, so
         // the pair is immediately reschedulable — unlike a silent drop,
-        // which has to age out through the timeout.
+        // which has to age out through the timeout. Known-dead is cloud
+        // state: journal it, or a crash right after would resurrect the
+        // dispatch from its `Dispatch` record.
+        self.journal_append(WalRecord::DeliveryFailed {
+            node: node as u64,
+            kind: kind.index() as u8,
+            seq,
+            tick: ev.time,
+        });
         self.views[node as usize].in_flight[kind.index()] = None;
         self.corrupt_deliveries += 1;
         self.obs.incr("sim.delivery.corrupt", 1);
@@ -562,6 +1126,106 @@ impl<'a> Campaign<'a> {
             node,
             kind.label()
         ));
+    }
+
+    fn apply_partition_start(&mut self, ev: &SimEvent, spec: u32) {
+        let p = self.cfg.recovery.partitions[spec as usize];
+        let mut severed = 0u32;
+        for ni in 0..self.nodes.len() {
+            if p.modulus != 0 && (ni as u32) % p.modulus == p.remainder {
+                self.nodes[ni].partitioned_until = Some(p.heal_tick);
+                self.views[ni].partitioned = true;
+                severed += 1;
+            }
+        }
+        self.obs.incr("sim.partition.started", 1);
+        self.log_line(format!(
+            "t={} id={} ev=partition spec={} severed={} heal={}",
+            ev.time, ev.id, spec, severed, p.heal_tick
+        ));
+    }
+
+    fn apply_partition_heal(&mut self, ev: &SimEvent, spec: u32) {
+        let p = self.cfg.recovery.partitions[spec as usize];
+        let mut healed = 0u32;
+        for ni in 0..self.nodes.len() {
+            if p.modulus != 0 && (ni as u32) % p.modulus == p.remainder {
+                self.nodes[ni].partitioned_until = None;
+                self.views[ni].partitioned = false;
+                healed += 1;
+            }
+        }
+        self.obs.incr("sim.partition.healed", 1);
+        self.log_line(format!(
+            "t={} id={} ev=heal spec={} healed={}",
+            ev.time, ev.id, spec, healed
+        ));
+    }
+
+    /// The cloud process dies. Every cloud-side structure is torn down
+    /// and rebuilt from the latest checkpoint snapshot plus the journal;
+    /// the safety monitor then asserts the recovered state and hash
+    /// chain are bit-identical to what the live process held at the
+    /// instant of the crash.
+    fn apply_cloud_crash(&mut self, ev: &SimEvent) {
+        let now = ev.time;
+        let live_digest = self.cloud_state_digest();
+        let live_chain = self.journal_chain;
+        // Tear down: wipe the cloud-side fields so recovery provably
+        // starts from nothing but snapshot + journal.
+        for n in &mut self.nodes {
+            n.ladder = HealthLadder::default();
+            n.trust = 0.0;
+            n.profile_mean = [None; 3];
+            n.fresh = [false; 3];
+            n.dispatched_since_audit = 0;
+            n.completed_since_audit = 0;
+            n.covered = [false; 3];
+            n.next_seq = 0;
+            n.last_applied_seq = [None; 3];
+            n.last_report = None;
+        }
+        self.views = vec![NodeView::fresh(); self.cfg.nodes];
+        self.covered_count = 0;
+        self.coverage90_tick = None;
+        let replayed = self.recover_cloud(now);
+        self.replayed_records += replayed;
+        self.recoveries += 1;
+        self.obs.incr("sim.recoveries", 1);
+        if self.cfg.monitor_invariants {
+            let recovered = self.cloud_state_digest();
+            if recovered != live_digest {
+                self.monitor.violation(format!(
+                    "recovery divergence at t={now}: recovered {recovered:016x} != live {live_digest:016x}"
+                ));
+            }
+            if self.journal_chain != live_chain {
+                self.monitor.violation(format!(
+                    "journal hash chain broken at t={now}: {:016x} != {live_chain:016x}",
+                    self.journal_chain
+                ));
+            }
+        }
+        let delay = self.cfg.recovery.restart_delay_ticks;
+        if delay > 0 {
+            let restart = now + delay;
+            self.cloud_down_until = Some(restart);
+            self.recovery_ticks += delay;
+            if restart < self.cfg.max_ticks {
+                self.queue
+                    .push_keyed(restart, KEY_CRASH ^ restart, EventKind::CloudRestart);
+            }
+        }
+        self.log_line(format!(
+            "t={} id={} ev=cloud_crash replayed={} down_ticks={}",
+            now, ev.id, replayed, delay
+        ));
+    }
+
+    fn apply_cloud_restart(&mut self, ev: &SimEvent) {
+        self.cloud_down_until = None;
+        self.obs.incr("sim.cloud.restarts", 1);
+        self.log_line(format!("t={} id={} ev=cloud_restart", ev.time, ev.id));
     }
 
     fn apply_audit_round(&mut self, ev: &SimEvent) {
@@ -581,12 +1245,22 @@ impl<'a> Campaign<'a> {
                 *median = means[means.len() / 2];
             }
         }
+        self.journal_append(WalRecord::RoundStarted {
+            seed: self.cfg.seed,
+            tick: now,
+        });
         let mut audited = 0u32;
         let mut anomalies = 0u32;
         let mut quarantined_or_worse = 0u32;
         for ni in 0..self.nodes.len() {
             let n = &mut self.nodes[ni];
             if n.dispatched_since_audit == 0 && n.completed_since_audit == 0 {
+                continue;
+            }
+            // A partitioned node is unreachable through no fault of its
+            // own: the cloud severed it (or knows it is severed), so its
+            // ladder and trust are left untouched until it heals.
+            if n.partitioned_until.is_some_and(|t| now < t) {
                 continue;
             }
             audited += 1;
@@ -613,11 +1287,31 @@ impl<'a> Campaign<'a> {
             n.dispatched_since_audit = 0;
             n.completed_since_audit = 0;
             n.fresh = [false; 3];
+            let (trust_bits, severity) = {
+                let n = &self.nodes[ni];
+                (n.trust.to_bits(), n.ladder.health().severity())
+            };
+            self.journal_append(WalRecord::AuditApplied {
+                node: ni as u64,
+                trust_bits,
+                health: severity,
+            });
             let alive = self.schedulable(ni);
             self.views[ni].alive = alive;
         }
         if anomalies > 0 {
             self.anomaly_flags += 1;
+        }
+        self.journal_append(WalRecord::RoundCompleted {
+            seed: self.cfg.seed,
+            effects: audited,
+        });
+        // Audit effects never outlive the round un-checkpointed: the
+        // snapshot right here is why recovery only ever replays
+        // dispatch/report records.
+        self.checkpoint(now);
+        if self.cfg.monitor_invariants {
+            self.check_invariants(now);
         }
         self.obs.incr("sim.audit.rounds", 1);
         self.obs.incr("sim.audit.anomalies", anomalies as u64);
@@ -629,8 +1323,61 @@ impl<'a> Campaign<'a> {
         ));
         let next = now + self.cfg.audit_period;
         if next < self.cfg.max_ticks {
-            self.queue.push(next, EventKind::AuditRound);
+            self.queue
+                .push_keyed(next, KEY_AUDIT ^ next, EventKind::AuditRound);
         }
+    }
+
+    /// Per-audit-round safety sweep. Violations accumulate in the
+    /// monitor and surface in [`CampaignResult::invariant_violations`].
+    fn check_invariants(&mut self, now: u64) {
+        for (ni, n) in self.nodes.iter().enumerate() {
+            if !(0.0..=1.0).contains(&n.trust) {
+                self.monitor
+                    .violation(format!("t={now}: node {ni} trust {} out of [0,1]", n.trust));
+            }
+            for ki in 0..3 {
+                if let Some(high) = n.last_applied_seq[ki] {
+                    if high >= n.next_seq {
+                        self.monitor.violation(format!(
+                            "t={now}: node {ni} kind {ki} applied seq {high} >= next_seq {}",
+                            n.next_seq
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Defer a delivery that cannot reach a live cloud to `until`
+    /// (+1 for replays, preserving original-before-copy order through
+    /// the backlog so the dedup high-water mark sees them in sequence).
+    fn backlog(&mut self, ev: &SimEvent, node: u32, kind: TaskKind, seq: u64, replay: bool, until: u64) {
+        self.backlogged_reports += 1;
+        self.obs.incr("sim.partition.backlogged", 1);
+        let key = task_key(node, kind, seq)
+            ^ KEY_BACKLOG
+            ^ if replay { KEY_REPLAY } else { 0 };
+        let target = until + replay as u64;
+        self.queue.push_keyed(
+            target,
+            key,
+            EventKind::TaskComplete {
+                node,
+                kind,
+                seq,
+                replay,
+            },
+        );
+        self.log_line(format!(
+            "t={} id={} ev=backlog node={} kind={} seq={} until={}",
+            ev.time,
+            ev.id,
+            node,
+            kind.label(),
+            seq,
+            target
+        ));
     }
 
     fn apply(&mut self, ev: &SimEvent, payload: Option<Vec<f64>>) {
@@ -638,15 +1385,61 @@ impl<'a> Campaign<'a> {
         self.final_tick = ev.time;
         self.obs.incr("sim.events", 1);
         match ev.kind {
-            EventKind::ScheduleRound => self.apply_schedule_round(ev),
-            EventKind::TaskComplete { node, kind } => {
-                let payload = payload.expect("payload computed for every completion");
-                self.apply_task_complete(ev, node, kind, payload);
+            EventKind::ScheduleRound => {
+                if self.cloud_down(ev.time) {
+                    // The dead cloud schedules nothing; the round
+                    // re-arms so cadence resumes after restart.
+                    self.obs.incr("sim.sched.skipped", 1);
+                    let next = ev.time + self.cfg.schedule_period;
+                    if next < self.cfg.max_ticks {
+                        self.queue
+                            .push_keyed(next, KEY_SCHED ^ next, EventKind::ScheduleRound);
+                    }
+                } else {
+                    self.apply_schedule_round(ev);
+                }
             }
-            EventKind::DeliveryCorrupt { node, kind } => {
-                self.apply_delivery_corrupt(ev, node, kind)
+            EventKind::TaskComplete {
+                node,
+                kind,
+                seq,
+                replay,
+            } => {
+                if let Some(until) = self.deferred_until(node, ev.time) {
+                    self.backlog(ev, node, kind, seq, replay, until);
+                } else {
+                    self.apply_task_complete(ev, node, kind, seq, replay, payload);
+                }
             }
-            EventKind::AuditRound => self.apply_audit_round(ev),
+            EventKind::DeliveryCorrupt { node, kind, seq } => {
+                if let Some(until) = self.deferred_until(node, ev.time) {
+                    self.backlogged_reports += 1;
+                    self.obs.incr("sim.partition.backlogged", 1);
+                    self.queue.push_keyed(
+                        until,
+                        task_key(node, kind, seq) ^ KEY_BACKLOG,
+                        EventKind::DeliveryCorrupt { node, kind, seq },
+                    );
+                } else {
+                    self.apply_delivery_corrupt(ev, node, kind, seq);
+                }
+            }
+            EventKind::AuditRound => {
+                if self.cloud_down(ev.time) {
+                    self.obs.incr("sim.audit.skipped", 1);
+                    let next = ev.time + self.cfg.audit_period;
+                    if next < self.cfg.max_ticks {
+                        self.queue
+                            .push_keyed(next, KEY_AUDIT ^ next, EventKind::AuditRound);
+                    }
+                } else {
+                    self.apply_audit_round(ev);
+                }
+            }
+            EventKind::PartitionStart { spec } => self.apply_partition_start(ev, spec),
+            EventKind::PartitionHeal { spec } => self.apply_partition_heal(ev, spec),
+            EventKind::CloudCrash => self.apply_cloud_crash(ev),
+            EventKind::CloudRestart => self.apply_cloud_restart(ev),
             EventKind::CampaignEnd => {
                 self.ended = true;
                 self.log_line(format!("t={} id={} ev=end", ev.time, ev.id));
@@ -663,12 +1456,17 @@ impl<'a> Campaign<'a> {
             digest = fnv1a(digest, &[n.ladder.health().severity()]);
             digest = fnv1a(digest, &n.served.to_le_bytes());
         }
+        let state_digest = self.cloud_state_digest();
         let mut health_counts: BTreeMap<String, usize> = BTreeMap::new();
         for n in &self.nodes {
             *health_counts
                 .entry(format!("{:?}", n.ladder.health()))
                 .or_insert(0) += 1;
         }
+        self.obs.set_gauge("wal.appends", self.journal.appends() as f64);
+        self.obs.set_gauge("wal.syncs", self.journal.syncs() as f64);
+        self.obs
+            .set_gauge("recovery_ticks", self.recovery_ticks as f64);
         CampaignResult {
             nodes: self.cfg.nodes,
             scheduler: self.cfg.scheduler.label().to_string(),
@@ -683,6 +1481,17 @@ impl<'a> Campaign<'a> {
             corrupt_deliveries: self.corrupt_deliveries,
             crashed_nodes: self.crashed_nodes,
             anomaly_flags: self.anomaly_flags,
+            state_digest: format!("{state_digest:016x}"),
+            recoveries: self.recoveries,
+            replayed_records: self.replayed_records,
+            recovery_ticks: self.recovery_ticks,
+            wal_appends: self.journal.appends(),
+            wal_syncs: self.journal.syncs(),
+            backlogged_reports: self.backlogged_reports,
+            deduped_reports: self.deduped_reports,
+            duplicated_deliveries: self.duplicated_deliveries,
+            reordered_deliveries: self.reordered_deliveries,
+            invariant_violations: std::mem::take(&mut self.monitor.violations),
             health_counts,
             trust_table: self.nodes.iter().map(|n| n.trust.to_bits()).collect(),
             log: std::mem::take(&mut self.log),
@@ -699,11 +1508,43 @@ pub fn run(config: &CampaignConfig) -> CampaignResult {
 /// the `aircal-obs` virtual clock to each batch's tick.
 pub fn run_with_obs(config: &CampaignConfig, obs: &Obs) -> CampaignResult {
     let mut campaign = Campaign::new(config, obs);
-    campaign.queue.push(0, EventKind::ScheduleRound);
+    // Checkpoint the pristine cloud before any event fires, so even a
+    // crash before the first audit has a snapshot to recover onto.
+    campaign.checkpoint(0);
+    campaign
+        .queue
+        .push_keyed(0, KEY_SCHED, EventKind::ScheduleRound);
     if config.audit_period < config.max_ticks {
-        campaign.queue.push(config.audit_period, EventKind::AuditRound);
+        campaign.queue.push_keyed(
+            config.audit_period,
+            KEY_AUDIT ^ config.audit_period,
+            EventKind::AuditRound,
+        );
     }
-    campaign.queue.push(config.max_ticks, EventKind::CampaignEnd);
+    for (si, p) in config.recovery.partitions.iter().enumerate() {
+        if p.start_tick < config.max_ticks && p.heal_tick > p.start_tick {
+            campaign.queue.push_keyed(
+                p.start_tick,
+                KEY_PART ^ (si as u64),
+                EventKind::PartitionStart { spec: si as u32 },
+            );
+            campaign.queue.push_keyed(
+                p.heal_tick.min(config.max_ticks),
+                KEY_PART ^ (si as u64) ^ 0x8000_0000_0000_0000,
+                EventKind::PartitionHeal { spec: si as u32 },
+            );
+        }
+    }
+    for &t in &config.recovery.crash_ticks {
+        if t < config.max_ticks {
+            campaign
+                .queue
+                .push_keyed(t, KEY_CRASH ^ t, EventKind::CloudCrash);
+        }
+    }
+    campaign
+        .queue
+        .push_keyed(config.max_ticks, KEY_END, EventKind::CampaignEnd);
 
     let mut batch: Vec<SimEvent> = Vec::new();
     while let Some(tick) = campaign.queue.pop_batch(&mut batch) {
@@ -774,6 +1615,114 @@ mod tests {
             "the health ladder bites: {:?}",
             r.health_counts
         );
+    }
+
+    #[test]
+    fn duplicates_and_reorders_leave_state_bit_identical() {
+        // The exactly-once property: injected at-least-once delivery
+        // (duplicated frames, stale retransmissions) must not move one
+        // bit of cloud state relative to the fault-free twin.
+        let mut clean = CampaignConfig::paper_default(64, 0xD0D0);
+        clean.max_ticks = 400;
+        let mut chaotic = clean.clone();
+        chaotic.recovery.duplicate_fraction = 0.5;
+        chaotic.recovery.reorder_fraction = 0.5;
+        let a = run(&clean);
+        let b = run(&chaotic);
+        assert!(b.duplicated_deliveries > 0, "duplicates were injected");
+        assert!(b.reordered_deliveries > 0, "reorders were injected");
+        assert!(b.deduped_reports > 0, "the dedup guard fired");
+        assert_eq!(a.deduped_reports, 0, "fault-free run never dedups");
+        assert_eq!(a.state_digest, b.state_digest, "exactly-once effects");
+        assert_eq!(a.trust_table, b.trust_table);
+        assert!(b.invariant_violations.is_empty(), "{:?}", b.invariant_violations);
+    }
+
+    #[test]
+    fn cloud_crashes_recover_bit_identically() {
+        let mut clean = CampaignConfig::paper_default(64, 0xC4A5);
+        clean.max_ticks = 400;
+        let mut crashy = clean.clone();
+        crashy.recovery.crash_ticks = vec![77, 233];
+        let a = run(&clean);
+        let b = run(&crashy);
+        assert_eq!(b.recoveries, 2);
+        assert!(b.replayed_records > 0, "mid-round crashes replay the journal");
+        assert!(b.invariant_violations.is_empty(), "{:?}", b.invariant_violations);
+        assert_eq!(
+            a.state_digest, b.state_digest,
+            "instant recovery is transparent: snapshot + journal rebuild the exact state"
+        );
+        assert_eq!(a.trust_table, b.trust_table);
+    }
+
+    #[test]
+    fn partition_skips_scheduling_and_drains_backlog_after_heal() {
+        let mut cfg = CampaignConfig::paper_default(64, 0xBEEF);
+        cfg.max_ticks = 600;
+        cfg.recovery.partitions = vec![PartitionSpec {
+            start_tick: 100,
+            heal_tick: 220,
+            modulus: 4,
+            remainder: 1,
+        }];
+        let r = run(&cfg);
+        assert!(r.invariant_violations.is_empty(), "{:?}", r.invariant_violations);
+        // Liveness: the campaign still converges to full-fleet coverage
+        // despite a quarter of the fleet being severed for 120 ticks.
+        assert!(
+            r.covered_nodes > 55,
+            "coverage survives the partition: {}",
+            r.covered_nodes
+        );
+        assert!(
+            r.coverage90_tick.is_some(),
+            "90% coverage reached within the horizon"
+        );
+    }
+
+    #[test]
+    fn delayed_restart_defers_scheduling_and_still_recovers() {
+        let mut cfg = CampaignConfig::paper_default(48, 0x0FF);
+        cfg.max_ticks = 500;
+        cfg.recovery.crash_ticks = vec![151];
+        cfg.recovery.restart_delay_ticks = 40;
+        let r = run(&cfg);
+        assert_eq!(r.recoveries, 1);
+        assert_eq!(r.recovery_ticks, 40);
+        assert!(r.invariant_violations.is_empty(), "{:?}", r.invariant_violations);
+        assert!(
+            r.coverage90_tick.is_some(),
+            "liveness: coverage still reached despite 40 ticks of downtime"
+        );
+        // Same seed, same downtime → bit-identical replay of the whole
+        // crash-and-recover campaign.
+        let again = run(&cfg);
+        assert_eq!(r, again);
+    }
+
+    #[test]
+    fn combined_faults_hold_every_invariant_at_scale() {
+        let mut cfg = CampaignConfig::paper_default(200, 0xFEED);
+        cfg.max_ticks = 800;
+        cfg.recovery.crash_ticks = vec![123, 457];
+        cfg.recovery.partitions = vec![PartitionSpec {
+            start_tick: 200,
+            heal_tick: 320,
+            modulus: 5,
+            remainder: 2,
+        }];
+        cfg.recovery.duplicate_fraction = 0.3;
+        cfg.recovery.reorder_fraction = 0.3;
+        let r = run(&cfg);
+        assert!(r.invariant_violations.is_empty(), "{:?}", r.invariant_violations);
+        assert!(r.deduped_reports > 0);
+        assert_eq!(r.recoveries, 2);
+        assert!(r.covered_nodes > 150, "fleet converges: {}", r.covered_nodes);
+        // Worker count stays invisible under every fault class at once.
+        let mut wide = cfg.clone();
+        wide.workers = 8;
+        assert_eq!(run(&wide), r);
     }
 
     #[test]

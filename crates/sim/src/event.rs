@@ -74,14 +74,32 @@ pub enum EventKind {
     /// measurement tasks across the fleet.
     ScheduleRound,
     /// A measurement finished on a node and its report reached the
-    /// cloud intact.
-    TaskComplete { node: u32, kind: TaskKind },
+    /// cloud intact. `seq` is the cloud-assigned per-node dispatch
+    /// sequence number; `replay` marks an at-least-once re-delivery (a
+    /// duplicated frame or a stale retransmission) that the cloud's
+    /// dedup guard must drop.
+    TaskComplete {
+        node: u32,
+        kind: TaskKind,
+        seq: u64,
+        replay: bool,
+    },
     /// A reply reached the cloud but arrived garbled; the cloud discards
     /// it (and knows the attempt is dead, unlike a silent drop).
-    DeliveryCorrupt { node: u32, kind: TaskKind },
+    DeliveryCorrupt { node: u32, kind: TaskKind, seq: u64 },
     /// The cloud audits everything received since the last round and
     /// walks each node's health ladder.
     AuditRound,
+    /// A network partition severs the node subset named by
+    /// `CampaignConfig::recovery.partitions[spec]` from the cloud.
+    PartitionStart { spec: u32 },
+    /// The partition heals; backlogged reports drain from this tick.
+    PartitionHeal { spec: u32 },
+    /// The cloud process dies, losing all in-memory registry state; it
+    /// recovers from the latest snapshot plus the write-ahead journal.
+    CloudCrash,
+    /// A delayed restart completes: scheduling and audits resume.
+    CloudRestart,
     /// Campaign horizon reached: stop processing.
     CampaignEnd,
 }
@@ -149,10 +167,25 @@ impl EventQueue {
     }
 
     /// Schedule `kind` at virtual tick `time`; returns the event id.
+    /// The tie-break derives from the creation-order id, so same-tick
+    /// ordering depends on push order. Use [`EventQueue::push_keyed`]
+    /// when ordering must survive extra events being injected.
     pub fn push(&mut self, time: u64, kind: EventKind) -> u64 {
+        let key = self.next_id;
+        self.push_keyed(time, key, kind)
+    }
+
+    /// Schedule `kind` at `time` with a caller-chosen stable key for the
+    /// tie-break stream. Two campaigns that schedule the same logical
+    /// event under the same key order it identically at its tick even
+    /// when one campaign carries extra injected events (duplicates,
+    /// replays, backlog re-pushes) — creation-order ids diverge between
+    /// such runs, stable keys do not. The unique id still breaks exact
+    /// key collisions, so total order stays strict.
+    pub fn push_keyed(&mut self, time: u64, key: u64, kind: EventKind) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
-        let tie_break = derive_stream_seed(self.tie_seed, id);
+        let tie_break = derive_stream_seed(self.tie_seed, key);
         self.heap.push(Reverse(QueueEntry(SimEvent {
             time,
             tie_break,

@@ -45,7 +45,10 @@ pub mod engine;
 pub mod event;
 pub mod scheduler;
 
-pub use engine::{CampaignConfig, CampaignResult, FleetFaultsConfig, run, run_with_obs};
+pub use engine::{
+    run, run_with_obs, CampaignConfig, CampaignResult, FleetFaultsConfig, PartitionSpec,
+    RecoveryFaultsConfig,
+};
 pub use event::{EventKind, EventQueue, SimEvent, TaskKind};
 pub use scheduler::{
     FleetView, NodeView, RoundRobinScheduler, Scheduler, SchedulerKind, UtilityScheduler,

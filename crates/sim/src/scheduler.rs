@@ -17,6 +17,11 @@ use serde::{Deserialize, Serialize};
 pub struct NodeView {
     /// Schedulable: daemon not crashed and health above quarantine.
     pub alive: bool,
+    /// Severed from the cloud by an active network partition. The
+    /// scheduler skips partitioned nodes instead of burning round
+    /// capacity on dispatches that cannot arrive; their backlogged
+    /// reports drain once the partition heals.
+    pub partitioned: bool,
     /// Virtual tick of the last completed measurement, per task kind.
     pub last_update: [Option<u64>; 3],
     /// Dispatch tick of the outstanding attempt, per task kind, if any.
@@ -27,6 +32,7 @@ impl NodeView {
     pub fn fresh() -> Self {
         Self {
             alive: true,
+            partitioned: false,
             last_update: [None; 3],
             in_flight: [None; 3],
         }
@@ -45,11 +51,13 @@ pub struct FleetView<'a> {
 }
 
 impl FleetView<'_> {
-    /// May `(node, kind)` be dispatched this round? Dead nodes never;
-    /// in-flight pairs only once their attempt has timed out.
+    /// May `(node, kind)` be dispatched this round? Dead and partitioned
+    /// nodes never; in-flight pairs only once their attempt has timed
+    /// out.
     pub fn eligible(&self, node: usize, kind: TaskKind) -> bool {
         let v = &self.nodes[node];
         v.alive
+            && !v.partitioned
             && match v.in_flight[kind.index()] {
                 None => true,
                 Some(t) => self.now.saturating_sub(t) >= self.timeout_ticks,
@@ -63,6 +71,16 @@ impl FleetView<'_> {
 pub trait Scheduler {
     fn name(&self) -> &'static str;
     fn assign(&mut self, fleet: &FleetView<'_>, capacity: usize) -> Vec<(u32, TaskKind)>;
+
+    /// Opaque cursor state for crash-recovery snapshots. Stateless
+    /// policies return 0; stateful ones encode whatever they need to
+    /// resume bit-identically after [`Scheduler::restore_cursor`].
+    fn cursor_state(&self) -> u64 {
+        0
+    }
+
+    /// Restore the cursor captured by [`Scheduler::cursor_state`].
+    fn restore_cursor(&mut self, _state: u64) {}
 }
 
 /// Baseline: walk the `(node, kind)` lattice in fixed order, resuming
@@ -77,6 +95,14 @@ pub struct RoundRobinScheduler {
 impl Scheduler for RoundRobinScheduler {
     fn name(&self) -> &'static str {
         "round-robin"
+    }
+
+    fn cursor_state(&self) -> u64 {
+        self.cursor as u64
+    }
+
+    fn restore_cursor(&mut self, state: u64) {
+        self.cursor = state as usize;
     }
 
     fn assign(&mut self, fleet: &FleetView<'_>, capacity: usize) -> Vec<(u32, TaskKind)> {

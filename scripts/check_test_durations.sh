@@ -56,5 +56,6 @@ run_suite byzantine            cargo test --release -q --test byzantine
 run_suite fleet_sim            cargo test --release -q --test fleet_sim
 run_suite protocol_fuzz        cargo test --release -q -p aircal-net --test protocol_fuzz
 run_suite simd_equivalence     cargo test --release -q -p aircal-dsp --test simd_equivalence
+run_suite cloud_recovery       cargo test --release -q --test cloud_recovery
 
 exit $fail

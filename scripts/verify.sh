@@ -29,7 +29,10 @@ cargo run --release --example quickstart
 echo "== fault injection demo (front-end + network chaos) =="
 cargo run --release --example fault_injection
 
-echo "== perfreport (--quick, alloc + perf + robustness + scale budgets enforced) =="
-cargo run --release -p aircal-bench --bin perfreport -- --quick --check-allocs --check-perf --check-robust --check-scale
+echo "== cloud failover demo (crash + partition recovery, digest diffed) =="
+cargo run --release --example cloud_failover -- 400 42 --no-partition
+
+echo "== perfreport (--quick, alloc + perf + robustness + scale + recovery budgets enforced) =="
+cargo run --release -p aircal-bench --bin perfreport -- --quick --check-allocs --check-perf --check-robust --check-scale --check-recovery
 
 echo "== verify: all gates passed =="
